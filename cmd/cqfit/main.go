@@ -1,0 +1,307 @@
+// Command cqfit computes fitting queries from labeled data examples
+// given in a simple text format.
+//
+// Usage:
+//
+//	cqfit -schema "R/2,P/1" -arity 1 -kind cq -task construct \
+//	      -pos "R(a,b). R(b,c) @ a" -pos "R(x,y) @ x" \
+//	      -neg "P(u) @ u"
+//
+// Flags:
+//
+//	-schema    comma-separated relation/arity declarations, e.g. "R/2,P/1"
+//	-arity     arity k of the examples and queries (default 0)
+//	-kind      cq | ucq | tree (default cq)
+//	-task      exists | construct | most-specific | weakly-most-general |
+//	           basis | unique | verify (default construct)
+//	-pos/-neg  repeated labeled examples "facts @ tuple"
+//	-q         query for -task verify, e.g. "q(x) :- R(x,y)"
+//	-atoms     search bound: max atoms for synthesis tasks (default 3)
+//	-vars      search bound: max variables for synthesis tasks (default 4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"extremalcq"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var (
+		schemaStr = flag.String("schema", "", `schema, e.g. "R/2,P/1"`)
+		arity     = flag.Int("arity", 0, "arity of examples and queries")
+		kind      = flag.String("kind", "cq", "cq | ucq | tree")
+		task      = flag.String("task", "construct", "exists | construct | most-specific | weakly-most-general | basis | unique | verify")
+		queryStr  = flag.String("q", "", "query for -task verify")
+		maxAtoms  = flag.Int("atoms", 3, "search bound: max atoms")
+		maxVars   = flag.Int("vars", 4, "search bound: max variables")
+	)
+	var posFlags, negFlags multiFlag
+	flag.Var(&posFlags, "pos", "positive example (repeatable)")
+	flag.Var(&negFlags, "neg", "negative example (repeatable)")
+	flag.Parse()
+
+	if err := run(*schemaStr, *arity, *kind, *task, *queryStr, posFlags, negFlags,
+		extremalcq.SearchOpts{MaxAtoms: *maxAtoms, MaxVars: *maxVars}); err != nil {
+		fmt.Fprintln(os.Stderr, "cqfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemaStr string, arity int, kind, task, queryStr string, posFlags, negFlags []string, opts extremalcq.SearchOpts) error {
+	sch, err := parseSchema(schemaStr)
+	if err != nil {
+		return err
+	}
+	var pos, neg []extremalcq.Example
+	for _, s := range posFlags {
+		e, err := extremalcq.ParseExample(sch, s)
+		if err != nil {
+			return fmt.Errorf("-pos %q: %w", s, err)
+		}
+		pos = append(pos, e)
+	}
+	for _, s := range negFlags {
+		e, err := extremalcq.ParseExample(sch, s)
+		if err != nil {
+			return fmt.Errorf("-neg %q: %w", s, err)
+		}
+		neg = append(neg, e)
+	}
+	E, err := extremalcq.NewExamples(sch, arity, pos, neg)
+	if err != nil {
+		return err
+	}
+
+	switch kind {
+	case "cq":
+		return runCQ(E, sch, task, queryStr, opts)
+	case "ucq":
+		return runUCQ(E, sch, task, queryStr, opts)
+	case "tree":
+		return runTree(E, sch, task, queryStr, opts)
+	}
+	return fmt.Errorf("unknown -kind %q", kind)
+}
+
+func runCQ(E extremalcq.Examples, sch *extremalcq.Schema, task, queryStr string, opts extremalcq.SearchOpts) error {
+	switch task {
+	case "exists":
+		ok, err := extremalcq.FittingExists(E)
+		if err != nil {
+			return err
+		}
+		fmt.Println("fitting CQ exists:", ok)
+	case "construct", "most-specific":
+		q, ok, err := extremalcq.ConstructMostSpecific(E)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no fitting CQ exists")
+			return nil
+		}
+		fmt.Println(q.Core())
+	case "weakly-most-general":
+		q, found, err := extremalcq.SearchWeaklyMostGeneral(E, opts)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Println("none found within bounds")
+			return nil
+		}
+		fmt.Println(q)
+	case "basis":
+		basis, found, err := extremalcq.SearchBasis(E, opts)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Println("no basis found within bounds")
+			return nil
+		}
+		for _, b := range basis {
+			fmt.Println(b)
+		}
+	case "unique":
+		q, ok, err := extremalcq.UniqueFittingExists(E)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no unique fitting CQ")
+			return nil
+		}
+		fmt.Println(q.Core())
+	case "verify":
+		q, err := extremalcq.ParseCQ(sch, queryStr)
+		if err != nil {
+			return err
+		}
+		fmt.Println("fits:", extremalcq.VerifyFitting(q, E))
+	default:
+		return fmt.Errorf("unknown -task %q", task)
+	}
+	return nil
+}
+
+func runUCQ(E extremalcq.Examples, sch *extremalcq.Schema, task, queryStr string, opts extremalcq.SearchOpts) error {
+	switch task {
+	case "exists":
+		fmt.Println("fitting UCQ exists:", extremalcq.FittingUCQExists(E))
+	case "construct", "most-specific":
+		u, ok, err := extremalcq.ConstructFittingUCQ(E)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no fitting UCQ exists")
+			return nil
+		}
+		fmt.Println(u)
+	case "weakly-most-general", "basis":
+		u, found, err := extremalcq.SearchMostGeneralUCQ(E, opts)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Println("none found within bounds")
+			return nil
+		}
+		fmt.Println(u)
+	case "unique":
+		u, ok, err := extremalcq.UniqueUCQExists(E)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no unique fitting UCQ")
+			return nil
+		}
+		fmt.Println(u)
+	case "verify":
+		u, err := extremalcq.ParseUCQ(sch, queryStr)
+		if err != nil {
+			return err
+		}
+		fmt.Println("fits:", extremalcq.VerifyFittingUCQ(u, E))
+	default:
+		return fmt.Errorf("unknown -task %q", task)
+	}
+	return nil
+}
+
+func runTree(E extremalcq.Examples, sch *extremalcq.Schema, task, queryStr string, opts extremalcq.SearchOpts) error {
+	switch task {
+	case "exists":
+		ok, err := extremalcq.FittingTreeExists(E)
+		if err != nil {
+			return err
+		}
+		fmt.Println("fitting tree CQ exists:", ok)
+	case "construct":
+		dag, ok, err := extremalcq.ConstructFittingTree(E)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no fitting tree CQ exists")
+			return nil
+		}
+		q, err := dag.Expand(100000)
+		if err != nil {
+			fmt.Printf("fitting tree CQ as DAG: depth %d, %d shared nodes (too large to expand)\n",
+				dag.Depth, dag.NumNodes())
+			return nil
+		}
+		fmt.Println(q.Core())
+	case "most-specific":
+		q, ok, err := extremalcq.ConstructMostSpecificTree(E, 100000)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no most-specific fitting tree CQ exists")
+			return nil
+		}
+		fmt.Println(q.Core())
+	case "weakly-most-general":
+		q, found, err := extremalcq.SearchWeaklyMostGeneralTree(E, opts)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Println("none found within bounds")
+			return nil
+		}
+		fmt.Println(q)
+	case "basis":
+		basis, found, err := extremalcq.SearchBasisTree(E, opts)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Println("no basis found within bounds")
+			return nil
+		}
+		for _, b := range basis {
+			fmt.Println(b)
+		}
+	case "unique":
+		q, ok, err := extremalcq.UniqueTreeExists(E)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no unique fitting tree CQ")
+			return nil
+		}
+		fmt.Println(q.Core())
+	case "verify":
+		q, err := extremalcq.ParseCQ(sch, queryStr)
+		if err != nil {
+			return err
+		}
+		fits, err := extremalcq.VerifyFittingTree(q, E)
+		if err != nil {
+			return err
+		}
+		fmt.Println("fits:", fits)
+	default:
+		return fmt.Errorf("unknown -task %q", task)
+	}
+	return nil
+}
+
+func parseSchema(s string) (*extremalcq.Schema, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("missing -schema")
+	}
+	var rels []extremalcq.Rel
+	for _, part := range strings.Split(s, ",") {
+		name, arityStr, ok := strings.Cut(strings.TrimSpace(part), "/")
+		if !ok {
+			return nil, fmt.Errorf("bad schema entry %q (want Name/Arity)", part)
+		}
+		a, err := strconv.Atoi(arityStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad arity in %q: %w", part, err)
+		}
+		rels = append(rels, extremalcq.Rel{Name: name, Arity: a})
+	}
+	return extremalcq.NewSchema(rels...)
+}

@@ -1,0 +1,71 @@
+// Command dualities explores homomorphism dualities and frontiers
+// (Section 2.2): the Gallai–Hasse–Roy–Vitaver path/tournament duality of
+// Example 2.14, the unary duality of Example 2.15, the frontier of
+// Example 2.13, and the dismantling existence test.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extremalcq"
+	"extremalcq/internal/genex"
+)
+
+func main() {
+	// GHRV (Example 2.14): ({P_n}, {T_n}).
+	for n := 1; n <= 4; n++ {
+		F, D := extremalcq.GHRV(n)
+		ok, err := extremalcq.IsHomDuality(F, D)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GHRV: ({path with %d edges}, {tournament on %d nodes}) is a duality: %v\n", n, n, ok)
+	}
+
+	// Example 2.15: unary relations.
+	pqr := extremalcq.MustSchema(
+		extremalcq.Rel{Name: "P", Arity: 1},
+		extremalcq.Rel{Name: "Q", Arity: 1},
+		extremalcq.Rel{Name: "R", Arity: 1},
+	)
+	e1, _ := extremalcq.ParseExample(pqr, "P(a). Q(b)")
+	e2, _ := extremalcq.ParseExample(pqr, "P(a). R(a)")
+	e3, _ := extremalcq.ParseExample(pqr, "Q(a). R(a)")
+	ok, err := extremalcq.IsHomDuality([]extremalcq.Example{e1}, []extremalcq.Example{e2, e3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nExample 2.15: ({P∧Q-split}, {PR, QR}) is a duality: %v\n", ok)
+
+	// Constructing the dual of a path directly.
+	p3 := genex.DirectedPath(3)
+	D, err := extremalcq.DualOf(p3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDualOf(P_3): %d structure(s); the first has %d elements\n", len(D), D[0].I.DomSize())
+	t3 := genex.TransitiveTournament(3)
+	fmt.Printf("T_3 maps into the dual: %v (they are hom-equivalent)\n", extremalcq.HomExists(t3, D[0]))
+
+	// Frontier of Example 2.13's q1.
+	binRS := extremalcq.MustSchema(
+		extremalcq.Rel{Name: "R", Arity: 2},
+		extremalcq.Rel{Name: "S", Arity: 2},
+	)
+	q1, _ := extremalcq.ParseCQ(binRS, "q(x) :- R(x,y), R(y,z)")
+	members, err := extremalcq.Frontier(q1.Example())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfrontier of q1(x) :- R(x,y) ∧ R(y,z):\n")
+	for _, m := range members {
+		fmt.Printf("  %v\n", m)
+	}
+
+	// Dismantling existence test (Thm 3.30 sketch).
+	fmt.Printf("\nduality with right side {T_3} exists: %v\n",
+		extremalcq.SingleDualityExists(genex.TransitiveTournament(3)))
+	fmt.Printf("duality with right side {K_2} exists: %v (2-colorability is not FO)\n",
+		extremalcq.SingleDualityExists(genex.DirectedCycle(2)))
+}

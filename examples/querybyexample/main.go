@@ -1,0 +1,75 @@
+// Command querybyexample demonstrates Query-By-Example via the CQ
+// definability special case (Remark 3.1): the user marks some rows of a
+// movie database as wanted and the rest as unwanted, and the system
+// derives a defining conjunctive query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extremalcq"
+)
+
+func main() {
+	sch := extremalcq.MustSchema(
+		extremalcq.Rel{Name: "directed", Arity: 2}, // director -> movie
+		extremalcq.Rel{Name: "actedIn", Arity: 2},  // actor -> movie
+		extremalcq.Rel{Name: "oscar", Arity: 1},    // movie won an oscar
+	)
+	db, err := extremalcq.ParseFacts(sch, `
+		directed(kurosawa, ran).        oscar(ran)
+		directed(kurosawa, ikiru)
+		directed(kubrick, spartacus).   oscar(spartacus)
+		directed(kubrick, lolita)
+		actedIn(nakadai, ran).          actedIn(douglas, spartacus)
+		actedIn(sellers, lolita)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user selects S = {ran, spartacus}: oscar-winning movies.
+	S := [][]extremalcq.Value{{"ran"}, {"spartacus"}}
+	E, err := extremalcq.DefinabilityExamples(db, S, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("QBE over %d positive and %d negative tuples\n", len(E.Pos), len(E.Neg))
+
+	ok, err := extremalcq.FittingExists(E)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("S = {ran, spartacus} is CQ-definable: %v\n", ok)
+	if ok {
+		q, _, err := extremalcq.ConstructFitting(E)
+		if err != nil {
+			log.Fatal(err)
+		}
+		core := q.Core()
+		fmt.Printf("defining query (core): %v\n", core)
+		fmt.Printf("it returns: %v\n\n", core.Evaluate(db))
+		if uq, isUnique, _ := extremalcq.UniqueFittingExists(E); isUnique {
+			fmt.Printf("the fitting is unique: %v\n", uq.Core())
+		} else {
+			fmt.Println("the fitting is not unique (other CQs also separate)")
+		}
+	}
+
+	// A non-definable selection: {ran, lolita} (an oscar winner and a
+	// non-winner with nothing joint separating them from spartacus).
+	S2 := [][]extremalcq.Value{{"ran"}, {"lolita"}}
+	E2, err := extremalcq.DefinabilityExamples(db, S2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok2, err := extremalcq.FittingExists(E2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("S = {ran, lolita} is CQ-definable: %v\n", ok2)
+	if !ok2 {
+		fmt.Println("(the product of the positives maps into a negative tuple)")
+	}
+}

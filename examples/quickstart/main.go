@@ -1,0 +1,93 @@
+// Command quickstart reproduces Example 1.1 / Figure 1 of the paper:
+// the EmpInfo database with labeled examples (Hilbert,+), (Turing,-),
+// (Einstein,+), for which fitting queries are derived.
+//
+// Pure CQs have no constants, so Figure 1's ternary EmpInfo table is
+// modeled relationally with inDept/managedBy edges plus unary marker
+// predicates for the constants the paper's q1 mentions (isGauss). The
+// paper's fitting query q1(x) := EmpInfo(x, y, Gauss) becomes
+// q(x) :- managedBy(x,y) ∧ isGauss(y).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extremalcq"
+)
+
+func main() {
+	sch := extremalcq.MustSchema(
+		extremalcq.Rel{Name: "inDept", Arity: 2},
+		extremalcq.Rel{Name: "managedBy", Arity: 2},
+		extremalcq.Rel{Name: "isGauss", Arity: 1},
+		extremalcq.Rel{Name: "isVonNeumann", Arity: 1},
+	)
+
+	// Figure 1's rows.
+	db, err := extremalcq.ParseFacts(sch, `
+		inDept(hilbert, math).      managedBy(hilbert, gauss)
+		inDept(turing, cs).         managedBy(turing, vonneumann)
+		inDept(einstein, physics).  managedBy(einstein, gauss)
+		isGauss(gauss).             isVonNeumann(vonneumann)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Labeled examples: (Hilbert,+), (Turing,-), (Einstein,+).
+	E, err := extremalcq.NewExamples(sch, 1,
+		[]extremalcq.Example{
+			extremalcq.NewExample(db, "hilbert"),
+			extremalcq.NewExample(db, "einstein"),
+		},
+		[]extremalcq.Example{
+			extremalcq.NewExample(db, "turing"),
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's q1: all employees managed by Gauss.
+	q1, err := extremalcq.ParseCQ(sch, "q(x) :- managedBy(x,y), isGauss(y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("q1 = %v\n", q1)
+	fmt.Printf("q1 fits (Hilbert,+) (Turing,-) (Einstein,+): %v\n\n", extremalcq.VerifyFitting(q1, E))
+
+	// A fitting CQ exists; the canonical one is the most-specific
+	// fitting — the direct product of the positive examples (Thm 3.3).
+	ms, ok, err := extremalcq.ConstructMostSpecific(E)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitting CQ exists: %v\n", ok)
+	msCore := ms.Core()
+	fmt.Printf("most-specific fitting (core, %d atoms): %v\n\n", msCore.NumAtoms(), msCore)
+
+	// Evaluate q1 on the database: Hilbert and Einstein, not Turing.
+	fmt.Printf("q1(EmpInfo) = %v\n\n", q1.Evaluate(db))
+
+	// A weakly most-general fitting: nothing weaker still separates.
+	wmg, found, err := extremalcq.SearchWeaklyMostGeneral(E, extremalcq.DefaultSearch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if found {
+		fmt.Printf("a weakly most-general fitting CQ: %v\n", wmg)
+		isWMG, _ := extremalcq.VerifyWeaklyMostGeneral(wmg, E)
+		fmt.Printf("verified weakly most-general: %v\n", isWMG)
+	} else {
+		fmt.Println("no weakly most-general fitting CQ within the search bounds")
+	}
+
+	// The UCQ route (Section 4): the union of the positive examples.
+	u, ok, err := extremalcq.ConstructFittingUCQ(E)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("\nmost-specific fitting UCQ has %d disjuncts\n", len(u.Disjuncts()))
+	}
+}

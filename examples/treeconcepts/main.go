@@ -1,0 +1,101 @@
+// Command treeconcepts demonstrates tree-CQ fitting (Section 5), the
+// fragment corresponding to ELI concept expressions in description
+// logic: fitting, most-specific fitting via complete initial pieces, and
+// the failure cases from Examples 5.1 and 5.13.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"extremalcq"
+)
+
+func main() {
+	sch := extremalcq.MustSchema(
+		extremalcq.Rel{Name: "hasPart", Arity: 2},
+		extremalcq.Rel{Name: "Engine", Arity: 1},
+		extremalcq.Rel{Name: "Electric", Arity: 1},
+	)
+
+	// A tiny product knowledge base.
+	kb, err := extremalcq.ParseFacts(sch, `
+		hasPart(car1, eng1).  Engine(eng1). Electric(eng1)
+		hasPart(car2, eng2).  Engine(eng2)
+		hasPart(bike1, frame1)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	E, err := extremalcq.NewExamples(sch, 1,
+		[]extremalcq.Example{extremalcq.NewExample(kb, "car1")},
+		[]extremalcq.Example{
+			extremalcq.NewExample(kb, "car2"),
+			extremalcq.NewExample(kb, "bike1"),
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ok, err := extremalcq.FittingTreeExists(E)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a fitting tree CQ (ELI concept) exists: %v\n", ok)
+
+	dag, _, err := extremalcq.ConstructFittingTree(E)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := dag.Expand(10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitting tree CQ (depth %d): %v\n", dag.Depth, q.Core())
+
+	// Most-specific tree CQ: the complete initial piece of the
+	// unraveling (Section 5.2).
+	ms, ok, err := extremalcq.ConstructMostSpecificTree(E, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("most-specific fitting tree CQ: %v\n\n", ms.Core())
+	} else {
+		fmt.Println("no most-specific fitting tree CQ exists")
+	}
+
+	// Example 5.13: with a reflexive positive example, fittings exist at
+	// every depth but no most-specific one.
+	loopKB, err := extremalcq.ParseFacts(sch, "hasPart(w, w)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	Eloop, err := extremalcq.NewExamples(sch, 1,
+		[]extremalcq.Example{extremalcq.NewExample(loopKB, "w")}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	okLoop, err := extremalcq.MostSpecificTreeExists(Eloop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Example 5.13 (reflexive positive): most-specific tree CQ exists: %v\n", okLoop)
+
+	// Example 5.1: no fitting tree CQ although the canonical CQ avoids
+	// the negative example homomorphically.
+	i51, _ := extremalcq.ParseFacts(sch, "hasPart(a,a)")
+	j51, _ := extremalcq.ParseFacts(sch, "hasPart(a,b). hasPart(b,a)")
+	E51, err := extremalcq.NewExamples(sch, 1,
+		[]extremalcq.Example{extremalcq.NewExample(i51, "a")},
+		[]extremalcq.Example{extremalcq.NewExample(j51, "a")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok51, err := extremalcq.FittingTreeExists(E51)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Example 5.1: fitting tree CQ exists: %v (simulation, not homomorphism, decides)\n", ok51)
+}

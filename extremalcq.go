@@ -1,0 +1,207 @@
+// Package extremalcq is a Go implementation of "Extremal Fitting
+// Problems for Conjunctive Queries" (ten Cate, Dalmau, Funk, Lutz;
+// PODS 2023, arXiv:2206.05080).
+//
+// Given a collection of labeled data examples E = (E+, E-), a query q
+// *fits* E if every positive example is an answer and no negative
+// example is. This package constructs and verifies fitting conjunctive
+// queries (CQs), unions of conjunctive queries (UCQs) and tree CQs, in
+// all the extremal flavors the paper studies:
+//
+//   - arbitrary fittings (Section 3.1),
+//   - most-specific fittings — the direct product of the positive
+//     examples (Section 3.2),
+//   - weakly most-general fittings — characterized by frontiers in the
+//     homomorphism pre-order (Section 3.3),
+//   - bases of most-general fittings — characterized by relativized
+//     homomorphism dualities (Section 3.3),
+//   - unique fittings (Section 3.4),
+//
+// plus the UCQ variants of Section 4 and the tree-CQ variants
+// (simulations, unravelings, complete initial pieces) of Section 5.
+//
+// The facade re-exports the public surface of the internal packages:
+//
+//	schema    — relational schemas
+//	instance  — instances, pointed instances, products, disjoint unions
+//	hom       — homomorphisms, cores, arc consistency
+//	cq, ucq   — (unions of) conjunctive queries
+//	frontier  — frontiers (Def 3.21/3.22)
+//	duality   — homomorphism dualities (Thm 2.16, Prop 4.7)
+//	nta       — bottom-up tree automata (Section 2.3)
+//	cqtree    — tree encodings of c-acyclic CQs + automata (Section 3.3)
+//	fitting   — CQ fitting problems (Section 3)
+//	ucqfit    — UCQ fitting problems (Section 4)
+//	tree      — tree-CQ fitting problems (Section 5)
+//
+// Quickstart:
+//
+//	sch := extremalcq.MustSchema(extremalcq.Rel{Name: "R", Arity: 2})
+//	pos, _ := extremalcq.ParseExample(sch, "R(a,b). R(b,c) @ a")
+//	neg, _ := extremalcq.ParseExample(sch, "R(a,a) @ a")
+//	E, _ := extremalcq.NewExamples(sch, 1, []extremalcq.Example{pos}, []extremalcq.Example{neg})
+//	q, ok, _ := extremalcq.ConstructFitting(E)
+//	if ok { fmt.Println(q) } // a fitting CQ
+package extremalcq
+
+import (
+	"extremalcq/internal/cq"
+	"extremalcq/internal/duality"
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/frontier"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+	"extremalcq/internal/tree"
+	"extremalcq/internal/ucqfit"
+)
+
+// Re-exported core types.
+type (
+	// Schema is a relational schema.
+	Schema = schema.Schema
+	// Rel declares a relation symbol with its arity.
+	Rel = schema.Relation
+	// Value is an active-domain element.
+	Value = instance.Value
+	// Fact is an atomic fact R(a1..an).
+	Fact = instance.Fact
+	// Instance is a finite set of facts.
+	Instance = instance.Instance
+	// Example is a pointed instance (I, ā); data examples are pointed
+	// instances whose distinguished elements occur in facts.
+	Example = instance.Pointed
+	// CQ is a conjunctive query.
+	CQ = cq.CQ
+	// UCQ is a union of conjunctive queries.
+	UCQ = ucqfit.UCQ
+	// Examples is a collection E = (E+, E-) of labeled examples.
+	Examples = fitting.Examples
+	// SearchOpts bounds the synthesis searches.
+	SearchOpts = fitting.SearchOpts
+	// TreeDAG is a succinct DAG representation of a fitting tree CQ.
+	TreeDAG = tree.DAG
+)
+
+// Schema construction.
+var (
+	NewSchema  = schema.New
+	MustSchema = schema.MustNew
+)
+
+// Instances and examples.
+var (
+	NewInstance  = instance.New
+	ParseFacts   = instance.ParseFacts
+	ParseExample = instance.ParsePointed
+	NewExample   = instance.NewPointed
+	// Product computes the direct product of two pointed instances
+	// (greatest lower bound, Prop 2.7).
+	Product = instance.Product
+	// ProductAll folds Product over a list; the empty product is the
+	// single-element all-facts instance.
+	ProductAll = instance.ProductAll
+	// DisjointUnion computes the disjoint union identifying the
+	// distinguished tuples (least upper bound, Prop 2.2).
+	DisjointUnion = instance.DisjointUnion
+	// Components splits a pointed instance into its connected components
+	// (Example 2.3 semantics).
+	Components = instance.Components
+	// CAcyclic tests c-acyclicity (Def 2.10).
+	CAcyclic = instance.CAcyclic
+)
+
+// Homomorphisms and cores.
+var (
+	// HomExists tests for a homomorphism between pointed instances.
+	HomExists = hom.Exists
+	// HomEquivalent tests homomorphic equivalence.
+	HomEquivalent = hom.Equivalent
+	// Core computes the core of a pointed instance.
+	Core = hom.Core
+	// ArcConsistent runs the arc-consistency procedure of Prop 4.7.
+	ArcConsistent = hom.ArcConsistent
+	// Simulates tests e1 ⪯ e2 (Section 5 simulations).
+	Simulates = tree.Simulates
+)
+
+// Queries.
+var (
+	ParseCQ        = cq.Parse
+	NewCQ          = cq.New
+	CQFromExample  = cq.FromExample
+	ParseUCQ       = ucqfit.Parse
+	NewUCQ         = ucqfit.New
+	IsTreeCQ       = tree.IsTreeCQ
+	UnravelExample = tree.Unravel
+)
+
+// Frontiers and dualities.
+var (
+	// Frontier computes a frontier for a c-acyclic UNP pointed instance
+	// (Def 3.21/3.22).
+	Frontier = frontier.ForPointed
+	// HasFrontier tests frontier existence (Thm 2.12).
+	HasFrontier = frontier.HasFrontier
+	// DualOf computes D with ({e}, D) a homomorphism duality
+	// (Thm 2.16(2)), for c-acyclic e over binary schemas.
+	DualOf = duality.DualOf
+	// IsHomDuality decides the HomDual problem (Section 4).
+	IsHomDuality = duality.IsHomDuality
+	// SingleDualityExists runs the dismantling existence test
+	// (Thm 3.30 sketch).
+	SingleDualityExists = duality.SingleDualityExists
+	// GHRV returns the path/tournament duality of Example 2.14.
+	GHRV = duality.GHRV
+)
+
+// Labeled example collections.
+var (
+	NewExamples          = fitting.NewExamples
+	DefinabilityExamples = fitting.DefinabilityExamples
+)
+
+// CQ fitting (Section 3).
+var (
+	VerifyFitting           = fitting.Verify
+	FittingExists           = fitting.Exists
+	ConstructFitting        = fitting.Construct
+	VerifyMostSpecific      = fitting.VerifyMostSpecific
+	ConstructMostSpecific   = fitting.ConstructMostSpecific
+	VerifyWeaklyMostGeneral = fitting.VerifyWeaklyMostGeneral
+	SearchWeaklyMostGeneral = fitting.SearchWeaklyMostGeneral
+	VerifyBasis             = fitting.VerifyBasis
+	SearchBasis             = fitting.SearchBasis
+	VerifyUnique            = fitting.VerifyUnique
+	UniqueFittingExists     = fitting.ExistsUnique
+	DefaultSearch           = fitting.DefaultSearch
+)
+
+// UCQ fitting (Section 4).
+var (
+	VerifyFittingUCQ      = ucqfit.Verify
+	FittingUCQExists      = ucqfit.Exists
+	ConstructFittingUCQ   = ucqfit.Construct
+	VerifyMostSpecificUCQ = ucqfit.VerifyMostSpecific
+	VerifyMostGeneralUCQ  = ucqfit.VerifyMostGeneral
+	MostGeneralUCQExists  = ucqfit.ExistsMostGeneral
+	SearchMostGeneralUCQ  = ucqfit.SearchMostGeneral
+	VerifyUniqueUCQ       = ucqfit.VerifyUnique
+	UniqueUCQExists       = ucqfit.ExistsUnique
+)
+
+// Tree-CQ fitting (Section 5).
+var (
+	VerifyFittingTree           = tree.Verify
+	FittingTreeExists           = tree.Exists
+	ConstructFittingTree        = tree.Construct
+	VerifyMostSpecificTree      = tree.VerifyMostSpecific
+	MostSpecificTreeExists      = tree.ExistsMostSpecific
+	ConstructMostSpecificTree   = tree.ConstructMostSpecific
+	VerifyWeaklyMostGeneralTree = tree.VerifyWeaklyMostGeneral
+	SearchWeaklyMostGeneralTree = tree.SearchWeaklyMostGeneral
+	VerifyUniqueTree            = tree.VerifyUnique
+	UniqueTreeExists            = tree.ExistsUnique
+	VerifyBasisTree             = tree.VerifyBasis
+	SearchBasisTree             = tree.SearchBasis
+)

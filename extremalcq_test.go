@@ -1,0 +1,141 @@
+package extremalcq
+
+import (
+	"testing"
+
+	"extremalcq/internal/genex"
+)
+
+// End-to-end through the public facade: the quickstart flow on Figure
+// 1's EmpInfo data.
+func TestFacadeQuickstart(t *testing.T) {
+	sch := MustSchema(
+		Rel{Name: "inDept", Arity: 2},
+		Rel{Name: "managedBy", Arity: 2},
+		Rel{Name: "isGauss", Arity: 1},
+	)
+	db, err := ParseFacts(sch, `
+		inDept(hilbert, math).     managedBy(hilbert, gauss)
+		inDept(turing, cs).        managedBy(turing, vonneumann)
+		inDept(einstein, physics). managedBy(einstein, gauss)
+		isGauss(gauss)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	E, err := NewExamples(sch, 1,
+		[]Example{NewExample(db, "hilbert"), NewExample(db, "einstein")},
+		[]Example{NewExample(db, "turing")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := ParseCQ(sch, "q(x) :- managedBy(x,y), isGauss(y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyFitting(q1, E) {
+		t.Error("the paper's q1 analog must fit Example 1.1")
+	}
+	ms, ok, err := ConstructMostSpecific(E)
+	if err != nil || !ok {
+		t.Fatalf("most-specific fitting must exist: %v %v", ok, err)
+	}
+	if !VerifyMostSpecific(ms, E) {
+		t.Error("constructed most-specific must verify")
+	}
+	if !ms.ContainedIn(q1) {
+		t.Error("the most-specific fitting is contained in every fitting")
+	}
+	ans := q1.Core().Evaluate(db)
+	if len(ans) != 2 {
+		t.Errorf("q1 returns %v, want hilbert and einstein", ans)
+	}
+	u, ok, err := ConstructFittingUCQ(E)
+	if err != nil || !ok {
+		t.Fatal("fitting UCQ must exist")
+	}
+	if !VerifyFittingUCQ(u, E) {
+		t.Error("canonical UCQ must fit")
+	}
+}
+
+// The facade's order-theoretic helpers compose: product, union, core,
+// simulation, frontier, dual.
+func TestFacadeOrderTheory(t *testing.T) {
+	c3 := genex.DirectedCycle(3)
+	c2 := genex.DirectedCycle(2)
+	p, err := Product(c3, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HomExists(p, c3) || !HomExists(p, c2) {
+		t.Error("product projects both ways")
+	}
+	u, err := DisjointUnion(c3, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HomExists(c3, u) || !HomExists(c2, u) {
+		t.Error("union embeds both ways")
+	}
+	core := Core(u)
+	if !HomEquivalent(core, u) {
+		t.Error("core is equivalent")
+	}
+	if !CAcyclic(genex.DirectedPath(3)) || CAcyclic(c3) {
+		t.Error("c-acyclicity misreported")
+	}
+	if !ArcConsistent(c3, c2) {
+		t.Error("AC(C3->C2) holds (tree implication)")
+	}
+	if _, err := Frontier(genex.DirectedPath(2)); err != nil {
+		t.Errorf("frontier of a path: %v", err)
+	}
+	if _, err := DualOf(genex.DirectedPath(2)); err != nil {
+		t.Errorf("dual of a path: %v", err)
+	}
+	F, D := GHRV(3)
+	ok, err := IsHomDuality(F, D)
+	if err != nil || !ok {
+		t.Error("GHRV duality must verify through the facade")
+	}
+}
+
+// Tree-CQ flow through the facade.
+func TestFacadeTree(t *testing.T) {
+	sch := MustSchema(Rel{Name: "R", Arity: 2}, Rel{Name: "P", Arity: 1})
+	pos, err := ParseExample(sch, "R(a,b). P(b) @ a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := ParseExample(sch, "R(a,b) @ a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	E, err := NewExamples(sch, 1, []Example{pos}, []Example{neg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := FittingTreeExists(E)
+	if err != nil || !ok {
+		t.Fatalf("tree fitting must exist: %v %v", ok, err)
+	}
+	dag, _, err := ConstructFittingTree(E)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := dag.Expand(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsTreeCQ(q) {
+		t.Error("witness must be a tree CQ")
+	}
+	fits, err := VerifyFittingTree(q, E)
+	if err != nil || !fits {
+		t.Error("witness must fit")
+	}
+	if !Simulates(q.Example(), pos) || Simulates(q.Example(), neg) {
+		t.Error("simulation checks must agree with fitting")
+	}
+}

@@ -1,0 +1,279 @@
+// Package cq implements conjunctive queries (Section 2.1): safety
+// validation, the canonical example / canonical CQ correspondence,
+// Chandra–Merlin evaluation and containment, degree, connectedness and
+// c-acyclicity.
+//
+// A k-ary CQ q(x̄) :- α1 ∧ ... ∧ αn is represented by its canonical
+// example: the pointed instance whose active domain is the variable set
+// and whose facts are the conjuncts, with the answer tuple distinguished.
+// This makes the isomorphism between the containment pre-order and the
+// homomorphism pre-order (Section 2.2) literal in the code: q ⊆ q' iff
+// e_{q'} → e_q.
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+// Var is a CQ variable. Variables share the value namespace of instances
+// so that canonical examples and canonical CQs are identities.
+type Var = instance.Value
+
+// Atom is an atomic conjunct R(x1,...,xn).
+type Atom struct {
+	Rel  string
+	Args []Var
+}
+
+// NewAtom builds an atom.
+func NewAtom(rel string, args ...Var) Atom {
+	return Atom{Rel: rel, Args: append([]Var(nil), args...)}
+}
+
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, v := range a.Args {
+		parts[i] = string(v)
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// CQ is a conjunctive query. It is immutable after construction.
+type CQ struct {
+	ex instance.Pointed // canonical example
+}
+
+// New builds a CQ over sch with the given answer variables and atoms. It
+// enforces the safety condition: every answer variable must occur in at
+// least one atom.
+func New(sch *schema.Schema, answer []Var, atoms []Atom) (*CQ, error) {
+	in := instance.New(sch)
+	for _, a := range atoms {
+		if err := in.AddFact(a.Rel, a.Args...); err != nil {
+			return nil, fmt.Errorf("cq: %v", err)
+		}
+	}
+	for _, x := range answer {
+		if !in.InDom(x) {
+			return nil, fmt.Errorf("cq: unsafe query: answer variable %s occurs in no atom", x)
+		}
+	}
+	return &CQ{ex: instance.NewPointed(in, answer...)}, nil
+}
+
+// MustNew is New panicking on error, for fixtures and tests.
+func MustNew(sch *schema.Schema, answer []Var, atoms []Atom) *CQ {
+	q, err := New(sch, answer, atoms)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// FromExample returns the canonical CQ of a data example (Section 2.1).
+// The data example's values become the variables. It fails if e is not a
+// data example (some distinguished element outside the active domain
+// would make the query unsafe) or if the instance is empty for k=0
+// queries with no atoms... (an empty Boolean CQ is permitted: it is the
+// trivially true query with zero conjuncts only if it has no answer
+// variables; we reject it to stay within the paper's definition where
+// canonical CQs arise from data examples, which are sets of facts).
+func FromExample(e instance.Pointed) (*CQ, error) {
+	if !e.IsDataExample() {
+		return nil, fmt.Errorf("cq: not a data example: distinguished element outside the active domain")
+	}
+	return &CQ{ex: e.Clone()}, nil
+}
+
+// MustFromExample panics on error.
+func MustFromExample(e instance.Pointed) *CQ {
+	q, err := FromExample(e)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// CanonicalExample returns the canonical example e_q (a copy).
+func (q *CQ) CanonicalExample() instance.Pointed { return q.ex.Clone() }
+
+// Example returns the canonical example without copying; callers must
+// not mutate it.
+func (q *CQ) Example() instance.Pointed { return q.ex }
+
+// Schema returns the query's schema.
+func (q *CQ) Schema() *schema.Schema { return q.ex.I.Schema() }
+
+// Arity returns k.
+func (q *CQ) Arity() int { return q.ex.Arity() }
+
+// Answer returns the answer variables.
+func (q *CQ) Answer() []Var { return append([]Var(nil), q.ex.Tuple...) }
+
+// Atoms returns the conjuncts in deterministic order.
+func (q *CQ) Atoms() []Atom {
+	fs := q.ex.I.Facts()
+	out := make([]Atom, len(fs))
+	for i, f := range fs {
+		out[i] = Atom{Rel: f.Rel, Args: append([]Var(nil), f.Args...)}
+	}
+	return out
+}
+
+// NumAtoms returns the number of conjuncts.
+func (q *CQ) NumAtoms() int { return q.ex.I.Size() }
+
+// NumVars returns the number of variables.
+func (q *CQ) NumVars() int { return q.ex.I.DomSize() }
+
+// Size returns the size measure used in Section 3.3: existential
+// variables plus conjuncts.
+func (q *CQ) Size() int {
+	ans := make(map[Var]bool)
+	for _, x := range q.ex.Tuple {
+		ans[x] = true
+	}
+	return q.NumVars() - len(ans) + q.NumAtoms()
+}
+
+// Vars returns all variables, sorted.
+func (q *CQ) Vars() []Var { return q.ex.I.Dom() }
+
+// ExistentialVars returns the non-answer variables, sorted.
+func (q *CQ) ExistentialVars() []Var {
+	ans := make(map[Var]bool)
+	for _, x := range q.ex.Tuple {
+		ans[x] = true
+	}
+	var out []Var
+	for _, v := range q.ex.I.Dom() {
+		if !ans[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// HasUNP reports the Unique Names Property: no repeated answer variables.
+func (q *CQ) HasUNP() bool { return q.ex.HasUNP() }
+
+// Degree returns the degree of the CQ: the largest number of occurrences
+// of a variable in the body (Section 2.1).
+func (q *CQ) Degree() int { return instance.IncidenceDegree(q.ex) }
+
+// Connected reports whether the canonical example is connected.
+func (q *CQ) Connected() bool { return instance.Connected(q.ex) }
+
+// Components returns the connected components of the canonical example.
+func (q *CQ) Components() []instance.Pointed { return instance.Components(q.ex) }
+
+// IncidenceConnected reports whether the incidence graph of the query is
+// connected, i.e. facts are linked through shared variables including
+// the answer variables. This is the connectivity notion used for tree
+// CQs in Section 5 (a tree CQ's incidence graph is acyclic and
+// connected), which differs from Components/Connected above where
+// distinguished elements do not connect facts (Example 2.3).
+func (q *CQ) IncidenceConnected() bool {
+	// Reuse Components with an empty distinguished tuple: then facts
+	// connect through every shared value.
+	unpointed := instance.NewPointed(q.ex.I)
+	return len(instance.Components(unpointed)) <= 1
+}
+
+// CAcyclic reports whether the CQ is c-acyclic (Definition 2.10).
+func (q *CQ) CAcyclic() bool { return instance.CAcyclic(q.ex) }
+
+// Core returns the core of the CQ (canonical CQ of the core of its
+// canonical example). The result is equivalent to q.
+func (q *CQ) Core() *CQ {
+	return &CQ{ex: hom.Core(q.ex)}
+}
+
+// HomTo reports q → e: a homomorphism from the canonical example of q to
+// the data example e. By Chandra–Merlin this says that e's tuple is an
+// answer to q on e's instance.
+func (q *CQ) HomTo(e instance.Pointed) bool { return hom.Exists(q.ex, e) }
+
+// Fits is a convenience alias: e is a positive example for q.
+func (q *CQ) FitsPositive(e instance.Pointed) bool { return q.HomTo(e) }
+
+// FitsNegative reports that e is a negative example for q.
+func (q *CQ) FitsNegative(e instance.Pointed) bool { return !q.HomTo(e) }
+
+// ContainedIn reports q ⊆ q2 (Chandra–Merlin: e_{q2} → e_q).
+func (q *CQ) ContainedIn(q2 *CQ) bool { return hom.Exists(q2.ex, q.ex) }
+
+// EquivalentTo reports q ≡ q2.
+func (q *CQ) EquivalentTo(q2 *CQ) bool {
+	return q.ContainedIn(q2) && q2.ContainedIn(q)
+}
+
+// StrictlyContainedIn reports q ⊊ q2.
+func (q *CQ) StrictlyContainedIn(q2 *CQ) bool {
+	return q.ContainedIn(q2) && !q2.ContainedIn(q)
+}
+
+// Evaluate returns q(I): all answer tuples over adom(I), sorted. For a
+// Boolean query the result is a single empty tuple if I satisfies q, and
+// nil otherwise. By Chandra–Merlin, ā ∈ q(I) iff the canonical example
+// maps homomorphically to (I, ā); the evaluation runs one homomorphism
+// check per candidate tuple rather than enumerating all homomorphisms
+// (whose number can be exponential even when the answer set is small).
+func (q *CQ) Evaluate(in *instance.Instance) [][]instance.Value {
+	if !q.Schema().Equal(in.Schema()) {
+		return nil
+	}
+	k := q.Arity()
+	if k == 0 {
+		if hom.Exists(q.ex, instance.NewPointed(in)) {
+			return [][]instance.Value{{}}
+		}
+		return nil
+	}
+	dom := in.Dom()
+	var out [][]instance.Value
+	tuple := make([]instance.Value, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			if hom.Exists(q.ex, instance.NewPointed(in, tuple...)) {
+				out = append(out, append([]instance.Value(nil), tuple...))
+			}
+			return
+		}
+		for _, v := range dom {
+			tuple[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.Slice(out, func(i, j int) bool {
+		for x := range out[i] {
+			if out[i][x] != out[j][x] {
+				return out[i][x] < out[j][x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// String renders the query as "q(x̄) :- atom ∧ atom ∧ ...".
+func (q *CQ) String() string {
+	heads := make([]string, len(q.ex.Tuple))
+	for i, x := range q.ex.Tuple {
+		heads[i] = string(x)
+	}
+	atoms := q.Atoms()
+	parts := make([]string, len(atoms))
+	for i, a := range atoms {
+		parts[i] = a.String()
+	}
+	return "q(" + strings.Join(heads, ",") + ") :- " + strings.Join(parts, " ∧ ")
+}

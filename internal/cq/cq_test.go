@@ -1,0 +1,279 @@
+package cq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+var binR = genex.SchemaR
+
+var rps = schema.MustNew(
+	schema.Relation{Name: "R", Arity: 2},
+	schema.Relation{Name: "S", Arity: 2},
+	schema.Relation{Name: "P", Arity: 1},
+)
+
+func TestNewAndSafety(t *testing.T) {
+	if _, err := New(binR, []Var{"x"}, []Atom{NewAtom("R", "x", "y")}); err != nil {
+		t.Fatalf("valid CQ rejected: %v", err)
+	}
+	if _, err := New(binR, []Var{"x"}, []Atom{NewAtom("R", "y", "z")}); err == nil {
+		t.Error("unsafe CQ accepted")
+	}
+	if _, err := New(binR, nil, []Atom{NewAtom("R", "x")}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := New(binR, nil, []Atom{NewAtom("Q", "x", "y")}); err == nil {
+		t.Error("unknown relation accepted")
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	q := MustParse(rps, "q(x) :- R(x,z), S(z,y), P(y)")
+	if q.Arity() != 1 || q.NumAtoms() != 3 || q.NumVars() != 3 {
+		t.Errorf("parsed shape wrong: %v", q)
+	}
+	s := q.String()
+	if !strings.Contains(s, "R(x,z)") || !strings.HasPrefix(s, "q(x) :- ") {
+		t.Errorf("String = %q", s)
+	}
+	b := MustParse(binR, "q() :- R(x,y)")
+	if b.Arity() != 0 {
+		t.Error("Boolean query arity wrong")
+	}
+	if _, err := Parse(binR, "no separator"); err == nil {
+		t.Error("missing :- accepted")
+	}
+	if _, err := Parse(binR, "q(x) :- R(y,z)"); err == nil {
+		t.Error("unsafe parse accepted")
+	}
+	q2 := MustParse(binR, "q(x) <- R(x,y) ∧ R(y,x)")
+	if q2.NumAtoms() != 2 {
+		t.Error("∧ and <- syntax should parse")
+	}
+}
+
+// Canonical example / canonical CQ round trip.
+func TestCanonicalRoundTrip(t *testing.T) {
+	q := MustParse(rps, "q(x,y) :- R(x,z), P(z), S(z,y)")
+	e := q.CanonicalExample()
+	if !e.IsDataExample() {
+		t.Fatal("canonical example of a safe CQ is a data example")
+	}
+	q2, err := FromExample(e)
+	if err != nil {
+		t.Fatalf("FromExample: %v", err)
+	}
+	if !q.EquivalentTo(q2) {
+		t.Error("round trip should be equivalent")
+	}
+	if q2.NumAtoms() != q.NumAtoms() || q2.Arity() != q.Arity() {
+		t.Error("round trip changed shape")
+	}
+	// Non-data-example rejected.
+	bad := instance.NewPointed(instance.MustFromFacts(binR, instance.NewFact("R", "a", "b")), "z")
+	if _, err := FromExample(bad); err == nil {
+		t.Error("FromExample should reject non-data-examples")
+	}
+}
+
+// Example 1.1 style evaluation, plus Chandra–Merlin agreement.
+func TestEvaluate(t *testing.T) {
+	in := instance.MustFromFacts(binR,
+		instance.NewFact("R", "a", "b"),
+		instance.NewFact("R", "b", "c"),
+	)
+	q := MustParse(binR, "q(x) :- R(x,y)")
+	got := q.Evaluate(in)
+	if len(got) != 2 || got[0][0] != "a" || got[1][0] != "b" {
+		t.Errorf("q(I) = %v, want [a b]", got)
+	}
+	q2 := MustParse(binR, "q(x,y) :- R(x,z), R(z,y)")
+	got2 := q2.Evaluate(in)
+	if len(got2) != 1 || got2[0][0] != "a" || got2[0][1] != "c" {
+		t.Errorf("q2(I) = %v", got2)
+	}
+	// Boolean query.
+	qb := MustParse(binR, "q() :- R(x,y), R(y,z)")
+	if len(qb.Evaluate(in)) != 1 {
+		t.Error("Boolean query should hold")
+	}
+	qb2 := MustParse(binR, "q() :- R(x,x)")
+	if len(qb2.Evaluate(in)) != 0 {
+		t.Error("no loop in I")
+	}
+	// Chandra–Merlin: a ∈ q(I) iff hom from canonical example to (I,a).
+	for _, a := range in.Dom() {
+		inAnswers := false
+		for _, tup := range got {
+			if tup[0] == a {
+				inAnswers = true
+			}
+		}
+		if inAnswers != q.HomTo(instance.NewPointed(in, a)) {
+			t.Errorf("Chandra–Merlin disagreement at %v", a)
+		}
+	}
+}
+
+func TestEvaluateSchemaMismatch(t *testing.T) {
+	q := MustParse(binR, "q() :- R(x,y)")
+	other := instance.MustFromFacts(rps, instance.NewFact("P", "a"))
+	if q.Evaluate(other) != nil {
+		t.Error("schema mismatch should return nil")
+	}
+}
+
+func TestContainment(t *testing.T) {
+	qSpecific := MustParse(binR, "q(x) :- R(x,y), R(y,z)")
+	qGeneral := MustParse(binR, "q(x) :- R(x,y)")
+	if !qSpecific.ContainedIn(qGeneral) {
+		t.Error("2-step query is contained in 1-step query")
+	}
+	if qGeneral.ContainedIn(qSpecific) {
+		t.Error("containment should be strict")
+	}
+	if !qSpecific.StrictlyContainedIn(qGeneral) {
+		t.Error("StrictlyContainedIn failed")
+	}
+	// Equivalence with redundant atom.
+	qRed := MustParse(binR, "q(x) :- R(x,y), R(x,z)")
+	if !qRed.EquivalentTo(qGeneral) {
+		t.Error("redundant atom should not change semantics")
+	}
+}
+
+// Example 2.13: c-acyclicity of q1, q2, q3.
+func TestCAcyclicExample213(t *testing.T) {
+	rs := schema.MustNew(
+		schema.Relation{Name: "R", Arity: 2},
+		schema.Relation{Name: "S", Arity: 2},
+	)
+	q1 := MustParse(rs, "q(x) :- R(x,y), R(y,z)")
+	q2 := MustParse(rs, "q(x) :- R(x,x), S(u,v), S(v,w)")
+	q3 := MustParse(rs, "q(x) :- R(x,y), R(y,y)")
+	if !q1.CAcyclic() {
+		t.Error("q1 should be c-acyclic")
+	}
+	if !q2.CAcyclic() {
+		t.Error("q2 should be c-acyclic (loop on answer variable)")
+	}
+	if q3.CAcyclic() {
+		t.Error("q3 should not be c-acyclic")
+	}
+}
+
+func TestDegreeComponentsUNP(t *testing.T) {
+	q := MustParse(rps, "q(x) :- R(x,y), S(x,z), P(x)")
+	if q.Degree() != 3 {
+		t.Errorf("Degree = %d, want 3", q.Degree())
+	}
+	// Per Example 2.3, facts connect only through NON-distinguished
+	// values, so the three atoms sharing only the answer variable x form
+	// three components — even though the incidence graph is connected.
+	if q.Connected() || len(q.Components()) != 3 {
+		t.Errorf("q should have 3 components, got %d", len(q.Components()))
+	}
+	if !q.IncidenceConnected() {
+		t.Error("q's incidence graph is connected (Section 5 notion)")
+	}
+	q2 := MustParse(rps, "q(x) :- R(x,z), S(z,y), P(u)")
+	if q2.Connected() || len(q2.Components()) != 2 {
+		t.Error("q2 has two components")
+	}
+	if q2.IncidenceConnected() {
+		t.Error("q2's incidence graph is disconnected")
+	}
+	q3 := MustNew(binR, []Var{"x", "x"}, []Atom{NewAtom("R", "x", "y")})
+	if q3.HasUNP() {
+		t.Error("repeated answer variable: no UNP")
+	}
+	if !q.HasUNP() {
+		t.Error("q has UNP")
+	}
+}
+
+func TestExistentialVarsAndSize(t *testing.T) {
+	q := MustParse(binR, "q(x) :- R(x,y), R(y,z)")
+	ev := q.ExistentialVars()
+	if len(ev) != 2 {
+		t.Errorf("ExistentialVars = %v", ev)
+	}
+	// Size = existential vars + atoms = 2 + 2.
+	if q.Size() != 4 {
+		t.Errorf("Size = %d, want 4", q.Size())
+	}
+}
+
+func TestCore(t *testing.T) {
+	qRed := MustParse(binR, "q(x) :- R(x,y), R(x,z)")
+	c := qRed.Core()
+	if c.NumAtoms() != 1 {
+		t.Errorf("core atoms = %d, want 1", c.NumAtoms())
+	}
+	if !c.EquivalentTo(qRed) {
+		t.Error("core must be equivalent")
+	}
+}
+
+// Property: containment agrees with evaluation on random instances
+// (soundness of Chandra–Merlin both ways on samples).
+func TestContainmentVsEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	queries := []*CQ{
+		MustParse(binR, "q(x) :- R(x,y)"),
+		MustParse(binR, "q(x) :- R(x,y), R(y,z)"),
+		MustParse(binR, "q(x) :- R(x,x)"),
+		MustParse(binR, "q(x) :- R(x,y), R(y,x)"),
+		MustParse(binR, "q(x) :- R(y,x)"),
+	}
+	for i := 0; i < 25; i++ {
+		in := genex.RandomInstance(rng, binR, 3, 4)
+		for _, qa := range queries {
+			for _, qb := range queries {
+				if qa.ContainedIn(qb) {
+					ansA := tupleSet(qa.Evaluate(in))
+					for tup := range tupleSet(qb.Evaluate(in)) {
+						_ = tup
+					}
+					bSet := tupleSet(qb.Evaluate(in))
+					for tup := range ansA {
+						if !bSet[tup] {
+							t.Fatalf("containment violated on %v: %v ⊆ %v but tuple %q only in the smaller",
+								in, qa, qb, tup)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func tupleSet(ts [][]instance.Value) map[string]bool {
+	out := make(map[string]bool, len(ts))
+	for _, tup := range ts {
+		var b strings.Builder
+		for _, v := range tup {
+			b.WriteString(string(v))
+			b.WriteByte(0x1f)
+		}
+		out[b.String()] = true
+	}
+	return out
+}
+
+// Property: q ⊆ q' iff e_{q'} → e_q (definitionally true here, but check
+// via an independent hom call on clones).
+func TestContainmentIsHom(t *testing.T) {
+	q1 := MustParse(binR, "q(x) :- R(x,y), R(y,z)")
+	q2 := MustParse(binR, "q(x) :- R(x,y)")
+	if q1.ContainedIn(q2) != hom.Exists(q2.CanonicalExample(), q1.CanonicalExample()) {
+		t.Error("containment must equal canonical-example homomorphism")
+	}
+}

@@ -1,0 +1,74 @@
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+// Parse parses a CQ from the syntax
+//
+//	q(x,y) :- R(x,z), P(z)
+//
+// The head lists the answer variables (possibly empty: "q() :- ..." for
+// Boolean queries); the body atoms may be separated by ',' or '∧'.
+func Parse(sch *schema.Schema, s string) (*CQ, error) {
+	head, body, ok := strings.Cut(s, ":-")
+	if !ok {
+		// also accept "<-" as separator
+		head, body, ok = strings.Cut(s, "<-")
+		if !ok {
+			return nil, fmt.Errorf("cq: missing ':-' in %q", s)
+		}
+	}
+	answer, err := parseHead(head)
+	if err != nil {
+		return nil, err
+	}
+	body = strings.ReplaceAll(body, "∧", ",")
+	in, err := instance.ParseFacts(sch, body)
+	if err != nil {
+		return nil, fmt.Errorf("cq: %v", err)
+	}
+	var atoms []Atom
+	for _, f := range in.Facts() {
+		atoms = append(atoms, Atom{Rel: f.Rel, Args: f.Args})
+	}
+	return New(sch, answer, atoms)
+}
+
+// MustParse panics on error; for fixtures and tests.
+func MustParse(sch *schema.Schema, s string) *CQ {
+	q, err := Parse(sch, s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func parseHead(head string) ([]Var, error) {
+	head = strings.TrimSpace(head)
+	open := strings.IndexByte(head, '(')
+	if open < 0 || !strings.HasSuffix(head, ")") {
+		return nil, fmt.Errorf("cq: malformed head %q", head)
+	}
+	inner := strings.TrimSpace(head[open+1 : len(head)-1])
+	if inner == "" {
+		return nil, nil
+	}
+	var answer []Var
+	for _, part := range strings.Split(inner, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("cq: empty answer variable in %q", head)
+		}
+		v := Var(part)
+		if err := instance.CheckValue(v); err != nil {
+			return nil, err
+		}
+		answer = append(answer, v)
+	}
+	return answer, nil
+}

@@ -1,0 +1,263 @@
+package cqtree
+
+import (
+	"fmt"
+	"strings"
+
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/nta"
+	"extremalcq/internal/schema"
+)
+
+// ProperAutomaton builds 𝔄_proper (Lemma 3.18): the d-ary NTA accepting
+// exactly the proper Σ-labeled trees for the schema and arity k,
+// including condition (6) (every answer index occurs), which is tracked
+// with subset masks in the states.
+func ProperAutomaton(sch *schema.Schema, k, d int) *nta.NTA {
+	alphabet := Alphabet(sch, k)
+	nMasks := 1 << k
+	const kinds = 4 // 0 root, 1 rootfact, 2 exvar, 3 fact
+	state := func(kind, mask int) int { return kind*nMasks + mask }
+	a := nta.New(d, alphabet, kinds*nMasks)
+	a.Final[state(0, nMasks-1)] = true
+
+	seen := map[string]bool{}
+	add := func(children []int, sym nta.Symbol, target int) {
+		key := fmt.Sprintf("%v|%s|%d", children, sym, target)
+		if !seen[key] {
+			seen[key] = true
+			a.AddTransition(children, sym, target)
+		}
+	}
+
+	// All packed mask-vectors of a given length.
+	var maskVectors func(length int) [][]int
+	maskVectors = func(length int) [][]int {
+		if length == 0 {
+			return [][]int{nil}
+		}
+		var out [][]int
+		for _, rest := range maskVectors(length - 1) {
+			for m := 0; m < nMasks; m++ {
+				out = append(out, append([]int{m}, rest...))
+			}
+		}
+		return out
+	}
+
+	// Root: packed non-empty sequence of rootfact children (conditions
+	// 1, 2, 4); final only with full mask (condition 6).
+	for j := 1; j <= d; j++ {
+		for _, ms := range maskVectors(j) {
+			union := 0
+			children := make([]int, j)
+			for i, m := range ms {
+				union |= m
+				children[i] = state(1, m)
+			}
+			add(children, NuSymbol, state(0, union))
+		}
+	}
+	// Exvar nodes: packed sequences of fact children (condition 4),
+	// possibly empty.
+	for j := 0; j <= d; j++ {
+		for _, ms := range maskVectors(j) {
+			union := 0
+			children := make([]int, j)
+			for i, m := range ms {
+				union |= m
+				children[i] = state(3, m)
+			}
+			add(children, NuSymbol, state(2, union))
+		}
+	}
+	// Fact symbols (conditions 2, 3, 5).
+	for _, sym := range alphabet {
+		rel, dirs, ok := parseFactSymbol(sym)
+		if !ok {
+			continue
+		}
+		_ = rel
+		ups := 0
+		ansMask := 0
+		var downPos []int
+		for i, dir := range dirs {
+			switch {
+			case dir == DirUp:
+				ups++
+			case dir == DirDown:
+				downPos = append(downPos, i)
+			case strings.HasPrefix(dir, "ans"):
+				var idx int
+				fmt.Sscanf(dir, "ans%d", &idx)
+				ansMask |= 1 << (idx - 1)
+			}
+		}
+		if len(dirs) > d {
+			continue
+		}
+		// One mask choice per down position.
+		for _, ms := range maskVectors(len(downPos)) {
+			children := make([]int, d)
+			for i := range children {
+				children[i] = nta.Bot
+			}
+			union := ansMask
+			for i, m := range ms {
+				children[downPos[i]] = state(2, m)
+				union |= m
+			}
+			if ups == 0 {
+				add(children, sym, state(1, union))
+			}
+			if ups == 1 {
+				add(children, sym, state(3, union))
+			}
+			// ups > 1 violates condition (3): no transition.
+		}
+	}
+	return a
+}
+
+// FitsPositiveAutomaton builds 𝔄_e (Lemma 3.19): on proper trees T it
+// accepts iff q_T has a homomorphism into the data example e (i.e. e is
+// a positive example for q_T).
+func FitsPositiveAutomaton(e instance.Pointed, d int) *nta.NTA {
+	sch := e.I.Schema()
+	k := e.Arity()
+	alphabet := Alphabet(sch, k)
+	facts := e.I.Facts()
+	dom := e.I.Dom()
+	maxAr := sch.MaxArity()
+
+	// State layout.
+	const root = 0
+	rootFact := func(fi int) int { return 1 + fi }
+	factUp := func(fi, j int) int { return 1 + len(facts) + fi*maxAr + j }
+	valIdx := map[instance.Value]int{}
+	for i, b := range dom {
+		valIdx[b] = i
+	}
+	exvar := func(b instance.Value) int { return 1 + len(facts) + len(facts)*maxAr + valIdx[b] }
+	total := 1 + len(facts) + len(facts)*maxAr + len(dom)
+
+	a := nta.New(d, alphabet, total)
+	a.Final[root] = true
+	seen := map[string]bool{}
+	add := func(children []int, sym nta.Symbol, target int) {
+		key := fmt.Sprintf("%v|%s|%d", children, sym, target)
+		if !seen[key] {
+			seen[key] = true
+			a.AddTransition(children, sym, target)
+		}
+	}
+
+	// ν transitions to root: packed vectors of rootfact states.
+	var packed func(options []int, length int) [][]int
+	packed = func(options []int, length int) [][]int {
+		if length == 0 {
+			return [][]int{nil}
+		}
+		var out [][]int
+		for _, rest := range packed(options, length-1) {
+			for _, o := range options {
+				out = append(out, append([]int{o}, rest...))
+			}
+		}
+		return out
+	}
+	rootOpts := make([]int, len(facts))
+	for fi := range facts {
+		rootOpts[fi] = rootFact(fi)
+	}
+	for j := 0; j <= d; j++ {
+		for _, cs := range packed(rootOpts, j) {
+			add(cs, NuSymbol, root)
+		}
+	}
+	// ν transitions to exvar_b: packed vectors of fact states whose up
+	// position carries b.
+	for _, b := range dom {
+		var opts []int
+		for fi, f := range facts {
+			for j, arg := range f.Args {
+				if arg == b {
+					opts = append(opts, factUp(fi, j))
+				}
+			}
+		}
+		for j := 0; j <= d; j++ {
+			for _, cs := range packed(opts, j) {
+				add(cs, NuSymbol, exvar(b))
+			}
+		}
+	}
+	// Fact transitions: for each fact S(b̄) of e and each way to label
+	// its positions.
+	for fi, f := range facts {
+		n := len(f.Args)
+		// dirChoices[i] lists (direction, child state or Bot).
+		type choice struct {
+			dir   string
+			child int
+		}
+		choices := make([][]choice, n)
+		for i, b := range f.Args {
+			var cs []choice
+			for l, al := range e.Tuple {
+				if al == b {
+					cs = append(cs, choice{dir: fmt.Sprintf("ans%d", l+1), child: nta.Bot})
+				}
+			}
+			cs = append(cs, choice{dir: DirDown, child: exvar(b)})
+			choices[i] = cs
+		}
+		// Enumerate with an explicit up marker (exactly one up position
+		// for non-root facts, none for root facts; both targets emitted).
+		var walk func(i int, dirs []string, children []int, upAt int)
+		walk = func(i int, dirs []string, children []int, upAt int) {
+			if i == n {
+				cs := make([]int, d)
+				for x := range cs {
+					cs[x] = nta.Bot
+				}
+				copy(cs, children)
+				sym := FactSymbol(f.Rel, dirs)
+				if upAt == -1 {
+					add(cs, sym, rootFact(fi))
+				} else {
+					add(cs, sym, factUp(fi, upAt))
+				}
+				return
+			}
+			for _, c := range choices[i] {
+				walk(i+1, append(dirs, c.dir), append(children, c.child), upAt)
+			}
+			if upAt == -1 {
+				walk(i+1, append(dirs, DirUp), append(children, nta.Bot), i)
+			}
+		}
+		walk(0, nil, nil, -1)
+	}
+	return a
+}
+
+// FittingAutomaton builds 𝔄_E (Theorem 3.20): on proper trees it accepts
+// exactly the encodings of c-acyclic UNP CQs of degree <= d that fit E.
+// Complementation of the negative-example automata uses determinization
+// bounded by maxSubsets.
+func FittingAutomaton(e fitting.Examples, d, maxSubsets int) (*nta.NTA, error) {
+	autos := []*nta.NTA{ProperAutomaton(e.Schema, e.Arity, d)}
+	for _, p := range e.Pos {
+		autos = append(autos, FitsPositiveAutomaton(p, d))
+	}
+	for _, n := range e.Neg {
+		c, err := FitsPositiveAutomaton(n, d).Complement(maxSubsets)
+		if err != nil {
+			return nil, err
+		}
+		autos = append(autos, c)
+	}
+	return nta.IntersectAll(autos)
+}

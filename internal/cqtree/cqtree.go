@@ -1,0 +1,239 @@
+// Package cqtree implements the tree encodings of c-acyclic CQs from
+// Section 3.3 (Definitions 3.15/3.16, Figure 4) and the tree automata of
+// Lemmas 3.18/3.19 and Theorem 3.20: 𝔄_proper accepts exactly the proper
+// Σ-labeled d-ary trees; 𝔄_e accepts the encodings of CQs that fit a
+// data example e positively; and FittingAutomaton combines them (with
+// complementation for negative examples) into an automaton whose
+// language is the set of encodings of c-acyclic fitting CQs with the
+// unique names property and degree bound d.
+package cqtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/nta"
+	"extremalcq/internal/schema"
+)
+
+// NuSymbol labels variable nodes.
+const NuSymbol nta.Symbol = "ν"
+
+// Direction constants for fact-symbol positions.
+const (
+	DirUp   = "up"
+	DirDown = "down"
+)
+
+// FactSymbol encodes ⟨R, π⟩ as "R:dir1,dir2"; ans directions are
+// "ans1".."ansk".
+func FactSymbol(rel string, dirs []string) nta.Symbol {
+	return nta.Symbol(rel + ":" + strings.Join(dirs, ","))
+}
+
+// parseFactSymbol splits a fact symbol back into relation and
+// directions.
+func parseFactSymbol(s nta.Symbol) (string, []string, bool) {
+	rel, dirPart, ok := strings.Cut(string(s), ":")
+	if !ok {
+		return "", nil, false
+	}
+	return rel, strings.Split(dirPart, ","), true
+}
+
+// Alphabet returns Σ for the schema and arity k: ν plus every ⟨R, π⟩
+// with π over {up, down, ans1..ansk}.
+func Alphabet(sch *schema.Schema, k int) []nta.Symbol {
+	out := []nta.Symbol{NuSymbol}
+	dirs := []string{DirUp, DirDown}
+	for i := 1; i <= k; i++ {
+		dirs = append(dirs, fmt.Sprintf("ans%d", i))
+	}
+	for _, r := range sch.Relations() {
+		cur := make([]string, r.Arity)
+		var rec func(pos int)
+		rec = func(pos int) {
+			if pos == r.Arity {
+				out = append(out, FactSymbol(r.Name, cur))
+				return
+			}
+			for _, d := range dirs {
+				cur[pos] = d
+				rec(pos + 1)
+			}
+		}
+		rec(0)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Encoding and decoding (Definition 3.16, Figure 4)
+// ---------------------------------------------------------------------
+
+// Encode encodes a c-acyclic CQ with the UNP as a proper Σ-labeled
+// d-ary tree. Fails if the CQ violates the shape constraints of
+// Prop 3.17 (more than d components, an existential variable in more
+// than d+1 facts, no UNP, or not c-acyclic).
+func Encode(q *cq.CQ, d int) (*nta.Tree, error) {
+	if !q.HasUNP() {
+		return nil, fmt.Errorf("cqtree: query lacks the unique names property")
+	}
+	if !q.CAcyclic() {
+		return nil, fmt.Errorf("cqtree: query is not c-acyclic")
+	}
+	ex := q.Example()
+	ansIndex := map[instance.Value]int{}
+	for i, x := range ex.Tuple {
+		ansIndex[x] = i + 1
+	}
+	comps := instance.Components(ex)
+	if len(comps) > d {
+		return nil, fmt.Errorf("cqtree: %d components exceed arity %d", len(comps), d)
+	}
+
+	var encodeFact func(in *instance.Instance, f instance.Fact, parentVar instance.Value) (*nta.Tree, error)
+	var encodeVar func(in *instance.Instance, y instance.Value, parent instance.Fact) (*nta.Tree, error)
+
+	encodeFact = func(in *instance.Instance, f instance.Fact, parentVar instance.Value) (*nta.Tree, error) {
+		dirs := make([]string, len(f.Args))
+		children := make([]*nta.Tree, len(f.Args))
+		hasChild := false
+		for i, a := range f.Args {
+			switch {
+			case a == parentVar:
+				dirs[i] = DirUp
+			case ansIndex[a] > 0:
+				dirs[i] = fmt.Sprintf("ans%d", ansIndex[a])
+			default:
+				dirs[i] = DirDown
+				c, err := encodeVar(in, a, f)
+				if err != nil {
+					return nil, err
+				}
+				children[i] = c
+				hasChild = true
+			}
+		}
+		if !hasChild {
+			children = nil
+		}
+		return &nta.Tree{Sym: FactSymbol(f.Rel, dirs), Children: children}, nil
+	}
+
+	encodeVar = func(in *instance.Instance, y instance.Value, parent instance.Fact) (*nta.Tree, error) {
+		var children []*nta.Tree
+		for _, g := range in.FactsContaining(y) {
+			if g.Key() == parent.Key() {
+				continue
+			}
+			c, err := encodeFact(in, g, y)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, c)
+		}
+		if len(children) > d {
+			return nil, fmt.Errorf("cqtree: variable %s occurs in more than %d+1 facts", y, d)
+		}
+		return &nta.Tree{Sym: NuSymbol, Children: children}, nil
+	}
+
+	var rootChildren []*nta.Tree
+	for _, comp := range comps {
+		facts := comp.I.Facts()
+		root, err := encodeFact(comp.I, facts[0], "")
+		if err != nil {
+			return nil, err
+		}
+		rootChildren = append(rootChildren, root)
+	}
+	return &nta.Tree{Sym: NuSymbol, Children: rootChildren}, nil
+}
+
+// Decode rebuilds the CQ encoded by a proper tree (Definition 3.16).
+func Decode(t *nta.Tree, sch *schema.Schema, k int) (*cq.CQ, error) {
+	answer := make([]cq.Var, k)
+	for i := range answer {
+		answer[i] = cq.Var(fmt.Sprintf("x%d", i+1))
+	}
+	var atoms []cq.Atom
+	counter := 0
+	fresh := func() cq.Var {
+		counter++
+		return cq.Var(fmt.Sprintf("y%d", counter))
+	}
+
+	var walkFact func(n *nta.Tree, parentVar cq.Var) error
+	var walkVar func(n *nta.Tree) (cq.Var, error)
+
+	walkFact = func(n *nta.Tree, parentVar cq.Var) error {
+		rel, dirs, ok := parseFactSymbol(n.Sym)
+		if !ok {
+			return fmt.Errorf("cqtree: expected fact symbol, got %s", n.Sym)
+		}
+		args := make([]cq.Var, len(dirs))
+		for i, dir := range dirs {
+			switch {
+			case dir == DirUp:
+				if parentVar == "" {
+					return fmt.Errorf("cqtree: up direction at a root fact")
+				}
+				args[i] = parentVar
+			case dir == DirDown:
+				if i >= len(n.Children) || n.Children[i] == nil {
+					return fmt.Errorf("cqtree: down direction without child at %s", n.Sym)
+				}
+				v, err := walkVar(n.Children[i])
+				if err != nil {
+					return err
+				}
+				args[i] = v
+			case strings.HasPrefix(dir, "ans"):
+				var idx int
+				fmt.Sscanf(dir, "ans%d", &idx)
+				if idx < 1 || idx > k {
+					return fmt.Errorf("cqtree: answer index %d out of range", idx)
+				}
+				args[i] = answer[idx-1]
+			default:
+				return fmt.Errorf("cqtree: unknown direction %q", dir)
+			}
+		}
+		atoms = append(atoms, cq.NewAtom(rel, args...))
+		return nil
+	}
+
+	walkVar = func(n *nta.Tree) (cq.Var, error) {
+		if n.Sym != NuSymbol {
+			return "", fmt.Errorf("cqtree: expected ν node, got %s", n.Sym)
+		}
+		v := fresh()
+		for _, c := range n.Children {
+			if c == nil {
+				continue
+			}
+			if err := walkFact(c, v); err != nil {
+				return "", err
+			}
+		}
+		return v, nil
+	}
+
+	if t.Sym != NuSymbol {
+		return nil, fmt.Errorf("cqtree: root must be ν")
+	}
+	for _, c := range t.Children {
+		if c == nil {
+			continue
+		}
+		if err := walkFact(c, ""); err != nil {
+			return nil, err
+		}
+	}
+	return cq.New(sch, answer, atoms)
+}

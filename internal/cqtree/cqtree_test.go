@@ -1,0 +1,206 @@
+package cqtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/nta"
+	"extremalcq/internal/schema"
+)
+
+var binR = genex.SchemaR
+
+var rp = schema.MustNew(
+	schema.Relation{Name: "R", Arity: 2},
+	schema.Relation{Name: "P", Arity: 1},
+)
+
+// Figure 4's query: q(x1,x2) :- R(x1,z) ∧ R(z,z') ∧ R(x1,z') ∧ P(x2).
+func TestEncodeDecodeFigure4(t *testing.T) {
+	q := cq.MustParse(rp, "q(x1,x2) :- R(x1,z), R(z,zp), R(x1,zp), P(x2)")
+	if !q.CAcyclic() {
+		t.Fatal("Figure 4's query is c-acyclic (cycle through x1)")
+	}
+	tree, err := Encode(q, 3)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if tree.Sym != NuSymbol {
+		t.Error("root must be ν")
+	}
+	back, err := Decode(tree, rp, 2)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !back.EquivalentTo(q) {
+		t.Errorf("round trip not equivalent:\n got=%v\n want=%v", back, q)
+	}
+	// The encoding is accepted by the proper automaton.
+	proper := ProperAutomaton(rp, 2, 3)
+	if !proper.Accepts(tree) {
+		t.Error("proper automaton must accept the encoding")
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	loop := cq.MustParse(binR, "q() :- R(x,x)")
+	if _, err := Encode(loop, 2); err == nil {
+		t.Error("non-c-acyclic query must be rejected")
+	}
+	nonUNP := cq.MustNew(binR, []cq.Var{"x", "x"}, []cq.Atom{cq.NewAtom("R", "x", "y")})
+	if _, err := Encode(nonUNP, 2); err == nil {
+		t.Error("non-UNP query must be rejected")
+	}
+}
+
+// Round-trip property on random c-acyclic queries.
+func TestEncodeDecodeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		q := randomCAcyclicCQ(rng, trial%3)
+		tree, err := Encode(q, 4)
+		if err != nil {
+			continue // exceeds degree bound; fine
+		}
+		back, err := Decode(tree, binR, q.Arity())
+		if err != nil {
+			t.Fatalf("Decode failed on %v: %v", q, err)
+		}
+		if !back.EquivalentTo(q) {
+			t.Fatalf("round trip not equivalent:\n got=%v\n want=%v", back, q)
+		}
+		proper := ProperAutomaton(binR, q.Arity(), 4)
+		if !proper.Accepts(tree) {
+			t.Fatalf("proper automaton rejects a valid encoding of %v", q)
+		}
+	}
+}
+
+// The proper automaton rejects malformed trees.
+func TestProperRejects(t *testing.T) {
+	proper := ProperAutomaton(binR, 0, 2)
+	// A bare fact symbol at the root (root must be ν).
+	bad := &nta.Tree{Sym: "R:down,down", Children: []*nta.Tree{
+		{Sym: NuSymbol}, {Sym: NuSymbol},
+	}}
+	if proper.Accepts(bad) {
+		t.Error("root must be labeled ν")
+	}
+	// ν with no children encodes no query (the root needs a fact child).
+	if proper.Accepts(&nta.Tree{Sym: NuSymbol}) {
+		t.Error("empty root should be rejected")
+	}
+	// A fact with two up directions violates condition (3).
+	bad2 := &nta.Tree{Sym: NuSymbol, Children: []*nta.Tree{
+		{Sym: "R:up,up"},
+	}}
+	if proper.Accepts(bad2) {
+		t.Error("double up must be rejected")
+	}
+}
+
+// Lemma 3.19 cross-check: the fits-positive automaton agrees with the
+// homomorphism test on random queries and examples.
+func TestFitsPositiveAgreesWithHom(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 40; trial++ {
+		k := trial % 2
+		q := randomCAcyclicCQ(rng, k)
+		tree, err := Encode(q, 4)
+		if err != nil {
+			continue
+		}
+		e := genex.RandomPointed(rng, binR, 3, 4, k)
+		auto := FitsPositiveAutomaton(e, 4)
+		got := auto.Accepts(tree)
+		want := hom.Exists(q.Example(), e)
+		if got != want {
+			t.Fatalf("automaton=%v hom=%v for\n q=%v\n e=%v", got, want, q, e)
+		}
+	}
+}
+
+// Theorem 3.20: the fitting automaton's emptiness matches c-acyclic
+// fitting existence on hand-picked cases, and its minimal tree decodes
+// to a verified fitting.
+func TestFittingAutomaton(t *testing.T) {
+	// E+ = {edge}, E- = {P-point... no: binR}: E- = empty instance.
+	edge := mustPointed(binR, "R(a,b)")
+	empty := instance.NewPointed(instance.New(binR))
+	e := fitting.MustExamples(binR, 0, []instance.Pointed{edge}, []instance.Pointed{empty})
+	auto, err := FittingAutomaton(e, 2, 4000)
+	if err != nil {
+		t.Fatalf("FittingAutomaton: %v", err)
+	}
+	if !auto.NonEmpty() {
+		t.Fatal("a c-acyclic fitting exists (the single edge)")
+	}
+	tree, ok := auto.MinimalTree()
+	if !ok {
+		t.Fatal("minimal tree extraction failed")
+	}
+	q, err := Decode(tree, binR, 0)
+	if err != nil {
+		t.Fatalf("Decode(minimal): %v on %v", err, tree)
+	}
+	if !fitting.Verify(q, e) {
+		t.Errorf("decoded minimal fitting %v does not fit", q)
+	}
+
+	// Odd-cycle family: fittings exist but none is c-acyclic, so the
+	// automaton language is empty (k=0: cycles cannot pass through
+	// distinguished elements).
+	e2 := fitting.MustExamples(binR, 0,
+		[]instance.Pointed{genex.DirectedCycle(3)},
+		[]instance.Pointed{genex.DirectedCycle(2)})
+	auto2, err := FittingAutomaton(e2, 2, 4000)
+	if err != nil {
+		t.Fatalf("FittingAutomaton: %v", err)
+	}
+	if auto2.NonEmpty() {
+		tree2, _ := auto2.MinimalTree()
+		q2, _ := Decode(tree2, binR, 0)
+		t.Fatalf("no c-acyclic CQ fits the odd-cycle family; got %v", q2)
+	}
+	// Sanity: a fitting does exist in the unrestricted sense.
+	if ok, _ := fitting.Exists(e2); !ok {
+		t.Fatal("an unrestricted fitting exists")
+	}
+}
+
+func mustPointed(sch *schema.Schema, s string) instance.Pointed {
+	p, err := instance.ParsePointed(sch, s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// randomCAcyclicCQ builds a random orientation of a tree with k answer
+// variables (pairwise distinct).
+func randomCAcyclicCQ(rng *rand.Rand, k int) *cq.CQ {
+	n := 2 + rng.Intn(3)
+	in := instance.New(binR)
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		a := instance.Value(fmt.Sprintf("v%d", p))
+		b := instance.Value(fmt.Sprintf("v%d", i))
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		if err := in.AddFact("R", a, b); err != nil {
+			panic(err)
+		}
+	}
+	tuple := make([]instance.Value, k)
+	for i := range tuple {
+		tuple[i] = instance.Value(fmt.Sprintf("v%d", i))
+	}
+	return cq.MustFromExample(instance.NewPointed(in, tuple...))
+}

@@ -1,0 +1,385 @@
+package duality
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+// option is one justification choice at an existential tree node: a
+// reason why the subtree rooted there cannot be realized at a target
+// element.
+type option struct {
+	kind  byte // 'u' unary, 'd' distinguished edge, 'c' child edge
+	rel   string
+	class int  // for 'd': the theta-class of the distinguished endpoint
+	dir   byte // 'o' fact rel(t, ·), 'i' fact rel(·, t)
+	child int  // for 'c': index of the child node
+}
+
+func (o option) key() string {
+	return fmt.Sprintf("%c%s%d%c%d", o.kind, o.rel, o.class, o.dir, o.child)
+}
+
+// componentDuals builds the certificate duals of one connected component
+// (Example 2.3 sense) of a c-acyclic core, for data examples whose
+// equality type is theta. Every element of a dual structure — including
+// the distinguished ones — carries a failure certificate (S, χ): S is a
+// set of tree nodes whose subtrees cannot be realized at a target
+// element, and χ justifies each member of S by a missing unary fact, a
+// missing edge to a distinguished element, or a child all of whose
+// witnesses fail. Since the distinguished elements of a structure are
+// fixed, one structure per assignment of certificates to the
+// distinguished classes is produced.
+//
+// The returned set D satisfies: for every data example x of type theta,
+// x maps into some member of D iff the component (with the full
+// distinguished tuple) does not map into x.
+func componentDuals(comp instance.Pointed, tuple []instance.Value, theta []int, caps Caps) ([]instance.Pointed, error) {
+	sch := comp.I.Schema()
+	distClass := make(map[instance.Value]int, len(tuple))
+	for i, d := range tuple {
+		distClass[d] = theta[i]
+	}
+	classSet := map[int]bool{}
+	for _, c := range theta {
+		classSet[c] = true
+	}
+	var classes []int
+	for c := range classSet {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	dTuple := make([]instance.Value, len(theta))
+	for i, c := range theta {
+		dTuple[i] = deltaName(c)
+	}
+
+	// Existential elements of the component.
+	var exist []instance.Value
+	for _, v := range comp.I.Dom() {
+		if _, isDist := distClass[v]; !isDist {
+			exist = append(exist, v)
+		}
+	}
+
+	if len(exist) == 0 {
+		// All-distinguished component: one or more facts entirely over
+		// distinguished elements. The component fails at x iff x lacks
+		// (at least) one of the theta-images of those facts; the duals
+		// are the complete structures on the classes plus ⊥ minus one
+		// such fact each.
+		var out []instance.Pointed
+		for _, f := range comp.I.Facts() {
+			in := instance.New(sch)
+			var values []instance.Value
+			for _, c := range classes {
+				values = append(values, deltaName(c))
+			}
+			values = append(values, "⊥")
+			addAllFacts(in, values)
+			args := make([]instance.Value, len(f.Args))
+			for i, a := range f.Args {
+				args[i] = deltaName(distClass[a])
+			}
+			removeFact(in, instance.Fact{Rel: f.Rel, Args: args})
+			out = append(out, instance.NewPointed(in, dTuple...))
+		}
+		return out, nil
+	}
+
+	// Build the rooted existential tree and enumerate certificates.
+	tree, err := buildTree(comp, exist, distClass)
+	if err != nil {
+		return nil, err
+	}
+	chis, err := enumerateChoices(tree, caps)
+	if err != nil {
+		return nil, err
+	}
+
+	// One structure per assignment of certificates to the classes.
+	nStructs := 1
+	for range classes {
+		nStructs *= len(chis)
+		if nStructs > caps.MaxDuals {
+			return nil, ErrTooLarge
+		}
+	}
+	assignment := make([]*choice, len(classes))
+	var out []instance.Pointed
+	var build func(ci int) error
+	build = func(ci int) error {
+		if ci == len(classes) {
+			st, err := assemble(sch, classes, assignment, chis, dTuple, caps)
+			if err != nil {
+				return err
+			}
+			out = append(out, st)
+			return nil
+		}
+		for _, chi := range chis {
+			assignment[ci] = chi
+			if err := build(ci + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// element is a node of a dual structure: a certificate, possibly serving
+// as a distinguished class representative.
+type element struct {
+	name  instance.Value
+	class int // -1 for ordinary certificate elements
+	chi   *choice
+}
+
+// assemble builds one dual structure for a fixed assignment of
+// certificates to the distinguished classes.
+func assemble(sch *schema.Schema, classes []int, assignment []*choice, chis []*choice, dTuple []instance.Value, caps Caps) (instance.Pointed, error) {
+	var elems []element
+	for i, c := range classes {
+		elems = append(elems, element{name: deltaName(c), class: c, chi: assignment[i]})
+	}
+	for _, chi := range chis {
+		elems = append(elems, element{name: "u" + chi.name, class: -1, chi: chi})
+	}
+	if len(elems) > caps.MaxElements {
+		return instance.Pointed{}, ErrTooLarge
+	}
+
+	in := instance.New(sch)
+	for _, r := range sch.Relations() {
+		switch r.Arity {
+		case 1:
+			for _, el := range elems {
+				if !el.chi.hasUnary(r.Name) {
+					mustAdd(in, r.Name, el.name)
+				}
+			}
+		case 2:
+			for _, v := range elems {
+				for _, w := range elems {
+					if binaryFactAllowed(r.Name, v, w) {
+						mustAdd(in, r.Name, v.name, w.name)
+					}
+				}
+			}
+		}
+	}
+	return instance.NewPointed(in, dTuple...), nil
+}
+
+// binaryFactAllowed applies the certificate rules to a fact rel(v, w):
+//   - a child justification (child k, rel, out) in v demands k ∈ S(w);
+//   - a child justification (child k, rel, in) in w demands k ∈ S(v);
+//   - a distinguished-edge justification (rel, J, out) in v forbids the
+//     fact when w is the class-J element;
+//   - a distinguished-edge justification (rel, J, in) in w forbids the
+//     fact when v is the class-J element.
+func binaryFactAllowed(rel string, v, w element) bool {
+	for _, jc := range v.chi.childJust {
+		if jc.rel == rel && jc.dir == 'o' && w.chi.assign[jc.child] == -1 {
+			return false
+		}
+	}
+	for _, jc := range w.chi.childJust {
+		if jc.rel == rel && jc.dir == 'i' && v.chi.assign[jc.child] == -1 {
+			return false
+		}
+	}
+	if w.class >= 0 && v.chi.hasDist(rel, w.class, 'o') {
+		return false
+	}
+	if v.class >= 0 && w.chi.hasDist(rel, v.class, 'i') {
+		return false
+	}
+	return true
+}
+
+// removeFact deletes a fact from an instance by rebuilding (Instance has
+// no delete; duals are built once, so this is fine).
+func removeFact(in *instance.Instance, f instance.Fact) {
+	facts := in.Facts()
+	fresh := instance.New(in.Schema())
+	for _, g := range facts {
+		if g.Key() != f.Key() {
+			mustAdd(fresh, g.Rel, g.Args...)
+		}
+	}
+	*in = *fresh
+}
+
+// treeNode is an existential element of the component with its
+// justification options.
+type treeNode struct {
+	val     instance.Value
+	options []option
+}
+
+type rootedTree struct {
+	nodes []treeNode // nodes[0] is the root
+	index map[instance.Value]int
+}
+
+// buildTree roots the existential part of the component and computes
+// per-node options. The existential part of a c-acyclic component is a
+// tree; we BFS-orient it from the smallest element.
+func buildTree(comp instance.Pointed, exist []instance.Value, distClass map[instance.Value]int) (*rootedTree, error) {
+	t := &rootedTree{index: make(map[instance.Value]int)}
+	order := []instance.Value{exist[0]}
+	parent := map[instance.Value]instance.Value{exist[0]: ""}
+	seen := map[instance.Value]bool{exist[0]: true}
+	for qi := 0; qi < len(order); qi++ {
+		v := order[qi]
+		for _, f := range comp.I.FactsContaining(v) {
+			for _, a := range f.Args {
+				if _, isDist := distClass[a]; isDist || a == v || seen[a] {
+					continue
+				}
+				seen[a] = true
+				parent[a] = v
+				order = append(order, a)
+			}
+		}
+	}
+	if len(order) != len(exist) {
+		return nil, fmt.Errorf("duality: internal: existential part of component not connected")
+	}
+	for i, v := range order {
+		t.index[v] = i
+		t.nodes = append(t.nodes, treeNode{val: v})
+	}
+	for i, v := range order {
+		var opts []option
+		seenKeys := map[string]bool{}
+		add := func(o option) {
+			if !seenKeys[o.key()] {
+				seenKeys[o.key()] = true
+				opts = append(opts, o)
+			}
+		}
+		for _, f := range comp.I.FactsContaining(v) {
+			switch len(f.Args) {
+			case 1:
+				add(option{kind: 'u', rel: f.Rel})
+			case 2:
+				x, y := f.Args[0], f.Args[1]
+				cx, xDist := distClass[x]
+				cy, yDist := distClass[y]
+				switch {
+				case x == v && yDist:
+					add(option{kind: 'd', rel: f.Rel, class: cy, dir: 'o'})
+				case y == v && xDist:
+					add(option{kind: 'd', rel: f.Rel, class: cx, dir: 'i'})
+				case x == v && !yDist:
+					if parent[v] == y {
+						continue
+					}
+					add(option{kind: 'c', rel: f.Rel, dir: 'o', child: t.index[y]})
+				case y == v && !xDist:
+					if parent[v] == x {
+						continue
+					}
+					add(option{kind: 'c', rel: f.Rel, dir: 'i', child: t.index[x]})
+				}
+			}
+		}
+		t.nodes[i].options = opts
+	}
+	return t, nil
+}
+
+// choice is a χ: an assignment of an option index (or -1 for ⊤) to every
+// tree node, with precomputed lookup tables. The root always carries a
+// justification.
+type choice struct {
+	name      instance.Value
+	assign    []int // option index per node, -1 = ⊤ (not in S)
+	unaryJust map[string]bool
+	distJust  map[string]bool // key rel|class|dir
+	childJust []option
+}
+
+func (c *choice) hasUnary(rel string) bool { return c.unaryJust[rel] }
+
+func (c *choice) hasDist(rel string, class int, dir byte) bool {
+	return c.distJust[fmt.Sprintf("%s|%d|%c", rel, class, dir)]
+}
+
+// enumerateChoices lists all χ with χ(root) != ⊤.
+func enumerateChoices(t *rootedTree, caps Caps) ([]*choice, error) {
+	count := 1
+	for i, n := range t.nodes {
+		c := len(n.options)
+		if i != 0 {
+			c++ // ⊤ allowed off the root
+		}
+		if c == 0 {
+			return nil, fmt.Errorf("duality: internal: root %s has no justification options", n.val)
+		}
+		count *= c
+		if count > caps.MaxElements {
+			return nil, ErrTooLarge
+		}
+	}
+	var out []*choice
+	assign := make([]int, len(t.nodes))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(t.nodes) {
+			out = append(out, makeChoice(t, assign))
+			return
+		}
+		for oi := range t.nodes[i].options {
+			assign[i] = oi
+			rec(i + 1)
+		}
+		if i != 0 {
+			assign[i] = -1
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+func makeChoice(t *rootedTree, assign []int) *choice {
+	c := &choice{
+		assign:    append([]int(nil), assign...),
+		unaryJust: map[string]bool{},
+		distJust:  map[string]bool{},
+	}
+	var sb strings.Builder
+	sb.WriteString("s")
+	for i, oi := range assign {
+		if i > 0 {
+			sb.WriteString(";")
+		}
+		if oi == -1 {
+			sb.WriteString("-")
+			continue
+		}
+		o := t.nodes[i].options[oi]
+		sb.WriteString(o.key())
+		switch o.kind {
+		case 'u':
+			c.unaryJust[o.rel] = true
+		case 'd':
+			c.distJust[fmt.Sprintf("%s|%d|%c", o.rel, o.class, o.dir)] = true
+		case 'c':
+			c.childJust = append(c.childJust, o)
+		}
+	}
+	c.name = instance.Value(sb.String())
+	return c
+}

@@ -1,0 +1,312 @@
+package duality
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+var binR = genex.SchemaR
+
+var pqr = schema.MustNew(
+	schema.Relation{Name: "P", Arity: 1},
+	schema.Relation{Name: "Q", Arity: 1},
+	schema.Relation{Name: "R", Arity: 1},
+)
+
+func pt(t *testing.T, sch *schema.Schema, s string) instance.Pointed {
+	t.Helper()
+	p, err := instance.ParsePointed(sch, s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return p
+}
+
+// checkDualityOn verifies the duality property on the given samples:
+// for each x, (some f in F maps to x) XOR (x maps to some d in D).
+func checkDualityOn(t *testing.T, F, D []instance.Pointed, samples []instance.Pointed) {
+	t.Helper()
+	for _, x := range samples {
+		above := false
+		for _, f := range F {
+			if hom.Exists(f, x) {
+				above = true
+				break
+			}
+		}
+		below := hom.ExistsToAny(x, D)
+		if above == below {
+			t.Errorf("duality violated on sample:\n x=%v\n above(F->x)=%v below(x->D)=%v", x, above, below)
+		}
+	}
+}
+
+// Example 2.14: the Gallai–Hasse–Roy–Vitaver duality ({P_n}, {T_{n-1}}).
+// This cross-validates the certificate dual construction against a
+// classical theorem via IsHomDuality.
+func TestGHRVIsDuality(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		F, D := GHRV(n)
+		ok, err := IsHomDuality(F, D)
+		if err != nil {
+			t.Fatalf("GHRV(%d): %v", n, err)
+		}
+		if !ok {
+			t.Errorf("GHRV(%d) should be a homomorphism duality", n)
+		}
+	}
+	// Mismatched pair is not a duality.
+	F, _ := GHRV(3)
+	bad := []instance.Pointed{genex.TransitiveTournament(4)}
+	ok, err := IsHomDuality(F, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("({P_3},{T_4}) must not be a duality (P_3 maps into T_4)")
+	}
+}
+
+// Example 2.15: ({e1}, {e2,e3}) with unary relations.
+func TestExample215(t *testing.T) {
+	e1 := pt(t, pqr, "P(a). Q(b)")
+	e2 := pt(t, pqr, "P(a). R(a)")
+	e3 := pt(t, pqr, "Q(a). R(a)")
+	ok, err := IsHomDuality([]instance.Pointed{e1}, []instance.Pointed{e2, e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Example 2.15 should be a homomorphism duality")
+	}
+	// Dropping one right-hand side breaks it.
+	ok, err = IsHomDuality([]instance.Pointed{e1}, []instance.Pointed{e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("({e1},{e2}) should not be a duality")
+	}
+	// Direct construction: duals of the two components are (equivalent
+	// to) "everything but P" and "everything but Q".
+	D, err := DualOf(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDualityOn(t, []instance.Pointed{e1}, D, []instance.Pointed{
+		e1, e2, e3,
+		pt(t, pqr, "P(a)"),
+		pt(t, pqr, "Q(a)"),
+		pt(t, pqr, "R(a)"),
+		pt(t, pqr, "P(a). Q(a)"),
+		pt(t, pqr, "P(a). Q(b). R(c)"),
+	})
+}
+
+func TestDualOfRequiresCAcyclic(t *testing.T) {
+	loop := pt(t, binR, "R(a,a)")
+	if _, err := DualOf(loop); err == nil {
+		t.Error("dual of a non-c-acyclic instance must fail")
+	}
+	tern := schema.MustNew(schema.Relation{Name: "T", Arity: 3})
+	e := pt(t, tern, "T(a,b,c)")
+	if _, err := DualOf(e); err == nil {
+		t.Error("non-binary schema must be unsupported")
+	}
+}
+
+// Property test: on random oriented trees (k=0 and k=1), the constructed
+// dual set satisfies the duality property against a battery of samples.
+func TestDualOfPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		k := trial % 2
+		e := randomTree(rng, 2+rng.Intn(3), k)
+		core := hom.Core(e)
+		if !core.HasUNP() {
+			continue
+		}
+		D, err := DualOf(e)
+		if err != nil {
+			t.Fatalf("DualOf(%v): %v", e, err)
+		}
+		samples := []instance.Pointed{e, core}
+		for i := 0; i < 8; i++ {
+			samples = append(samples, genex.RandomPointed(rng, binR, 3, 4, k))
+			samples = append(samples, randomTree(rng, 2+rng.Intn(3), k))
+		}
+		// Products of e with samples (below e) and unions (above e).
+		if p, err := instance.Product(e, samples[2]); err == nil {
+			samples = append(samples, p)
+		}
+		checkDualityOn(t, []instance.Pointed{e}, D, samples)
+	}
+}
+
+// Property test for set duals: (F, DualOfSet(F)) is a duality on samples.
+func TestDualOfSetPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 15; trial++ {
+		F := []instance.Pointed{
+			randomTree(rng, 2+rng.Intn(2), 0),
+			randomTree(rng, 2+rng.Intn(2), 0),
+		}
+		D, err := DualOfSet(F)
+		if err != nil {
+			t.Fatalf("DualOfSet: %v", err)
+		}
+		var samples []instance.Pointed
+		samples = append(samples, F...)
+		for i := 0; i < 8; i++ {
+			samples = append(samples, genex.RandomPointed(rng, binR, 3, 4, 0))
+		}
+		checkDualityOn(t, F, D, samples)
+	}
+}
+
+// Distinguished elements: dual of a rooted edge.
+func TestDualOfRootedEdge(t *testing.T) {
+	e := pt(t, binR, "R(x,y) @ x")
+	D, err := DualOf(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples: rooted instances where the root has / lacks an out-edge.
+	samples := []instance.Pointed{
+		pt(t, binR, "R(a,b) @ a"),         // has out-edge: e maps
+		pt(t, binR, "R(b,a) @ a"),         // only in-edge: e does not map
+		pt(t, binR, "R(a,a) @ a"),         // loop: e maps
+		pt(t, binR, "R(b,c). R(c,a) @ a"), // no out-edge at root
+		pt(t, binR, "R(a,b). R(b,a) @ a"), // out-edge present
+	}
+	checkDualityOn(t, []instance.Pointed{e}, D, samples)
+}
+
+// Equality types: dual of a 2-ary example with distinct tuple must also
+// classify repeated-tuple samples correctly.
+func TestDualOfEqualityTypes(t *testing.T) {
+	e := pt(t, binR, "R(x,y) @ x, y")
+	D, err := DualOf(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []instance.Pointed{
+		pt(t, binR, "R(a,b) @ a, b"), // e maps
+		pt(t, binR, "R(b,a) @ a, b"), // e does not map
+		pt(t, binR, "R(a,a) @ a, a"), // repeated tuple; e maps (x,y -> a,a)
+		pt(t, binR, "R(a,b) @ a, a"), // repeated tuple; e needs R(a,a): no
+		pt(t, binR, "R(a,b) @ b, a"), // reversed: no
+	}
+	checkDualityOn(t, []instance.Pointed{e}, D, samples)
+}
+
+// The left-hand side of a duality must be c-acyclic: IsHomDuality
+// rejects a loop on the left.
+func TestIsHomDualityRejectsCyclicLeft(t *testing.T) {
+	loop := pt(t, binR, "R(a,a)")
+	ok, err := IsHomDuality([]instance.Pointed{loop}, []instance.Pointed{genex.TransitiveTournament(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("cyclic left-hand side cannot form a duality")
+	}
+}
+
+// LLT dismantling: known positives and negatives.
+func TestSingleDualityExists(t *testing.T) {
+	cases := []struct {
+		name string
+		e    instance.Pointed
+		want bool
+	}{
+		{"loop (CSP trivially true)", pt(t, binR, "R(a,a)"), true},
+		{"single edge T2", genex.TransitiveTournament(2), true},
+		{"tournament T3", genex.TransitiveTournament(3), true},
+		{"K2 = 2-cycle (2-colorability not FO)", genex.DirectedCycle(2), false},
+		{"directed 3-cycle", genex.DirectedCycle(3), false},
+		{"path P2 (infinite oriented-path antichain)", genex.DirectedPath(2), false},
+		{"single element with P,Q", pt(t, pqr, "P(a). Q(a)"), true},
+		{"two unary elements", pt(t, pqr, "P(a). Q(b)"), true},
+	}
+	for _, c := range cases {
+		if got := SingleDualityExists(c.e); got != c.want {
+			t.Errorf("%s: SingleDualityExists = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDualityExistsForSet(t *testing.T) {
+	// {K2, loop}: K2 maps into the loop, so the downset is generated by
+	// the loop alone, which passes.
+	k2 := genex.DirectedCycle(2)
+	loop := pt(t, binR, "R(a,a)")
+	if !DualityExistsForSet([]instance.Pointed{k2, loop}) {
+		t.Error("{K2, loop}: downset is everything; F = ∅ works")
+	}
+	if DualityExistsForSet([]instance.Pointed{k2}) {
+		t.Error("{K2} alone has no finite duality")
+	}
+	if DualityExistsForSet(nil) {
+		t.Error("empty set: no duality")
+	}
+	// Example 2.15 right-hand side.
+	e2 := pt(t, pqr, "P(a). R(a)")
+	e3 := pt(t, pqr, "Q(a). R(a)")
+	if !DualityExistsForSet([]instance.Pointed{e2, e3}) {
+		t.Error("Example 2.15 right side admits a duality")
+	}
+}
+
+// Tournaments as duals of paths: DualOf(P_n) must be hom-equivalent to
+// {T_{n-1}} — the sharpest single test of the certificate construction.
+func TestDualOfPathEquivalentToTournament(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		p := genex.DirectedPath(n)
+		D, err := DualOf(p)
+		if err != nil {
+			t.Fatalf("DualOf(P_%d): %v", n, err)
+		}
+		tn := genex.TransitiveTournament(n)
+		if !hom.ExistsToAny(tn, D) {
+			t.Errorf("T_%d should map into DualOf(P_%d)", n, n)
+		}
+		for _, d := range D {
+			if !hom.Exists(d, tn) {
+				t.Errorf("a member of DualOf(P_%d) does not map into T_%d", n, n)
+			}
+		}
+	}
+}
+
+func randomTree(rng *rand.Rand, n, k int) instance.Pointed {
+	in := instance.New(binR)
+	for i := 1; i < n; i++ {
+		parent := rng.Intn(i)
+		a := instance.Value(fmt.Sprintf("t%d", parent))
+		b := instance.Value(fmt.Sprintf("t%d", i))
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		if err := in.AddFact("R", a, b); err != nil {
+			panic(err)
+		}
+	}
+	var tuple []instance.Value
+	used := map[int]bool{}
+	for i := 0; i < k; i++ {
+		x := rng.Intn(n)
+		for used[x] {
+			x = (x + 1) % n
+		}
+		used[x] = true
+		tuple = append(tuple, instance.Value(fmt.Sprintf("t%d", x)))
+	}
+	return instance.NewPointed(in, tuple...)
+}

@@ -1,0 +1,127 @@
+package duality
+
+import (
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+// SingleDualityExists implements the Larose–Loten–Tardif dismantling
+// test (as sketched in the proof of Theorem 3.30): there is a finite set
+// F with (F, {e}) a homomorphism duality iff the square of the core of e
+// dismantles to its diagonal, where dismantling repeatedly removes
+// non-diagonal elements dominated by another element. Distinguished
+// elements of the square are diagonal pairs and are never removed.
+func SingleDualityExists(e instance.Pointed) bool {
+	core := hom.Core(e)
+	sq, err := instance.Product(core, core)
+	if err != nil {
+		return false
+	}
+	diag := make(map[instance.Value]bool)
+	for _, a := range core.I.Dom() {
+		diag[instance.PairValue(a, a)] = true
+	}
+	for _, a := range core.Tuple {
+		diag[instance.PairValue(a, a)] = true
+	}
+	return dismantlesTo(sq.I, diag)
+}
+
+// DualityExistsForSet reports whether a finite F with (F, D) a
+// homomorphism duality exists, for a set D: the hom-maximal members of D
+// determine the downset, and a finite F exists iff each of them passes
+// the single-instance test. (For the maximal members m_i, obstruction
+// sets F_i combine into F = {disjoint unions of picks}; conversely each
+// maximal member must individually be a right-hand side of a duality.)
+func DualityExistsForSet(D []instance.Pointed) bool {
+	if len(D) == 0 {
+		return false
+	}
+	for _, d := range MaximizeUpper(D) {
+		if !SingleDualityExists(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// dismantlesTo repeatedly removes an element outside keep that is
+// dominated by some other remaining element, and reports whether all
+// elements outside keep can be removed.
+func dismantlesTo(in *instance.Instance, keep map[instance.Value]bool) bool {
+	// Work on a mutable copy of the fact set.
+	present := make(map[instance.Value]bool)
+	for _, v := range in.Dom() {
+		present[v] = true
+	}
+	facts := in.Facts()
+
+	factsOK := func(f instance.Fact) bool {
+		for _, a := range f.Args {
+			if !present[a] {
+				return false
+			}
+		}
+		return true
+	}
+	hasFact := func(f instance.Fact) bool {
+		if !in.Has(f) {
+			return false
+		}
+		return factsOK(f)
+	}
+	dominated := func(x, y instance.Value) bool {
+		for _, f := range facts {
+			if !factsOK(f) || !f.Contains(x) {
+				continue
+			}
+			for i, a := range f.Args {
+				if a != x {
+					continue
+				}
+				args := append([]instance.Value(nil), f.Args...)
+				args[i] = y
+				if !hasFact(instance.Fact{Rel: f.Rel, Args: args}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for {
+		removedAny := false
+		for x := range present {
+			if keep[x] {
+				continue
+			}
+			for y := range present {
+				if y == x {
+					continue
+				}
+				if dominated(x, y) {
+					delete(present, x)
+					removedAny = true
+					break
+				}
+			}
+			if removedAny {
+				break
+			}
+		}
+		if !removedAny {
+			break
+		}
+	}
+	for v := range present {
+		if !keep[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func schemaR() *schema.Schema {
+	return schema.MustNew(schema.Relation{Name: "R", Arity: 2})
+}

@@ -1,0 +1,500 @@
+package fitting
+
+import (
+	"testing"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+var binR = genex.SchemaR
+
+var rpq = schema.MustNew(
+	schema.Relation{Name: "R", Arity: 2},
+	schema.Relation{Name: "P", Arity: 1},
+	schema.Relation{Name: "Q", Arity: 1},
+)
+
+func pt(t *testing.T, sch *schema.Schema, s string) instance.Pointed {
+	t.Helper()
+	p, err := instance.ParsePointed(sch, s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return p
+}
+
+func TestNewExamplesValidation(t *testing.T) {
+	good := pt(t, binR, "R(a,b) @ a")
+	if _, err := NewExamples(binR, 1, []instance.Pointed{good}, nil); err != nil {
+		t.Fatalf("valid examples rejected: %v", err)
+	}
+	wrongArity := pt(t, binR, "R(a,b)")
+	if _, err := NewExamples(binR, 1, []instance.Pointed{wrongArity}, nil); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	notData := instance.NewPointed(instance.MustFromFacts(binR, instance.NewFact("R", "a", "b")), "z")
+	if _, err := NewExamples(binR, 1, nil, []instance.Pointed{notData}); err == nil {
+		t.Error("non-data-example accepted")
+	}
+	otherSchema := pt(t, rpq, "P(a) @ a")
+	if _, err := NewExamples(binR, 1, []instance.Pointed{otherSchema}, nil); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+// Theorem 3.1 workload: with E+ = {K4}, E- = {K3}, the canonical CQ of G
+// fits iff G is exactly 4-colorable.
+func TestVerifyExact4Colorability(t *testing.T) {
+	e := MustExamples(binR, 0, []instance.Pointed{genex.Clique(4)}, []instance.Pointed{genex.Clique(3)})
+	cases := []struct {
+		name string
+		g    instance.Pointed
+		want bool
+	}{
+		{"K4: chromatic number 4", genex.Clique(4), true},
+		{"K3: 3-colorable", genex.Clique(3), false},
+		{"K5: not 4-colorable", genex.Clique(5), false},
+		{"C5 as clique-free graph: 3-colorable", genex.DirectedCycle(5), false},
+	}
+	for _, c := range cases {
+		q := cq.MustFromExample(c.g)
+		if got := Verify(q, e); got != c.want {
+			t.Errorf("%s: Verify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Theorem 3.3 / Example 3.6: the most-specific fitting is the product of
+// the positives.
+func TestMostSpecificExample36(t *testing.T) {
+	sch := schema.MustNew(
+		schema.Relation{Name: "R", Arity: 3},
+		schema.Relation{Name: "P", Arity: 1},
+	)
+	i1 := pt(t, sch, "R(a,a,b). P(a)")
+	i2 := pt(t, sch, "R(c,d,d). P(c)")
+	i3 := instance.NewPointed(instance.New(sch)) // empty negative
+	e := MustExamples(sch, 0, []instance.Pointed{i1, i2}, []instance.Pointed{i3})
+
+	q1 := cq.MustParse(sch, "q() :- R(x,y,z)")
+	q2 := cq.MustParse(sch, "q() :- R(x,y,z), P(x)")
+	if !Verify(q1, e) || !Verify(q2, e) {
+		t.Fatal("both q1 and q2 fit (Example 3.6)")
+	}
+	if !q2.StrictlyContainedIn(q1) {
+		t.Error("q2 is strictly more specific than q1")
+	}
+	if VerifyMostSpecific(q1, e) {
+		t.Error("q1 is not most-specific")
+	}
+	if !VerifyMostSpecific(q2, e) {
+		t.Error("q2 is the most-specific fitting (Example 3.6)")
+	}
+	got, ok, err := ConstructMostSpecific(e)
+	if err != nil || !ok {
+		t.Fatalf("ConstructMostSpecific: %v %v", ok, err)
+	}
+	if !got.EquivalentTo(q2) {
+		t.Errorf("constructed most-specific %v not equivalent to q2", got)
+	}
+}
+
+func TestExistsNoFitting(t *testing.T) {
+	// Positive example maps into the negative example: no fitting.
+	e := MustExamples(binR, 0,
+		[]instance.Pointed{genex.DirectedCycle(4)},
+		[]instance.Pointed{genex.DirectedCycle(2)})
+	ok, err := Exists(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("C4 maps to C2: no fitting exists")
+	}
+	// Incompatible positives: product not a data example.
+	sch := rpq
+	p1 := pt(t, sch, "P(a). R(c,d) @ a")
+	p2 := pt(t, sch, "Q(b). R(c,d) @ b")
+	e2 := MustExamples(sch, 1, []instance.Pointed{p1, p2}, nil)
+	ok, err = Exists(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Example 2.6 product is not a data example: no fitting")
+	}
+}
+
+// Prime-cycle family (Theorem 3.40): a fitting exists; its size is the
+// product of the odd primes (i.e. ~2^n from polynomial input).
+func TestPrimeCycleFamily(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		pos, neg := genex.PrimeCycleFamily(n)
+		e := MustExamples(binR, 0, pos, neg)
+		q, ok, err := Construct(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("n=%d: fitting should exist", n)
+		}
+		want := 1
+		for _, p := range genex.Primes(n)[1:] {
+			want *= p
+		}
+		// The product of cycles C_{p2} x ... x C_{pn} is the cycle of
+		// length p2*...*pn.
+		if q.NumVars() != want {
+			t.Errorf("n=%d: fitting has %d variables, want %d", n, q.NumVars(), want)
+		}
+		if !Verify(q, e) {
+			t.Error("constructed fitting must verify")
+		}
+	}
+}
+
+// Example 3.10: the four most-general fitting scenarios.
+func TestExample310(t *testing.T) {
+	iP := pt(t, rpq, "P(a)")
+	iQ := pt(t, rpq, "Q(a)")
+	iPQ := pt(t, rpq, "P(a). Q(a)")
+	k2 := pt(t, rpq, "R(u,v). R(v,u)")
+
+	// (1) E- = {I_PQ}: strongly most-general fitting q() :- R(x,y).
+	e1 := MustExamples(rpq, 0, nil, []instance.Pointed{iPQ})
+	qR := cq.MustParse(rpq, "q() :- R(x,y)")
+	ok, err := VerifyBasis([]*cq.CQ{qR}, e1)
+	if err != nil {
+		t.Fatalf("(1) VerifyBasis: %v", err)
+	}
+	if !ok {
+		t.Error("(1) {R(x,y)} should be a singleton basis (strongly most-general)")
+	}
+	q, found, err := SearchStronglyMostGeneral(e1, DefaultSearch)
+	if err != nil || !found {
+		t.Fatalf("(1) SearchStronglyMostGeneral: %v %v", found, err)
+	}
+	if !q.EquivalentTo(qR) {
+		t.Errorf("(1) found %v, want R(x,y)", q)
+	}
+
+	// (2) E- = {I_P, I_Q}: basis of size two.
+	e2 := MustExamples(rpq, 0, nil, []instance.Pointed{iP, iQ})
+	qPQ := cq.MustParse(rpq, "q() :- P(x), Q(y)")
+	ok, err = VerifyBasis([]*cq.CQ{qR, qPQ}, e2)
+	if err != nil {
+		t.Fatalf("(2) VerifyBasis: %v", err)
+	}
+	if !ok {
+		t.Error("(2) {R(x,y), P∧Q} should be a basis")
+	}
+	ok, err = VerifyBasis([]*cq.CQ{qR}, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("(2) {R(x,y)} alone is not a basis")
+	}
+	basis, found, err := SearchBasis(e2, DefaultSearch)
+	if err != nil || !found {
+		t.Fatalf("(2) SearchBasis: %v %v", found, err)
+	}
+	if len(basis) != 2 {
+		t.Errorf("(2) basis size = %d, want 2 (%v)", len(basis), basis)
+	}
+	for _, m := range basis {
+		wmg, err := VerifyWeaklyMostGeneral(m, e2)
+		if err != nil || !wmg {
+			t.Errorf("(2) basis member %v not weakly most-general: %v", m, err)
+		}
+	}
+
+	// (3) schema {R} only, E- = {K2}: no weakly most-general fitting.
+	eK2 := MustExamples(binR, 0, nil, []instance.Pointed{genex.DirectedCycle(2)})
+	c3 := cq.MustFromExample(genex.DirectedCycle(3))
+	if !Verify(c3, eK2) {
+		t.Fatal("(3) C3 fits (odd cycle)")
+	}
+	wmg, err := VerifyWeaklyMostGeneral(c3, eK2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wmg {
+		t.Error("(3) C3 is not weakly most-general (blow up the cycle)")
+	}
+	if _, found, _ := SearchWeaklyMostGeneral(eK2, DefaultSearch); found {
+		t.Error("(3) no weakly most-general fitting should be found")
+	}
+
+	// (4) E- = {K2, I_P, I_Q}: P∧Q is weakly most-general but there is
+	// no basis.
+	e4 := MustExamples(rpq, 0, nil, []instance.Pointed{k2, iP, iQ})
+	wmg, err = VerifyWeaklyMostGeneral(qPQ, e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wmg {
+		t.Error("(4) P∧Q should be weakly most-general")
+	}
+	if _, found, err := SearchBasis(e4, DefaultSearch); err != nil {
+		t.Fatal(err)
+	} else if found {
+		t.Error("(4) no basis of most-general fittings exists")
+	}
+}
+
+// Example 3.33: a unique fitting CQ.
+func TestUniqueFittingExample333(t *testing.T) {
+	i := instance.MustFromFacts(binR,
+		instance.NewFact("R", "a", "b"),
+		instance.NewFact("R", "b", "a"),
+		instance.NewFact("R", "b", "b"),
+	)
+	e := MustExamples(binR, 1,
+		[]instance.Pointed{instance.NewPointed(i, "b")},
+		[]instance.Pointed{instance.NewPointed(i, "a")})
+	q := cq.MustParse(binR, "q(x) :- R(x,x)")
+	ok, err := VerifyUnique(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("q(x) :- R(x,x) is the unique fitting (Example 3.33)")
+	}
+	got, exists, err := ExistsUnique(e)
+	if err != nil || !exists {
+		t.Fatalf("ExistsUnique: %v %v", exists, err)
+	}
+	if !got.EquivalentTo(q) {
+		t.Errorf("unique fitting %v, want %v", got, q)
+	}
+	// A fitting that is not most-specific is not unique.
+	q2 := cq.MustParse(binR, "q(x) :- R(x,y), R(y,x)")
+	if Verify(q2, e) {
+		ok, _ := VerifyUnique(q2, e)
+		if ok {
+			t.Error("q2 must not be unique")
+		}
+	}
+}
+
+// No unique fitting when the examples admit many incomparable fittings.
+func TestNoUniqueFitting(t *testing.T) {
+	eK2 := MustExamples(binR, 0,
+		[]instance.Pointed{genex.DirectedCycle(3)},
+		[]instance.Pointed{genex.DirectedCycle(2)})
+	_, exists, err := ExistsUnique(eK2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exists {
+		t.Error("odd-cycle family has no unique fitting")
+	}
+}
+
+// Theorem 3.41 family: unique fitting of size 2^n.
+func TestBitStringFamily(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		sch, pos, neg := genex.BitStringFamily(n)
+		e := MustExamples(sch, 0, pos, []instance.Pointed{neg})
+		q, ok, err := Construct(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("n=%d: fitting should exist", n)
+		}
+		if q.NumVars() != 1<<n {
+			t.Errorf("n=%d: product has %d variables, want 2^%d", n, q.NumVars(), n)
+		}
+		uq, exists, err := ExistsUnique(e)
+		if err != nil {
+			t.Fatalf("n=%d: ExistsUnique: %v", n, err)
+		}
+		if !exists {
+			t.Errorf("n=%d: unique fitting should exist (Theorem 3.41)", n)
+		} else if !VerifyMostSpecific(uq, e) {
+			t.Errorf("n=%d: unique fitting must be most-specific", n)
+		}
+	}
+}
+
+// Theorem 3.42 family (n=1): the 2^(2^1) = 4 basis members are pairwise
+// incomparable weakly most-general fittings.
+func TestBasisFamilySize(t *testing.T) {
+	sch, pos, neg := genex.BasisFamily(1)
+	e := MustExamples(sch, 0, pos, []instance.Pointed{neg})
+	members := genex.BasisMembers(1)
+	if len(members) != 4 {
+		t.Fatalf("expected 2^(2^1)=4 members, got %d", len(members))
+	}
+	var qs []*cq.CQ
+	for _, m := range members {
+		q := cq.MustFromExample(m)
+		if !Verify(q, e) {
+			t.Fatalf("basis member %v does not fit", q)
+		}
+		qs = append(qs, q)
+	}
+	for i := range qs {
+		for j := range qs {
+			if i != j && qs[i].ContainedIn(qs[j]) {
+				t.Errorf("members %d and %d comparable; basis would be smaller", i, j)
+			}
+		}
+	}
+	for i, q := range qs {
+		wmg, err := VerifyWeaklyMostGeneral(q, e)
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		if !wmg {
+			t.Errorf("member %d should be weakly most-general", i)
+		}
+	}
+}
+
+// Most-specific verification hardness workload (Theorem 3.38(1)): E+ =
+// {I_i ⊎ J}; the canonical CQ of J is most-specific iff ΠI_i → J.
+func TestMostSpecificProductHomWorkload(t *testing.T) {
+	// Positive case: I_1 = C2, I_2 = C3, J = C6: C2 x C3 = C6 -> J.
+	i1, i2 := genex.DirectedCycle(2), genex.DirectedCycle(3)
+	j := genex.DirectedCycle(6)
+	u1, err := instance.DisjointUnion(i1, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := instance.DisjointUnion(i2, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := MustExamples(binR, 0, []instance.Pointed{u1, u2}, nil)
+	qJ := cq.MustFromExample(j)
+	if !VerifyMostSpecific(qJ, e) {
+		t.Error("C6 should be most-specific for {C2⊎C6, C3⊎C6} (C2×C3 ≅ C6)")
+	}
+	// Negative case: J' = C5: C2 x C3 does not map to C5.
+	j2 := genex.DirectedCycle(5)
+	u1b, _ := instance.DisjointUnion(i1, j2)
+	u2b, _ := instance.DisjointUnion(i2, j2)
+	e2 := MustExamples(binR, 0, []instance.Pointed{u1b, u2b}, nil)
+	qJ2 := cq.MustFromExample(j2)
+	if !Verify(qJ2, e2) {
+		t.Fatal("C5 fits its own unions")
+	}
+	if VerifyMostSpecific(qJ2, e2) {
+		t.Error("C5 is not most-specific (C6 does not map to C5)")
+	}
+}
+
+// CQ definability (Remark 3.1).
+func TestDefinability(t *testing.T) {
+	in := instance.MustFromFacts(binR,
+		instance.NewFact("R", "a", "b"),
+		instance.NewFact("R", "b", "c"),
+	)
+	// S = {a, b}: definable by q(x) :- R(x,y).
+	e, err := DefinabilityExamples(in, [][]instance.Value{{"a"}, {"b"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Pos) != 2 || len(e.Neg) != 1 {
+		t.Fatalf("pos/neg split wrong: %d/%d", len(e.Pos), len(e.Neg))
+	}
+	q := cq.MustParse(binR, "q(x) :- R(x,y)")
+	if !Verify(q, e) {
+		t.Error("R(x,y) defines S = {a,b}")
+	}
+	ok, err := Exists(e)
+	if err != nil || !ok {
+		t.Errorf("definable: Exists = %v, %v", ok, err)
+	}
+	// S = {a, c} is not CQ-definable on this path.
+	e2, err := DefinabilityExamples(in, [][]instance.Value{{"a"}, {"c"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = Exists(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("{a,c} should not be CQ-definable on the 2-edge path")
+	}
+	if _, err := DefinabilityExamples(in, nil, 0); err == nil {
+		t.Error("k=0 definability must be rejected")
+	}
+	if _, err := DefinabilityExamples(in, [][]instance.Value{{"zz"}}, 1); err == nil {
+		t.Error("tuples outside adom must be rejected")
+	}
+}
+
+// Boolean sanity for ExistsUnique on the prime-cycle family: the product
+// fits but is not weakly most-general, so no unique fitting.
+func TestPrimeCyclesNoUnique(t *testing.T) {
+	pos, neg := genex.PrimeCycleFamily(2)
+	e := MustExamples(binR, 0, pos, neg)
+	_, exists, err := ExistsUnique(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exists {
+		t.Error("prime-cycle family has no unique fitting (cycles can be blown up)")
+	}
+}
+
+// The convexity of fitting CQs (Section 1): if q1 ⊆ q ⊆ q2 and q1, q2
+// fit, then q fits.
+func TestFittingConvexity(t *testing.T) {
+	e := MustExamples(binR, 0,
+		[]instance.Pointed{genex.DirectedCycle(3)},
+		[]instance.Pointed{pt(t, binR, "R(a,b)")})
+	q1 := cq.MustFromExample(genex.DirectedCycle(3))  // specific
+	q2 := cq.MustParse(binR, "q() :- R(x,y), R(y,z)") // general
+	qm := cq.MustParse(binR, "q() :- R(x,y), R(y,z), R(z,w)")
+	if !Verify(q1, e) || !Verify(q2, e) {
+		t.Fatal("endpoints must fit")
+	}
+	if !q1.ContainedIn(qm) || !qm.ContainedIn(q2) {
+		t.Fatal("qm must be between q1 and q2")
+	}
+	if !Verify(qm, e) {
+		t.Error("convexity violated: middle query must fit")
+	}
+}
+
+func TestVerifyBasisEmptyAndUnsupported(t *testing.T) {
+	e := MustExamples(binR, 0, nil, []instance.Pointed{pt(t, binR, "R(a,b)")})
+	if ok, _ := VerifyBasis(nil, e); ok {
+		t.Error("empty basis is never a basis")
+	}
+	// Ternary schema: duality machinery unsupported.
+	tern := schema.MustNew(schema.Relation{Name: "T", Arity: 3})
+	eT := MustExamples(tern, 0, nil, []instance.Pointed{instance.NewPointed(instance.New(tern))})
+	q := cq.MustParse(tern, "q() :- T(x,y,z)")
+	if !Verify(q, eT) {
+		t.Fatal("q fits")
+	}
+	if _, err := VerifyBasis([]*cq.CQ{q}, eT); err == nil {
+		t.Error("ternary schema should be unsupported for basis verification")
+	}
+}
+
+// Core-equivalence sanity: Verify is invariant under equivalence.
+func TestVerifyEquivalenceInvariant(t *testing.T) {
+	e := MustExamples(binR, 0,
+		[]instance.Pointed{genex.DirectedCycle(3)},
+		[]instance.Pointed{genex.DirectedCycle(2)})
+	q := cq.MustFromExample(genex.DirectedCycle(3))
+	redundant := cq.MustParse(binR, "q() :- R(x,y), R(y,z), R(z,x), R(x,w)")
+	if !hom.Equivalent(q.Example(), redundant.Example()) {
+		t.Skip("not equivalent; adjust test")
+	}
+	if Verify(q, e) != Verify(redundant, e) {
+		t.Error("Verify must be equivalence-invariant")
+	}
+}

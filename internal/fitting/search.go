@@ -1,0 +1,132 @@
+package fitting
+
+import (
+	"extremalcq/internal/cq"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+)
+
+// SearchOpts bounds the candidate space of the synthesis searches. The
+// paper's automata-based decision procedure for weakly most-general
+// existence (Theorem 3.13) is replaced by bounded enumeration with the
+// exact verifier as a filter (see DESIGN.md, substitution 2): answers of
+// the form "found" are exact; "not found" is definitive only within the
+// bounds.
+type SearchOpts struct {
+	MaxAtoms int
+	MaxVars  int
+}
+
+// DefaultSearch covers all of the paper's worked examples.
+var DefaultSearch = SearchOpts{MaxAtoms: 3, MaxVars: 4}
+
+// SearchWeaklyMostGeneral looks for a weakly most-general fitting CQ for
+// E among (i) the core of the canonical fitting (the positive product)
+// and (ii) all candidate CQs within the search bounds. The returned
+// query, if any, is verified exactly by VerifyWeaklyMostGeneral.
+func SearchWeaklyMostGeneral(e Examples, opts SearchOpts) (*cq.CQ, bool, error) {
+	var found *cq.CQ
+	err := forEachWMG(e, opts, func(q *cq.CQ) bool {
+		found = q
+		return false
+	})
+	return found, found != nil, err
+}
+
+// AllWeaklyMostGeneral collects all weakly most-general fitting CQs
+// within the bounds, deduplicated up to equivalence.
+func AllWeaklyMostGeneral(e Examples, opts SearchOpts) ([]*cq.CQ, error) {
+	var out []*cq.CQ
+	err := forEachWMG(e, opts, func(q *cq.CQ) bool {
+		for _, prev := range out {
+			if prev.EquivalentTo(q) {
+				return true
+			}
+		}
+		out = append(out, q)
+		return true
+	})
+	return out, err
+}
+
+// forEachWMG enumerates verified weakly most-general fitting CQs. The
+// candidate stream is: the core of the positive product first (this
+// decides the unique-fitting case immediately), then all bounded
+// candidates.
+func forEachWMG(e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
+	var firstErr error
+	tryCandidate := func(ex instance.Pointed) bool {
+		q, err := cq.FromExample(ex)
+		if err != nil {
+			return true
+		}
+		if !Verify(q, e) {
+			return true
+		}
+		ok, err := VerifyWeaklyMostGeneral(q, e)
+		if err != nil {
+			// Unsupported candidates (e.g. non-UNP) are skipped; remember
+			// the first error for reporting.
+			if firstErr == nil {
+				firstErr = err
+			}
+			return true
+		}
+		if ok {
+			return yield(q.Core())
+		}
+		return true
+	}
+
+	if prod, err := e.PositiveProduct(); err == nil && prod.IsDataExample() {
+		if !tryCandidate(hom.Core(prod)) {
+			return nil
+		}
+	}
+	done := false
+	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+		if !tryCandidate(ex) {
+			done = true
+			return false
+		}
+		return true
+	})
+	_ = done
+	return firstErr
+}
+
+// SearchBasis looks for a (finite) basis of most-general fitting CQs for
+// E: it collects the weakly most-general fitting CQs within the bounds
+// (every member of a minimal basis is weakly most-general, and every
+// weakly most-general fitting belongs to every basis up to equivalence)
+// and checks, exactly via VerifyBasis, whether they cover all fitting
+// CQs. A returned basis is exact; a negative answer means no basis whose
+// members fit within the bounds exists.
+func SearchBasis(e Examples, opts SearchOpts) ([]*cq.CQ, bool, error) {
+	cands, err := AllWeaklyMostGeneral(e, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(cands) == 0 {
+		return nil, false, nil
+	}
+	ok, err := VerifyBasis(cands, e)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return cands, true, nil
+}
+
+// SearchStronglyMostGeneral looks for a strongly most-general fitting CQ
+// (a basis of size one).
+func SearchStronglyMostGeneral(e Examples, opts SearchOpts) (*cq.CQ, bool, error) {
+	basis, ok, err := SearchBasis(e, opts)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if len(basis) != 1 {
+		return nil, false, nil
+	}
+	return basis[0], true, nil
+}

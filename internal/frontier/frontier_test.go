@@ -1,0 +1,238 @@
+package frontier
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+var binR = genex.SchemaR
+
+var rs = schema.MustNew(
+	schema.Relation{Name: "R", Arity: 2},
+	schema.Relation{Name: "S", Arity: 2},
+)
+
+func pt(t *testing.T, sch *schema.Schema, s string) instance.Pointed {
+	t.Helper()
+	p, err := instance.ParsePointed(sch, s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return p
+}
+
+// checkFrontierSound verifies condition (1) of the frontier definition:
+// every member is strictly below e.
+func checkFrontierSound(t *testing.T, e instance.Pointed, members []instance.Pointed) {
+	t.Helper()
+	for i, m := range members {
+		if !hom.Exists(m, e) {
+			t.Errorf("member %d does not map to e:\n m=%v\n e=%v", i, m, e)
+		}
+		if hom.Exists(e, m) {
+			t.Errorf("member %d is not strictly below e:\n m=%v\n e=%v", i, m, e)
+		}
+	}
+}
+
+// checkFrontierSeparates verifies condition (2) on the given candidates:
+// every candidate strictly below e maps to some member.
+func checkFrontierSeparates(t *testing.T, e instance.Pointed, members []instance.Pointed, candidates []instance.Pointed) {
+	t.Helper()
+	for _, c := range candidates {
+		if !(hom.Exists(c, e) && !hom.Exists(e, c)) {
+			continue // not strictly below
+		}
+		if !hom.ExistsToAny(c, members) {
+			t.Errorf("strictly-below candidate not separated:\n c=%v\n e=%v", c, e)
+		}
+	}
+}
+
+// Example 2.9: the frontier of the directed 3-edge path is (equivalent
+// to) the single instance {R(a,b), R(b,c), R(b',c), R(b',c'), R(c',d')}.
+func TestFrontierPathExample29(t *testing.T) {
+	e1 := genex.DirectedPath(3)
+	members, err := ForPointed(e1)
+	if err != nil {
+		t.Fatalf("ForPointed: %v", err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("path frontier should have 1 member, got %d", len(members))
+	}
+	want := pt(t, binR, "R(a,b). R(b,c). R(bp,c). R(bp,cp). R(cp,dp)")
+	if !hom.Equivalent(members[0], want) {
+		t.Errorf("frontier member not equivalent to the paper's:\n got=%v\n want=%v", members[0], want)
+	}
+	checkFrontierSound(t, e1, members)
+}
+
+// Example 2.9: the self-loop has no frontier.
+func TestNoFrontierForLoop(t *testing.T) {
+	loop := pt(t, binR, "R(a,a)")
+	if HasFrontier(loop) {
+		t.Error("self-loop should have no frontier")
+	}
+	if _, err := ForPointed(loop); err != ErrNotCAcyclic {
+		t.Errorf("expected ErrNotCAcyclic, got %v", err)
+	}
+}
+
+// Example 2.13: frontiers of q1 and q2; q3 has none.
+func TestFrontierExample213(t *testing.T) {
+	q1 := cq.MustParse(rs, "q(x) :- R(x,y), R(y,z)")
+	members, err := ForPointed(q1.Example())
+	if err != nil {
+		t.Fatalf("q1 frontier: %v", err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("q1 frontier should have 1 member, got %d", len(members))
+	}
+	wantQ1 := pt(t, rs, "R(x,y). R(u,y). R(u,v). R(v,w) @ x")
+	if !hom.Equivalent(members[0], wantQ1) {
+		t.Errorf("q1 frontier mismatch:\n got=%v\n want=%v", members[0], wantQ1)
+	}
+	checkFrontierSound(t, q1.Example(), members)
+
+	q2 := cq.MustParse(rs, "q(x) :- R(x,x), S(u,v), S(v,w)")
+	members2, err := ForPointed(q2.Example())
+	if err != nil {
+		t.Fatalf("q2 frontier: %v", err)
+	}
+	if len(members2) != 2 {
+		t.Fatalf("q2 frontier should have 2 members, got %d", len(members2))
+	}
+	wantA := pt(t, rs, "R(x,x). S(u,v) @ x")
+	wantB := pt(t, rs, "R(x,y). R(y,x). R(y,y). S(u,v). S(v,w) @ x")
+	for _, w := range []instance.Pointed{wantA, wantB} {
+		found := false
+		for _, m := range members2 {
+			if hom.Equivalent(m, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("expected a member equivalent to %v; members=%v", w, members2)
+		}
+	}
+	checkFrontierSound(t, q2.Example(), members2)
+
+	q3 := cq.MustParse(rs, "q(x) :- R(x,y), R(y,y)")
+	if _, err := ForPointed(q3.Example()); err != ErrNotCAcyclic {
+		t.Errorf("q3 should have no frontier, got %v", err)
+	}
+}
+
+// The single-edge rooted query q(x) :- R(x,y): its frontier member is the
+// unsafe "q(x) :- R(u,v)" (x isolated); nothing safe is strictly below...
+// the member still must satisfy the strict-below conditions as a pointed
+// instance.
+func TestFrontierUnsafeMember(t *testing.T) {
+	q := cq.MustParse(binR, "q(x) :- R(x,y)")
+	members, err := ForPointed(q.Example())
+	if err != nil {
+		t.Fatalf("ForPointed: %v", err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("want 1 member, got %d", len(members))
+	}
+	m := members[0]
+	if m.IsDataExample() {
+		t.Errorf("member should be unsafe (x isolated): %v", m)
+	}
+	checkFrontierSound(t, q.Example(), members)
+}
+
+func TestFrontierRejectsNonUNP(t *testing.T) {
+	e := pt(t, binR, "R(a,b) @ a, a")
+	if _, err := ForPointed(e); err != ErrNoUNP {
+		t.Errorf("expected ErrNoUNP, got %v", err)
+	}
+}
+
+// The frontier construction cores its input first: a redundant atom must
+// not change the frontier (up to equivalence).
+func TestFrontierCoresInput(t *testing.T) {
+	q := cq.MustParse(binR, "q(x) :- R(x,y), R(x,z)") // core: R(x,y)
+	members, err := ForPointed(q.Example())
+	if err != nil {
+		t.Fatalf("ForPointed: %v", err)
+	}
+	qc := cq.MustParse(binR, "q(x) :- R(x,y)")
+	want, err := ForPointed(qc.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != len(want) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(members), len(want))
+	}
+	for i := range members {
+		if !hom.Equivalent(members[i], want[i]) {
+			t.Errorf("member %d differs after coring", i)
+		}
+	}
+}
+
+// Property test: on random c-acyclic examples, the frontier is sound and
+// separates sampled strictly-below instances.
+func TestFrontierPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		e := randomCAcyclic(rng, trial%3) // arity 0, 1 or 2
+		core := hom.Core(e)
+		if !core.HasUNP() || !instance.CAcyclic(core) {
+			continue
+		}
+		members, err := ForPointed(e)
+		if err != nil {
+			t.Fatalf("ForPointed(%v): %v", e, err)
+		}
+		checkFrontierSound(t, core, members)
+
+		// Sampled strictly-below candidates: products of e with random
+		// instances are always below e; keep the strict ones. Also mix in
+		// plain random instances (most will not be below e and are
+		// skipped by the checker).
+		var candidates []instance.Pointed
+		for i := 0; i < 8; i++ {
+			r := genex.RandomPointed(rng, binR, 3, 5, e.Arity())
+			p, err := instance.Product(core, r)
+			if err == nil {
+				candidates = append(candidates, p)
+			}
+			candidates = append(candidates, r)
+		}
+		checkFrontierSeparates(t, core, members, candidates)
+	}
+}
+
+// randomCAcyclic builds a random orientation of a path/tree (which is
+// c-acyclic) with k distinguished elements.
+func randomCAcyclic(rng *rand.Rand, k int) instance.Pointed {
+	n := 2 + rng.Intn(4)
+	in := instance.New(binR)
+	for i := 1; i < n; i++ {
+		parent := rng.Intn(i)
+		a := instance.Value(fmt.Sprintf("n%d", parent))
+		b := instance.Value(fmt.Sprintf("n%d", i))
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		if err := in.AddFact("R", a, b); err != nil {
+			panic(err)
+		}
+	}
+	var tuple []instance.Value
+	for i := 0; i < k; i++ {
+		tuple = append(tuple, instance.Value(fmt.Sprintf("n%d", rng.Intn(n))))
+	}
+	return instance.NewPointed(in, tuple...)
+}

@@ -1,0 +1,245 @@
+package genex
+
+import (
+	"fmt"
+
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+// BitStringSchema returns the schema of Theorem 3.41: unary T_1..T_n,
+// F_1..F_n and binary R_1..R_n.
+func BitStringSchema(n int) *schema.Schema {
+	var rels []schema.Relation
+	for i := 1; i <= n; i++ {
+		rels = append(rels,
+			schema.Relation{Name: fmt.Sprintf("T%d", i), Arity: 1},
+			schema.Relation{Name: fmt.Sprintf("F%d", i), Arity: 1},
+			schema.Relation{Name: fmt.Sprintf("R%d", i), Arity: 2},
+		)
+	}
+	return schema.MustNew(rels...)
+}
+
+// BitStringFamily returns the labeled examples of Theorem 3.41: n
+// two-element positive examples P_1..P_n whose product is the directed
+// bit-string successor path of length 2^n, and the negative example N on
+// 3n values. The collection has a unique fitting (Boolean) CQ and every
+// fitting CQ has at least 2^n variables.
+func BitStringFamily(n int) (*schema.Schema, []instance.Pointed, instance.Pointed) {
+	sch := BitStringSchema(n)
+	return sch, bitStringPositives(sch, n, false), bitStringNegative(sch, n, false)
+}
+
+// BasisFamily returns the extension of Theorem 3.42: the schema gains
+// unary Z0 and Z1, every example carries all Z-facts, and N gains the
+// extra value z. The collection has a basis of most-general fitting CQs
+// and every such basis has at least 2^(2^n) members.
+func BasisFamily(n int) (*schema.Schema, []instance.Pointed, instance.Pointed) {
+	base := BitStringSchema(n)
+	sch, err := base.Extend(
+		schema.Relation{Name: "Z0", Arity: 1},
+		schema.Relation{Name: "Z1", Arity: 1},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return sch, bitStringPositives(sch, n, true), bitStringNegative(sch, n, true)
+}
+
+func bitStringPositives(sch *schema.Schema, n int, withZ bool) []instance.Pointed {
+	var out []instance.Pointed
+	for i := 1; i <= n; i++ {
+		in := instance.New(sch)
+		zero, one := instance.Value("0"), instance.Value("1")
+		both := []instance.Value{zero, one}
+		must(in.AddFact(fmt.Sprintf("F%d", i), zero))
+		must(in.AddFact(fmt.Sprintf("T%d", i), one))
+		for j := 1; j <= n; j++ {
+			if j != i {
+				for _, v := range both {
+					must(in.AddFact(fmt.Sprintf("T%d", j), v))
+					must(in.AddFact(fmt.Sprintf("F%d", j), v))
+				}
+			}
+			switch {
+			case j < i:
+				must(in.AddFact(fmt.Sprintf("R%d", j), zero, zero))
+				must(in.AddFact(fmt.Sprintf("R%d", j), one, one))
+			case j == i:
+				must(in.AddFact(fmt.Sprintf("R%d", j), zero, one))
+			case j > i:
+				must(in.AddFact(fmt.Sprintf("R%d", j), one, zero))
+			}
+		}
+		if withZ {
+			for _, v := range both {
+				must(in.AddFact("Z0", v))
+				must(in.AddFact("Z1", v))
+			}
+		}
+		out = append(out, instance.NewPointed(in))
+	}
+	return out
+}
+
+func bitStringNegative(sch *schema.Schema, n int, withZ bool) instance.Pointed {
+	in := instance.New(sch)
+	var as, bs, cs []instance.Value
+	for i := 1; i <= n; i++ {
+		as = append(as, instance.Value(fmt.Sprintf("a%d", i)))
+		bs = append(bs, instance.Value(fmt.Sprintf("b%d", i)))
+		cs = append(cs, instance.Value(fmt.Sprintf("c%d", i)))
+	}
+	// Cluster A: all facts over A except T_i(a_i).
+	for vi, v := range as {
+		for j := 1; j <= n; j++ {
+			if !(j == vi+1) {
+				must(in.AddFact(fmt.Sprintf("T%d", j), v))
+			}
+			must(in.AddFact(fmt.Sprintf("F%d", j), v))
+		}
+	}
+	addAllBinary(in, n, as, as)
+	// Cluster B: all facts over B except F_i(b_i).
+	for vi, v := range bs {
+		for j := 1; j <= n; j++ {
+			must(in.AddFact(fmt.Sprintf("T%d", j), v))
+			if !(j == vi+1) {
+				must(in.AddFact(fmt.Sprintf("F%d", j), v))
+			}
+		}
+	}
+	addAllBinary(in, n, bs, bs)
+	// Cluster C: all facts over C except T_i(c_i) and F_i(c_i).
+	for vi, v := range cs {
+		for j := 1; j <= n; j++ {
+			if !(j == vi+1) {
+				must(in.AddFact(fmt.Sprintf("T%d", j), v))
+				must(in.AddFact(fmt.Sprintf("F%d", j), v))
+			}
+		}
+	}
+	// Edges B -> A, and everything touching C.
+	addAllBinary(in, n, bs, as)
+	all := append(append(append([]instance.Value(nil), as...), bs...), cs...)
+	addAllBinary(in, n, cs, all)
+	addAllBinary(in, n, all, cs)
+
+	if withZ {
+		for _, v := range all {
+			must(in.AddFact("Z0", v))
+			must(in.AddFact("Z1", v))
+		}
+		// Extra value z: all unary except Z0, Z1; all binary touching z.
+		z := instance.Value("z")
+		for j := 1; j <= n; j++ {
+			must(in.AddFact(fmt.Sprintf("T%d", j), z))
+			must(in.AddFact(fmt.Sprintf("F%d", j), z))
+		}
+		withv := append(append([]instance.Value(nil), all...), z)
+		addAllBinary(in, n, []instance.Value{z}, withv)
+		addAllBinary(in, n, withv, []instance.Value{z})
+	}
+	return instance.NewPointed(in)
+}
+
+func addAllBinary(in *instance.Instance, n int, xs, ys []instance.Value) {
+	for j := 1; j <= n; j++ {
+		for _, x := range xs {
+			for _, y := range ys {
+				must(in.AddFact(fmt.Sprintf("R%d", j), x, y))
+			}
+		}
+	}
+}
+
+// BasisMembers returns the 2^(2^n) members X of the minimal basis of
+// Theorem 3.42: the subinstances of the positive product P obtained by
+// removing, for each node, exactly one of Z0(x) or Z1(x).
+func BasisMembers(n int) []instance.Pointed {
+	sch, pos, _ := BasisFamily(n)
+	prod, err := instance.ProductAll(sch, 0, pos)
+	if err != nil {
+		panic(err)
+	}
+	dom := prod.I.Dom()
+	var out []instance.Pointed
+	total := 1 << len(dom)
+	for mask := 0; mask < total; mask++ {
+		in := instance.New(sch)
+		for _, f := range prod.I.Facts() {
+			if f.Rel == "Z0" || f.Rel == "Z1" {
+				continue
+			}
+			must(in.AddFact(f.Rel, f.Args...))
+		}
+		for di, v := range dom {
+			keep := "Z0"
+			if mask&(1<<di) != 0 {
+				keep = "Z1"
+			}
+			must(in.AddFact(keep, v))
+		}
+		out = append(out, instance.NewPointed(in))
+	}
+	return out
+}
+
+// LRACycle returns the instance D_j of Theorem 5.37 (Figure 5's
+// companion family): a cycle of length j in which consecutive elements
+// are linked by both an L-fact and an R-fact, and the last element
+// carries A.
+func LRACycle(j int) instance.Pointed {
+	in := instance.New(SchemaLRA)
+	for k := 0; k < j-1; k++ {
+		must(in.AddFact("R", val("d", k), val("d", k+1)))
+		must(in.AddFact("L", val("d", k), val("d", k+1)))
+	}
+	must(in.AddFact("R", val("d", j-1), val("d", 0)))
+	must(in.AddFact("L", val("d", j-1), val("d", 0)))
+	must(in.AddFact("A", val("d", j-1)))
+	return instance.NewPointed(in, val("d", 0))
+}
+
+// LRAInstance returns the negative-example instance I of Figure 5
+// (Theorem 5.37) with domain {01, 10, 11, b}.
+func LRAInstance() *instance.Instance {
+	in := instance.New(SchemaLRA)
+	v01, v10, v11, b := instance.Value("01"), instance.Value("10"), instance.Value("11"), instance.Value("b")
+	must(in.AddFact("L", v10, v11))
+	must(in.AddFact("R", v10, v01))
+	must(in.AddFact("R", v10, v10))
+	must(in.AddFact("R", v01, v11))
+	must(in.AddFact("L", v01, v01))
+	must(in.AddFact("L", v01, v10))
+	must(in.AddFact("R", b, b))
+	must(in.AddFact("L", b, b))
+	must(in.AddFact("A", b))
+	for _, a := range []instance.Value{v01, v10} {
+		must(in.AddFact("R", b, a))
+		must(in.AddFact("L", b, a))
+	}
+	must(in.AddFact("L", v11, v11))
+	must(in.AddFact("R", v11, v11))
+	must(in.AddFact("A", v11))
+	return in
+}
+
+// DoubleExpTreeFamily returns the labeled examples of Theorem 5.37 for
+// parameter n: positives are the L/R/A prime cycles D_{p_1}..D_{p_n}
+// pointed at their first element, negatives are (I, 01) and (I, 10).
+// A fitting tree CQ exists and every fitting tree CQ has size at least
+// 2^(2^n) (it must contain a complete binary L,R,A-tree whose depth is a
+// common multiple of the primes).
+func DoubleExpTreeFamily(n int) (pos, neg []instance.Pointed) {
+	for _, p := range Primes(n) {
+		pos = append(pos, LRACycle(p))
+	}
+	i := LRAInstance()
+	neg = []instance.Pointed{
+		instance.NewPointed(i, "01"),
+		instance.NewPointed(i, "10"),
+	}
+	return pos, neg
+}

@@ -1,0 +1,68 @@
+package hom
+
+import "extremalcq/internal/instance"
+
+// Core computes the core of a pointed instance: the unique (up to
+// isomorphism) minimal induced subinstance to which it is homomorphically
+// equivalent, with the distinguished tuple fixed pointwise (Section 2.1).
+//
+// The algorithm repeatedly looks for a retraction that avoids some
+// non-distinguished element and replaces the instance by the induced
+// subinstance on the remaining values.
+func Core(p instance.Pointed) instance.Pointed {
+	cur := p.Clone()
+	for {
+		dropped := false
+		distinguished := make(map[instance.Value]bool, len(cur.Tuple))
+		for _, a := range cur.Tuple {
+			distinguished[a] = true
+		}
+		for _, m := range cur.I.Dom() {
+			if distinguished[m] {
+				continue
+			}
+			keep := make(map[instance.Value]bool, cur.I.DomSize()-1)
+			for _, v := range cur.I.Dom() {
+				if v != m {
+					keep[v] = true
+				}
+			}
+			target := instance.Pointed{I: cur.I.Restrict(keep), Tuple: cur.Tuple}
+			// The distinguished elements must still occur in the target if
+			// they occurred before (retraction fixes them, so facts over
+			// them must survive the restriction to be mappable).
+			if h, ok := retraction(cur, target); ok {
+				cur = imageOf(cur, h)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return cur
+		}
+	}
+}
+
+// retraction finds a homomorphism from p into target (an induced
+// subinstance of p) fixing the distinguished tuple pointwise.
+func retraction(p, target instance.Pointed) (Assignment, bool) {
+	return Find(p, target)
+}
+
+// imageOf restricts p to the image of h (induced subinstance).
+func imageOf(p instance.Pointed, h Assignment) instance.Pointed {
+	keep := make(map[instance.Value]bool, len(h))
+	for _, w := range h {
+		keep[w] = true
+	}
+	for _, a := range p.Tuple {
+		keep[a] = true
+	}
+	return instance.Pointed{I: p.I.Restrict(keep), Tuple: p.Tuple}
+}
+
+// IsCore reports whether p is its own core (up to the fixed tuple).
+func IsCore(p instance.Pointed) bool {
+	c := Core(p)
+	return c.I.DomSize() == p.I.DomSize() && c.I.Size() == p.I.Size()
+}

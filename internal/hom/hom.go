@@ -1,0 +1,339 @@
+// Package hom implements homomorphisms between pointed instances
+// (Section 2.1), the homomorphism pre-order (Section 2.2), cores, and the
+// arc-consistency procedure used in Proposition 4.7.
+//
+// A homomorphism h : (I,ā) → (J,b̄) maps adom(I) ∪ {ā} to adom(J) ∪ {b̄},
+// preserves every fact, and maps each distinguished element to the
+// corresponding distinguished element.
+package hom
+
+import (
+	"sort"
+
+	"extremalcq/internal/instance"
+)
+
+// Assignment maps source values to target values.
+type Assignment map[instance.Value]instance.Value
+
+// Exists reports whether a homomorphism from 'from' to 'to' exists.
+func Exists(from, to instance.Pointed) bool {
+	_, ok := Find(from, to)
+	return ok
+}
+
+// Find returns a homomorphism from 'from' to 'to' if one exists. The
+// assignment covers adom(from) and all distinguished elements.
+func Find(from, to instance.Pointed) (Assignment, bool) {
+	s, ok := newSearch(from, to)
+	if !ok {
+		return nil, false
+	}
+	return s.solve()
+}
+
+// FindAll enumerates homomorphisms from 'from' to 'to', invoking yield
+// for each (with a copy of the assignment) until yield returns false or
+// the space is exhausted.
+func FindAll(from, to instance.Pointed, yield func(Assignment) bool) {
+	s, ok := newSearch(from, to)
+	if !ok {
+		return
+	}
+	s.enumerate(yield)
+}
+
+// Equivalent reports homomorphic equivalence: from → to and to → from.
+func Equivalent(a, b instance.Pointed) bool {
+	return Exists(a, b) && Exists(b, a)
+}
+
+// StrictlyBelow reports a → b and b ↛ a (a is strictly below b in the
+// homomorphism pre-order).
+func StrictlyBelow(a, b instance.Pointed) bool {
+	return Exists(a, b) && !Exists(b, a)
+}
+
+// Incomparable reports that neither maps to the other.
+func Incomparable(a, b instance.Pointed) bool {
+	return !Exists(a, b) && !Exists(b, a)
+}
+
+// ExistsToAny reports whether from maps into at least one element of ts.
+func ExistsToAny(from instance.Pointed, ts []instance.Pointed) bool {
+	for _, t := range ts {
+		if Exists(from, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExistsToAll reports whether from maps into every element of ts.
+func ExistsToAll(from instance.Pointed, ts []instance.Pointed) bool {
+	for _, t := range ts {
+		if !Exists(from, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// search state
+// ---------------------------------------------------------------------
+
+type search struct {
+	from, to instance.Pointed
+	vars     []instance.Value                    // adom(from), sorted
+	domains  map[instance.Value][]instance.Value // candidate targets
+	fixed    Assignment                          // distinguished elements outside adom(from)
+}
+
+// newSearch validates schemas/arities/equality types and seeds domains
+// with the distinguished tuple. ok=false means no homomorphism can exist.
+func newSearch(from, to instance.Pointed) (*search, bool) {
+	if !from.I.Schema().Equal(to.I.Schema()) || from.Arity() != to.Arity() {
+		return nil, false
+	}
+	s := &search{
+		from:    from,
+		to:      to,
+		domains: make(map[instance.Value][]instance.Value),
+		fixed:   make(Assignment),
+	}
+	// Required images of distinguished elements; h is a function, so
+	// repeated source values must have equal targets.
+	need := make(Assignment)
+	for i, a := range from.Tuple {
+		b := to.Tuple[i]
+		if prev, ok := need[a]; ok && prev != b {
+			return nil, false
+		}
+		need[a] = b
+	}
+	toDom := to.I.Dom()
+	for _, v := range from.I.Dom() {
+		if b, ok := need[v]; ok {
+			// Distinguished element occurring in a fact must map to a
+			// target value that also occurs in a fact.
+			if !to.I.InDom(b) {
+				return nil, false
+			}
+			s.domains[v] = []instance.Value{b}
+			continue
+		}
+		s.domains[v] = append([]instance.Value(nil), toDom...)
+	}
+	for a, b := range need {
+		if !from.I.InDom(a) {
+			s.fixed[a] = b
+		}
+	}
+	s.vars = from.I.Dom()
+	return s, true
+}
+
+func (s *search) solve() (Assignment, bool) {
+	dom, ok := propagate(s.from.I, s.to.I, s.domains)
+	if !ok {
+		return nil, false
+	}
+	res := s.backtrack(dom)
+	if res == nil {
+		return nil, false
+	}
+	for a, b := range s.fixed {
+		res[a] = b
+	}
+	return res, true
+}
+
+// backtrack runs GAC-based search and returns a full assignment or nil.
+func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
+	v, ok := pickVar(s.vars, dom)
+	if !ok {
+		// All singleton: extract and verify.
+		a := make(Assignment, len(dom))
+		for _, u := range s.vars {
+			a[u] = dom[u][0]
+		}
+		if validHom(s.from.I, s.to.I, a) {
+			return a
+		}
+		return nil
+	}
+	for _, w := range dom[v] {
+		trial := copyDomains(dom)
+		trial[v] = []instance.Value{w}
+		next, ok := propagate(s.from.I, s.to.I, trial)
+		if !ok {
+			continue
+		}
+		if res := s.backtrack(next); res != nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// enumerate yields every homomorphism.
+func (s *search) enumerate(yield func(Assignment) bool) {
+	dom, ok := propagate(s.from.I, s.to.I, s.domains)
+	if !ok {
+		return
+	}
+	s.enumRec(dom, yield)
+}
+
+// enumRec returns false if enumeration should stop.
+func (s *search) enumRec(dom map[instance.Value][]instance.Value, yield func(Assignment) bool) bool {
+	v, ok := pickVar(s.vars, dom)
+	if !ok {
+		a := make(Assignment, len(dom))
+		for _, u := range s.vars {
+			a[u] = dom[u][0]
+		}
+		if !validHom(s.from.I, s.to.I, a) {
+			return true
+		}
+		for k, b := range s.fixed {
+			a[k] = b
+		}
+		return yield(a)
+	}
+	for _, w := range dom[v] {
+		trial := copyDomains(dom)
+		trial[v] = []instance.Value{w}
+		next, ok := propagate(s.from.I, s.to.I, trial)
+		if !ok {
+			continue
+		}
+		if !s.enumRec(next, yield) {
+			return false
+		}
+	}
+	return true
+}
+
+// pickVar selects the unassigned variable with the smallest domain > 1.
+func pickVar(vars []instance.Value, dom map[instance.Value][]instance.Value) (instance.Value, bool) {
+	var best instance.Value
+	bestLen := -1
+	for _, v := range vars {
+		if n := len(dom[v]); n > 1 && (bestLen == -1 || n < bestLen) {
+			best, bestLen = v, n
+		}
+	}
+	return best, bestLen != -1
+}
+
+func copyDomains(dom map[instance.Value][]instance.Value) map[instance.Value][]instance.Value {
+	out := make(map[instance.Value][]instance.Value, len(dom))
+	for v, ws := range dom {
+		out[v] = append([]instance.Value(nil), ws...)
+	}
+	return out
+}
+
+// validHom checks that assignment a maps every fact of from into to.
+func validHom(from, to *instance.Instance, a Assignment) bool {
+	for _, f := range from.Facts() {
+		if !to.Has(f.Map(map[instance.Value]instance.Value(a))) {
+			return false
+		}
+	}
+	return true
+}
+
+// propagate enforces generalized arc consistency fact-by-fact until a
+// fixpoint. Returns the narrowed domains, or ok=false if some domain
+// became empty.
+func propagate(from, to *instance.Instance, dom map[instance.Value][]instance.Value) (map[instance.Value][]instance.Value, bool) {
+	dom = copyDomains(dom)
+	facts := from.Facts()
+	changed := true
+	for changed {
+		changed = false
+		for _, f := range facts {
+			for i, v := range f.Args {
+				kept := dom[v][:0:0]
+				for _, w := range dom[v] {
+					if supported(to, f, i, w, dom) {
+						kept = append(kept, w)
+					}
+				}
+				if len(kept) == 0 {
+					return nil, false
+				}
+				if len(kept) != len(dom[v]) {
+					dom[v] = kept
+					changed = true
+				}
+			}
+		}
+	}
+	return dom, true
+}
+
+// supported reports whether there is a fact g = R(w̄) in 'to' with
+// g.Args[i] == w, g.Args[j] in dom(f.Args[j]) for all j, and repeated
+// source variables receiving equal target values.
+func supported(to *instance.Instance, f instance.Fact, i int, w instance.Value, dom map[instance.Value][]instance.Value) bool {
+	for _, g := range to.FactsWith(f.Rel, i, w) {
+		if factSupports(f, g, dom) {
+			return true
+		}
+	}
+	return false
+}
+
+func factSupports(f, g instance.Fact, dom map[instance.Value][]instance.Value) bool {
+	// Repeated-variable consistency within the fact.
+	img := make(map[instance.Value]instance.Value, len(f.Args))
+	for j, v := range f.Args {
+		tw := g.Args[j]
+		if prev, ok := img[v]; ok {
+			if prev != tw {
+				return false
+			}
+			continue
+		}
+		if !contains(dom[v], tw) {
+			return false
+		}
+		img[v] = tw
+	}
+	return true
+}
+
+func contains(ws []instance.Value, w instance.Value) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// ArcConsistent runs the arc-consistency procedure from 'from' to 'to'
+// (with distinguished elements seeded position-wise) and reports whether
+// it terminates with all domains non-empty. For c-acyclic 'from' this is
+// exact for homomorphism existence; in general it is a necessary
+// condition. It also decides the implication test of Prop 4.7: arc
+// consistency from e' to e succeeds iff every c-acyclic t with t → e'
+// satisfies t → e.
+func ArcConsistent(from, to instance.Pointed) bool {
+	s, ok := newSearch(from, to)
+	if !ok {
+		return false
+	}
+	_, ok = propagate(s.from.I, s.to.I, s.domains)
+	return ok
+}
+
+// SortValues sorts a value slice in place and returns it (test helper).
+func SortValues(vs []instance.Value) []instance.Value {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}

@@ -1,0 +1,167 @@
+package hom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"extremalcq/internal/genex"
+	"extremalcq/internal/instance"
+)
+
+// quickExample wraps a pointed instance with a testing/quick Generator,
+// so the paper's order-theoretic invariants can be checked as
+// property-based tests on the homomorphism pre-order.
+type quickExample struct {
+	P instance.Pointed
+}
+
+// Generate implements quick.Generator: a random Boolean pointed instance
+// over the single binary relation R with up to 4 values and 5 facts.
+func (quickExample) Generate(r *rand.Rand, size int) reflect.Value {
+	dom := 2 + r.Intn(3)
+	facts := 1 + r.Intn(5)
+	in := genex.RandomInstance(r, genex.SchemaR, dom, facts)
+	return reflect.ValueOf(quickExample{P: instance.NewPointed(in)})
+}
+
+// quickRooted is like quickExample but unary (one distinguished value).
+type quickRooted struct {
+	P instance.Pointed
+}
+
+func (quickRooted) Generate(r *rand.Rand, size int) reflect.Value {
+	dom := 2 + r.Intn(3)
+	facts := 1 + r.Intn(4)
+	in := genex.RandomInstance(r, genex.SchemaR, dom, facts)
+	d := in.Dom()
+	root := d[r.Intn(len(d))]
+	return reflect.ValueOf(quickRooted{P: instance.NewPointed(in, root)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(97))}
+
+// Prop 2.7: the direct product is a greatest lower bound.
+func TestQuickProductGLB(t *testing.T) {
+	prop := func(a, b, x quickExample) bool {
+		p, err := instance.Product(a.P, b.P)
+		if err != nil {
+			return false
+		}
+		return Exists(x.P, p) == (Exists(x.P, a.P) && Exists(x.P, b.P))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop 2.2/2.4: the disjoint union is a least upper bound for UNP
+// examples.
+func TestQuickUnionLUB(t *testing.T) {
+	prop := func(a, b, y quickExample) bool {
+		u, err := instance.DisjointUnion(a.P, b.P)
+		if err != nil {
+			return false
+		}
+		return Exists(u, y.P) == (Exists(a.P, y.P) && Exists(b.P, y.P))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cores are hom-equivalent, idempotent, and never larger.
+func TestQuickCore(t *testing.T) {
+	prop := func(a quickRooted) bool {
+		c := Core(a.P)
+		if !Equivalent(a.P, c) {
+			return false
+		}
+		if c.I.DomSize() > a.P.I.DomSize() || c.I.Size() > a.P.I.Size() {
+			return false
+		}
+		cc := Core(c)
+		return cc.I.DomSize() == c.I.DomSize() && cc.I.Size() == c.I.Size()
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Hom existence is invariant under coring on both sides.
+func TestQuickHomCoreInvariance(t *testing.T) {
+	prop := func(a, b quickRooted) bool {
+		want := Exists(a.P, b.P)
+		return Exists(Core(a.P), b.P) == want && Exists(a.P, Core(b.P)) == want
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Arc consistency is a necessary condition for homomorphism existence.
+func TestQuickACNecessary(t *testing.T) {
+	prop := func(a, b quickRooted) bool {
+		if Exists(a.P, b.P) && !ArcConsistent(a.P, b.P) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Products commute up to hom-equivalence.
+func TestQuickProductCommutes(t *testing.T) {
+	prop := func(a, b quickExample) bool {
+		ab, err1 := instance.Product(a.P, b.P)
+		ba, err2 := instance.Product(b.P, a.P)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return Equivalent(ab, ba)
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The fitting convexity of Section 1, sampled: if x -> y -> z in the
+// hom pre-order and both x and z map into a target, homomorphism
+// transitivity forces y's relationship to stay consistent (regression
+// guard for the search pruning).
+func TestQuickTransitivity(t *testing.T) {
+	prop := func(a, b, c quickExample) bool {
+		if Exists(a.P, b.P) && Exists(b.P, c.P) && !Exists(a.P, c.P) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// FindAll agrees with Exists and yields only valid homomorphisms.
+func TestQuickFindAllValid(t *testing.T) {
+	prop := func(a, b quickRooted) bool {
+		any := false
+		okAll := true
+		FindAll(a.P, b.P, func(h Assignment) bool {
+			any = true
+			for _, f := range a.P.I.Facts() {
+				if !b.P.I.Has(f.Map(map[instance.Value]instance.Value(h))) {
+					okAll = false
+				}
+			}
+			return okAll
+		})
+		return okAll && any == Exists(a.P, b.P)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(101))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package instance
+
+import "sort"
+
+// Components returns the connected components of a pointed instance, in
+// the sense of Section 2.2: a pointed instance is connected if it cannot
+// be written as the disjoint union of two or more non-empty pointed
+// instances. Equivalently, two facts belong to the same component iff
+// they are linked by a chain of facts sharing *non-distinguished*
+// values (distinguished elements are shared by all components and do not
+// connect them). Each returned component carries the full distinguished
+// tuple; components need not be data examples (Example 2.3).
+func Components(p Pointed) []Pointed {
+	distinguished := make(map[Value]bool, len(p.Tuple))
+	for _, a := range p.Tuple {
+		distinguished[a] = true
+	}
+
+	facts := p.I.Facts()
+	n := len(facts)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	// Union facts sharing a non-distinguished value.
+	byVal := make(map[Value][]int)
+	for i, f := range facts {
+		for _, a := range f.Args {
+			if !distinguished[a] {
+				byVal[a] = append(byVal[a], i)
+			}
+		}
+	}
+	for _, idxs := range byVal {
+		for _, j := range idxs[1:] {
+			union(idxs[0], j)
+		}
+	}
+
+	groups := make(map[int][]Fact)
+	for i, f := range facts {
+		r := find(i)
+		groups[r] = append(groups[r], f)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	out := make([]Pointed, 0, len(groups))
+	for _, r := range roots {
+		in := New(p.I.Schema())
+		for _, f := range groups[r] {
+			in.addFactUnchecked(f)
+		}
+		out = append(out, Pointed{I: in, Tuple: append([]Value(nil), p.Tuple...)})
+	}
+	return out
+}
+
+// Connected reports whether the pointed instance has at most one
+// connected component.
+func Connected(p Pointed) bool { return len(Components(p)) <= 1 }
+
+// CAcyclic reports whether the pointed instance is c-acyclic
+// (Definition 2.10): every cycle of its incidence graph — the bipartite
+// multigraph between active-domain elements and facts, with one edge per
+// occurrence — passes through a distinguished element.
+//
+// Implementation: delete the distinguished elements from the incidence
+// graph; the pointed instance is c-acyclic iff the remainder is a forest,
+// where a repeated occurrence of a non-distinguished element within a
+// single fact already constitutes a (multi-edge) cycle.
+func CAcyclic(p Pointed) bool {
+	distinguished := make(map[Value]bool, len(p.Tuple))
+	for _, a := range p.Tuple {
+		distinguished[a] = true
+	}
+
+	// Node ids: values get ids >= 0 via this map; facts get ids by index.
+	valID := make(map[Value]int)
+	for _, v := range p.I.Dom() {
+		if !distinguished[v] {
+			valID[v] = len(valID)
+		}
+	}
+	facts := p.I.Facts()
+	nVal := len(valID)
+	total := nVal + len(facts)
+	parent := make([]int, total)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	for fi, f := range facts {
+		fnode := nVal + fi
+		for _, a := range f.Args {
+			if distinguished[a] {
+				continue
+			}
+			vnode := valID[a]
+			ra, rb := find(vnode), find(fnode)
+			if ra == rb {
+				// Second path between this value and this fact (possibly a
+				// repeated occurrence inside the same fact): cycle avoiding
+				// distinguished elements.
+				return false
+			}
+			parent[ra] = rb
+		}
+	}
+	return true
+}
+
+// IncidenceDegree returns the degree of the pointed instance: the largest
+// number of occurrences of a single value across all facts (counting
+// multiplicity), i.e. the maximum degree of value nodes in the incidence
+// graph. For the canonical example of a CQ this is the degree of the CQ
+// (Section 2.1).
+func IncidenceDegree(p Pointed) int {
+	count := make(map[Value]int)
+	for _, f := range p.I.Facts() {
+		for _, a := range f.Args {
+			count[a]++
+		}
+	}
+	max := 0
+	for _, c := range count {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -1,0 +1,209 @@
+package instance
+
+import "sort"
+
+// Isomorphic reports whether two pointed instances are isomorphic: there
+// is a bijection between active domains mapping the fact set of one
+// exactly onto the fact set of the other and the distinguished tuple
+// position-wise onto the other tuple. Intended for the small instances
+// arising in tests and frontier/duality constructions; the search is
+// exponential in the worst case but prunes with degree signatures.
+func Isomorphic(p, q Pointed) bool {
+	if len(p.Tuple) != len(q.Tuple) || p.I.Size() != q.I.Size() || p.I.DomSize() != q.I.DomSize() {
+		return false
+	}
+	// Quick signature check: multiset of per-relation fact counts.
+	if !sameRelProfile(p.I, q.I) {
+		return false
+	}
+
+	pDom, qDom := p.I.Dom(), q.I.Dom()
+	sigP := signatures(p)
+	sigQ := signatures(q)
+
+	// Candidate targets per source value: equal signature.
+	cands := make(map[Value][]Value, len(pDom))
+	for _, v := range pDom {
+		for _, w := range qDom {
+			if sigP[v] == sigQ[w] {
+				cands[v] = append(cands[v], v2(w))
+			}
+		}
+		if len(cands[v]) == 0 {
+			return false
+		}
+	}
+
+	h := make(map[Value]Value, len(pDom))
+	used := make(map[Value]bool, len(qDom))
+
+	// Seed with the distinguished tuple.
+	for i, a := range p.Tuple {
+		b := q.Tuple[i]
+		if prev, ok := h[a]; ok {
+			if prev != b {
+				return false
+			}
+			continue
+		}
+		if used[b] {
+			return false
+		}
+		if p.I.InDom(a) != q.I.InDom(b) {
+			return false
+		}
+		if p.I.InDom(a) && sigP[a] != sigQ[b] {
+			return false
+		}
+		h[a] = b
+		used[b] = true
+	}
+
+	// Order domain values by fewest candidates first.
+	order := append([]Value(nil), pDom...)
+	sort.Slice(order, func(i, j int) bool { return len(cands[order[i]]) < len(cands[order[j]]) })
+
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(order) {
+			return factsMatch(p.I, q.I, h)
+		}
+		v := order[i]
+		if _, done := h[v]; done {
+			return rec(i + 1)
+		}
+		for _, w := range cands[v] {
+			if used[w] {
+				continue
+			}
+			h[v] = w
+			used[w] = true
+			if partialOK(p.I, q.I, h, v) && rec(i+1) {
+				return true
+			}
+			delete(h, v)
+			used[w] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+func v2(w Value) Value { return w }
+
+// signature is a coarse invariant of a value within its instance.
+type signature struct {
+	occurrences   int
+	distinguished bool
+	relProfile    string
+}
+
+func signatures(p Pointed) map[Value]signature {
+	distinguished := make(map[Value]bool)
+	for _, a := range p.Tuple {
+		distinguished[a] = true
+	}
+	out := make(map[Value]signature)
+	prof := make(map[Value][]byte)
+	occ := make(map[Value]int)
+	for _, f := range p.I.Facts() {
+		for pos, a := range f.Args {
+			occ[a]++
+			prof[a] = append(prof[a], []byte(f.Rel)...)
+			prof[a] = append(prof[a], byte('0'+pos), ';')
+		}
+	}
+	for _, v := range p.I.Dom() {
+		b := prof[v]
+		sortBytesChunks(b)
+		out[v] = signature{occurrences: occ[v], distinguished: distinguished[v], relProfile: string(b)}
+	}
+	return out
+}
+
+// sortBytesChunks sorts the ';'-separated chunks of b in place-ish; we
+// rebuild deterministically.
+func sortBytesChunks(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	parts := splitChunks(string(b))
+	sort.Strings(parts)
+	pos := 0
+	for _, pt := range parts {
+		copy(b[pos:], pt)
+		pos += len(pt)
+		b[pos] = ';'
+		pos++
+	}
+}
+
+func splitChunks(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == ';' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func sameRelProfile(a, b *Instance) bool {
+	ca := make(map[string]int)
+	for _, f := range a.Facts() {
+		ca[f.Rel]++
+	}
+	cb := make(map[string]int)
+	for _, f := range b.Facts() {
+		cb[f.Rel]++
+	}
+	if len(ca) != len(cb) {
+		return false
+	}
+	for r, n := range ca {
+		if cb[r] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// partialOK checks that every fact of p fully mapped by h (and involving
+// v) has an image in q.
+func partialOK(pI, qI *Instance, h map[Value]Value, v Value) bool {
+	for _, f := range pI.FactsContaining(v) {
+		mapped := true
+		for _, a := range f.Args {
+			if _, ok := h[a]; !ok {
+				mapped = false
+				break
+			}
+		}
+		if mapped && !qI.Has(f.Map(h)) {
+			return false
+		}
+	}
+	return true
+}
+
+// factsMatch verifies that h maps the fact set of pI bijectively onto qI.
+func factsMatch(pI, qI *Instance, h map[Value]Value) bool {
+	if pI.Size() != qI.Size() {
+		return false
+	}
+	seen := make(map[string]bool, pI.Size())
+	for _, f := range pI.Facts() {
+		g := f.Map(h)
+		if !qI.Has(g) {
+			return false
+		}
+		k := g.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package instance
+
+import (
+	"fmt"
+	"strings"
+
+	"extremalcq/internal/schema"
+)
+
+// ParseFacts parses a textual fact list like
+//
+//	R(a,b). P(c). R(b,c)
+//
+// Facts may be separated by '.', ',', ';' (at nesting depth zero) or
+// newlines; '#' starts a line comment. Values are validated with
+// CheckValue.
+func ParseFacts(sch *schema.Schema, s string) (*Instance, error) {
+	in := New(sch)
+	for _, raw := range splitFacts(s) {
+		rel, args, err := parseAtom(raw)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range args {
+			if err := CheckValue(a); err != nil {
+				return nil, err
+			}
+		}
+		if err := in.AddFact(rel, args...); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// ParsePointed parses "facts @ tuple", e.g.
+//
+//	R(a,b). P(c) @ a, b
+//
+// The "@ tuple" part is optional; without it the arity is 0.
+func ParsePointed(sch *schema.Schema, s string) (Pointed, error) {
+	factPart, tuplePart, hasTuple := strings.Cut(s, "@")
+	in, err := ParseFacts(sch, factPart)
+	if err != nil {
+		return Pointed{}, err
+	}
+	var tuple []Value
+	if hasTuple {
+		for _, t := range strings.Split(tuplePart, ",") {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				continue
+			}
+			v := Value(t)
+			if err := CheckValue(v); err != nil {
+				return Pointed{}, err
+			}
+			tuple = append(tuple, v)
+		}
+	}
+	return Pointed{I: in, Tuple: tuple}, nil
+}
+
+// splitFacts splits on separators at paren-depth zero and drops comments
+// and blanks.
+func splitFacts(s string) []string {
+	var out []string
+	var cur strings.Builder
+	depth := 0
+	flush := func() {
+		t := strings.TrimSpace(cur.String())
+		if t != "" {
+			out = append(out, t)
+		}
+		cur.Reset()
+	}
+	lines := strings.Split(s, "\n")
+	for _, line := range lines {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, r := range line {
+			switch r {
+			case '(':
+				depth++
+				cur.WriteRune(r)
+			case ')':
+				depth--
+				cur.WriteRune(r)
+			case '.', ';':
+				if depth == 0 {
+					flush()
+				} else {
+					cur.WriteRune(r)
+				}
+			case ',':
+				if depth == 0 {
+					flush()
+				} else {
+					cur.WriteRune(r)
+				}
+			default:
+				cur.WriteRune(r)
+			}
+		}
+		flush()
+	}
+	flush()
+	return out
+}
+
+// parseAtom parses "R(a,b)" into relation name and arguments.
+func parseAtom(s string) (string, []Value, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("instance: malformed fact %q", s)
+	}
+	rel := strings.TrimSpace(s[:open])
+	if rel == "" {
+		return "", nil, fmt.Errorf("instance: missing relation name in %q", s)
+	}
+	inner := s[open+1 : len(s)-1]
+	var args []Value
+	for _, a := range strings.Split(inner, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, fmt.Errorf("instance: empty argument in %q", s)
+		}
+		args = append(args, Value(a))
+	}
+	return rel, args, nil
+}

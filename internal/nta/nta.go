@@ -1,0 +1,455 @@
+// Package nta implements bottom-up nondeterministic tree automata over
+// Σ-labeled d-ary trees (Section 2.3, Definitions 2.17/2.18), with the
+// operations of Theorem 2.19: emptiness, minimal accepted tree
+// (DAG-shared dynamic programming), intersection, union, and complement
+// via determinization.
+package nta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is an alphabet symbol.
+type Symbol string
+
+// Bot marks an absent child in a transition (⊥ in the paper).
+const Bot = -1
+
+// Tree is a Σ-labeled d-ary tree. Children may be nil (absent); the
+// paper permits an i-th successor without a j-th for j < i.
+type Tree struct {
+	Sym      Symbol
+	Children []*Tree // length <= d; nil entries are absent children
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int {
+	if t == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// String renders the tree as Sym(child,...).
+func (t *Tree) String() string {
+	if t == nil {
+		return "⊥"
+	}
+	if len(t.Children) == 0 {
+		return string(t.Sym)
+	}
+	parts := make([]string, len(t.Children))
+	for i, c := range t.Children {
+		parts[i] = c.String()
+	}
+	return string(t.Sym) + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Transition is ⟨q_1,...,q_d⟩ --σ--> q with Bot entries for absent
+// children.
+type Transition struct {
+	Children []int
+	Sym      Symbol
+	Target   int
+}
+
+// NTA is a bottom-up nondeterministic tree automaton.
+type NTA struct {
+	D        int
+	Alphabet []Symbol
+	States   int
+	Trans    []Transition
+	Final    map[int]bool
+}
+
+// New builds an empty automaton skeleton.
+func New(d int, alphabet []Symbol, states int) *NTA {
+	return &NTA{D: d, Alphabet: append([]Symbol(nil), alphabet...), States: states, Final: map[int]bool{}}
+}
+
+// AddTransition appends a transition, normalizing the child vector to
+// length D with Bot padding.
+func (a *NTA) AddTransition(children []int, sym Symbol, target int) {
+	cs := make([]int, a.D)
+	for i := range cs {
+		cs[i] = Bot
+	}
+	copy(cs, children)
+	a.Trans = append(a.Trans, Transition{Children: cs, Sym: sym, Target: target})
+}
+
+// Accepts reports whether the automaton accepts the tree, by computing
+// the set of states reachable at every node bottom-up (this is the
+// standard subset evaluation; acceptance iff a final state is reachable
+// at the root).
+func (a *NTA) Accepts(t *Tree) bool {
+	states := a.eval(t)
+	for q := range states {
+		if a.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *NTA) eval(t *Tree) map[int]bool {
+	childSets := make([]map[int]bool, a.D)
+	for i := 0; i < a.D; i++ {
+		if i < len(t.Children) && t.Children[i] != nil {
+			childSets[i] = a.eval(t.Children[i])
+		}
+	}
+	out := map[int]bool{}
+	for _, tr := range a.Trans {
+		if tr.Sym != t.Sym {
+			continue
+		}
+		ok := true
+		for i, c := range tr.Children {
+			if c == Bot {
+				if childSets[i] != nil {
+					ok = false
+					break
+				}
+				continue
+			}
+			if childSets[i] == nil || !childSets[i][c] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[tr.Target] = true
+		}
+	}
+	return out
+}
+
+// NonEmpty decides language non-emptiness in polynomial time
+// (Theorem 2.19(1)): a state is productive if some transition reaches it
+// from productive (or absent) children.
+func (a *NTA) NonEmpty() bool {
+	productive := a.productiveStates()
+	for q := range productive {
+		if a.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *NTA) productiveStates() map[int]bool {
+	productive := map[int]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, tr := range a.Trans {
+			if productive[tr.Target] {
+				continue
+			}
+			ok := true
+			for _, c := range tr.Children {
+				if c != Bot && !productive[c] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				productive[tr.Target] = true
+				changed = true
+			}
+		}
+	}
+	return productive
+}
+
+// MinimalTree returns a tree of minimal size accepted by the automaton
+// (Theorem 2.19(2)); subtrees are shared across states (a DAG in
+// memory), so the returned tree may alias subtrees.
+func (a *NTA) MinimalTree() (*Tree, bool) {
+	best := make([]*Tree, a.States)
+	size := make([]int, a.States)
+	for i := range size {
+		size[i] = 1 << 30
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, tr := range a.Trans {
+			total := 1
+			ok := true
+			for _, c := range tr.Children {
+				if c == Bot {
+					continue
+				}
+				if best[c] == nil {
+					ok = false
+					break
+				}
+				total += size[c]
+			}
+			if !ok || total >= size[tr.Target] {
+				continue
+			}
+			var children []*Tree
+			last := -1
+			for i, c := range tr.Children {
+				if c != Bot {
+					last = i
+				}
+			}
+			if last >= 0 {
+				children = make([]*Tree, last+1)
+				for i := 0; i <= last; i++ {
+					if tr.Children[i] != Bot {
+						children[i] = best[tr.Children[i]]
+					}
+				}
+			}
+			best[tr.Target] = &Tree{Sym: tr.Sym, Children: children}
+			size[tr.Target] = total
+			changed = true
+		}
+	}
+	var res *Tree
+	resSize := 1 << 30
+	for q := range a.Final {
+		if best[q] != nil && size[q] < resSize {
+			res, resSize = best[q], size[q]
+		}
+	}
+	return res, res != nil
+}
+
+// Intersect builds the product automaton (Theorem 2.19(4)). The
+// automata must share arity and alphabet.
+func Intersect(a, b *NTA) (*NTA, error) {
+	if a.D != b.D {
+		return nil, fmt.Errorf("nta: arity mismatch %d vs %d", a.D, b.D)
+	}
+	out := New(a.D, a.Alphabet, a.States*b.States)
+	pair := func(x, y int) int { return x*b.States + y }
+	for _, ta := range a.Trans {
+		for _, tb := range b.Trans {
+			if ta.Sym != tb.Sym {
+				continue
+			}
+			ok := true
+			cs := make([]int, a.D)
+			for i := range cs {
+				ca, cb := ta.Children[i], tb.Children[i]
+				if (ca == Bot) != (cb == Bot) {
+					ok = false
+					break
+				}
+				if ca == Bot {
+					cs[i] = Bot
+				} else {
+					cs[i] = pair(ca, cb)
+				}
+			}
+			if ok {
+				out.AddTransition(cs, ta.Sym, pair(ta.Target, tb.Target))
+			}
+		}
+	}
+	for qa := range a.Final {
+		for qb := range b.Final {
+			out.Final[pair(qa, qb)] = true
+		}
+	}
+	return out, nil
+}
+
+// IntersectAll folds Intersect over a non-empty list.
+func IntersectAll(as []*NTA) (*NTA, error) {
+	if len(as) == 0 {
+		return nil, fmt.Errorf("nta: empty intersection")
+	}
+	acc := as[0]
+	var err error
+	for _, b := range as[1:] {
+		acc, err = Intersect(acc, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// Union builds the disjoint-union automaton.
+func Union(a, b *NTA) (*NTA, error) {
+	if a.D != b.D {
+		return nil, fmt.Errorf("nta: arity mismatch")
+	}
+	out := New(a.D, a.Alphabet, a.States+b.States)
+	shift := func(q, off int) int {
+		if q == Bot {
+			return Bot
+		}
+		return q + off
+	}
+	for _, tr := range a.Trans {
+		cs := make([]int, a.D)
+		for i, c := range tr.Children {
+			cs[i] = shift(c, 0)
+		}
+		out.AddTransition(cs, tr.Sym, tr.Target)
+	}
+	for _, tr := range b.Trans {
+		cs := make([]int, a.D)
+		for i, c := range tr.Children {
+			cs[i] = shift(c, a.States)
+		}
+		out.AddTransition(cs, tr.Sym, tr.Target+a.States)
+	}
+	for q := range a.Final {
+		out.Final[q] = true
+	}
+	for q := range b.Final {
+		out.Final[q+a.States] = true
+	}
+	return out, nil
+}
+
+// Complement determinizes the automaton (subset construction over
+// reachable subsets; single-exponential, Theorem 2.19(3)) and
+// complements the final states. The result accepts exactly the
+// well-formed Σ-labeled D-ary trees not in L(a). maxSubsets caps the
+// construction.
+func (a *NTA) Complement(maxSubsets int) (*NTA, error) {
+	det, err := a.determinize(maxSubsets)
+	if err != nil {
+		return nil, err
+	}
+	flipped := map[int]bool{}
+	for q := 0; q < det.States; q++ {
+		if !det.Final[q] {
+			flipped[q] = true
+		}
+	}
+	det.Final = flipped
+	return det, nil
+}
+
+// determinize runs the subset construction, producing a complete
+// deterministic automaton over reachable subsets (including the empty
+// subset as a sink).
+func (a *NTA) determinize(maxSubsets int) (*NTA, error) {
+	type key = string
+	subsetKey := func(s map[int]bool) key {
+		var xs []int
+		for q := range s {
+			xs = append(xs, q)
+		}
+		sort.Ints(xs)
+		var b strings.Builder
+		for _, x := range xs {
+			fmt.Fprintf(&b, "%d,", x)
+		}
+		return b.String()
+	}
+	ids := map[key]int{}
+	var subsets []map[int]bool
+	intern := func(s map[int]bool) int {
+		k := subsetKey(s)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := len(subsets)
+		ids[k] = id
+		subsets = append(subsets, s)
+		return id
+	}
+
+	// Index transitions by symbol for the closure computation.
+	bySym := map[Symbol][]Transition{}
+	for _, tr := range a.Trans {
+		bySym[tr.Sym] = append(bySym[tr.Sym], tr)
+	}
+
+	// step computes the subset reached from child subset-ids (Bot for
+	// absent) under sym.
+	step := func(children []int, sym Symbol) map[int]bool {
+		out := map[int]bool{}
+		for _, tr := range bySym[sym] {
+			ok := true
+			for i, c := range tr.Children {
+				if c == Bot {
+					if children[i] != Bot {
+						ok = false
+						break
+					}
+					continue
+				}
+				if children[i] == Bot || !subsets[children[i]][c] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[tr.Target] = true
+			}
+		}
+		return out
+	}
+
+	out := New(a.D, a.Alphabet, 0)
+	// Fixpoint: start with no subsets; repeatedly apply step to all
+	// combinations of known subsets (and Bot) under all symbols.
+	seenTrans := map[string]bool{}
+	changed := true
+	for changed {
+		changed = false
+		// Enumerate child vectors over current subsets ∪ {Bot}.
+		options := make([]int, 0, len(subsets)+1)
+		options = append(options, Bot)
+		for i := range subsets {
+			options = append(options, i)
+		}
+		var vecs [][]int
+		var build func(cur []int)
+		build = func(cur []int) {
+			if len(cur) == a.D {
+				vecs = append(vecs, append([]int(nil), cur...))
+				return
+			}
+			for _, o := range options {
+				build(append(cur, o))
+			}
+		}
+		build(nil)
+		for _, sym := range a.Alphabet {
+			for _, vec := range vecs {
+				tk := fmt.Sprintf("%v|%s", vec, sym)
+				if seenTrans[tk] {
+					continue
+				}
+				target := step(vec, sym)
+				tid := intern(target)
+				if len(subsets) > maxSubsets {
+					return nil, fmt.Errorf("nta: determinization exceeds %d subsets", maxSubsets)
+				}
+				seenTrans[tk] = true
+				out.AddTransition(vec, sym, tid)
+				changed = true
+			}
+		}
+	}
+	out.States = len(subsets)
+	for id, s := range subsets {
+		for q := range s {
+			if a.Final[q] {
+				out.Final[id] = true
+				break
+			}
+		}
+	}
+	return out, nil
+}

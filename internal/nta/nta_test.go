@@ -1,0 +1,119 @@
+package nta
+
+import "testing"
+
+// twoSymbolAutomaton accepts trees over {a, b} (binary) in which every
+// leaf is labeled a: states 0 = "subtree ok".
+func leafA() *NTA {
+	a := New(2, []Symbol{"a", "b"}, 1)
+	a.Final[0] = true
+	a.AddTransition([]int{Bot, Bot}, "a", 0)
+	for _, cs := range [][]int{{0, Bot}, {Bot, 0}, {0, 0}} {
+		a.AddTransition(cs, "a", 0)
+		a.AddTransition(cs, "b", 0)
+	}
+	return a
+}
+
+// rootB accepts trees whose root is labeled b, any children shape with
+// arbitrary labels below.
+func rootB() *NTA {
+	a := New(2, []Symbol{"a", "b"}, 2) // 0 = anything, 1 = root-b
+	a.Final[1] = true
+	for _, cs := range [][]int{{Bot, Bot}, {0, Bot}, {Bot, 0}, {0, 0}} {
+		a.AddTransition(cs, "a", 0)
+		a.AddTransition(cs, "b", 0)
+		a.AddTransition(cs, "b", 1)
+	}
+	return a
+}
+
+func leaf(s Symbol) *Tree { return &Tree{Sym: s} }
+
+func node(s Symbol, cs ...*Tree) *Tree { return &Tree{Sym: s, Children: cs} }
+
+func TestAcceptsAndSize(t *testing.T) {
+	a := leafA()
+	good := node("b", leaf("a"), node("b", leaf("a"), leaf("a")))
+	bad := node("b", leaf("b"))
+	if !a.Accepts(good) {
+		t.Error("leafA should accept all-a leaves")
+	}
+	if a.Accepts(bad) {
+		t.Error("leafA should reject a b-leaf")
+	}
+	if good.Size() != 5 {
+		t.Errorf("Size = %d, want 5", good.Size())
+	}
+}
+
+func TestNonEmptyAndMinimal(t *testing.T) {
+	a := leafA()
+	if !a.NonEmpty() {
+		t.Fatal("leafA is non-empty")
+	}
+	min, ok := a.MinimalTree()
+	if !ok || min.Size() != 1 || min.Sym != "a" {
+		t.Errorf("minimal tree = %v", min)
+	}
+	// An automaton with an unproductive final state is empty.
+	empty := New(2, []Symbol{"a"}, 1)
+	empty.Final[0] = true
+	empty.AddTransition([]int{0, Bot}, "a", 0) // needs itself: unproductive
+	if empty.NonEmpty() {
+		t.Error("self-dependent automaton must be empty")
+	}
+	if _, ok := empty.MinimalTree(); ok {
+		t.Error("no minimal tree in an empty language")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	both, err := Intersect(leafA(), rootB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBoth := node("b", leaf("a"))
+	onlyA := leaf("a")
+	onlyB := node("b", leaf("b"))
+	if !both.Accepts(inBoth) {
+		t.Error("intersection should accept b-root with a-leaf")
+	}
+	if both.Accepts(onlyA) || both.Accepts(onlyB) {
+		t.Error("intersection accepts too much")
+	}
+	u, err := Union(leafA(), rootB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []*Tree{inBoth, onlyA, onlyB} {
+		if !u.Accepts(tr) {
+			t.Errorf("union should accept %v", tr)
+		}
+	}
+	if u.Accepts(node("a", leaf("b"))) {
+		t.Error("union accepts a tree in neither language")
+	}
+	if _, err := Intersect(leafA(), New(3, []Symbol{"a"}, 1)); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	a := leafA()
+	c, err := a.Complement(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := []*Tree{
+		leaf("a"), leaf("b"),
+		node("a", leaf("a")), node("a", leaf("b")),
+		node("b", leaf("a"), leaf("b")),
+		node("b", node("a", leaf("a")), leaf("a")),
+	}
+	for _, s := range samples {
+		if a.Accepts(s) == c.Accepts(s) {
+			t.Errorf("complement not disjoint/covering on %v", s)
+		}
+	}
+}

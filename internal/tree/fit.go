@@ -1,0 +1,187 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/instance"
+)
+
+// Examples re-exports the labeled example collection; tree-CQ fitting
+// requires unary examples over a binary schema.
+type Examples = fitting.Examples
+
+// ErrNotTree is returned when a query is not a tree CQ.
+var ErrNotTree = errors.New("tree: query is not a tree CQ (unary, Berge-acyclic, connected, binary schema)")
+
+func checkExamples(e Examples) error {
+	if e.Arity != 1 {
+		return fmt.Errorf("tree: tree CQ fitting needs unary examples, got arity %d", e.Arity)
+	}
+	if !e.Schema.Binary() {
+		return fmt.Errorf("tree: tree CQ fitting needs a binary schema, got %v", e.Schema)
+	}
+	return nil
+}
+
+// Verify decides the verification problem for fitting tree CQs
+// (Thm 5.9, PTime): by Lemma 5.3, q fits iff q simulates into every
+// positive example and into no negative example.
+func Verify(q *cq.CQ, e Examples) (bool, error) {
+	if err := checkExamples(e); err != nil {
+		return false, err
+	}
+	if !IsTreeCQ(q) {
+		return false, ErrNotTree
+	}
+	if !q.Schema().Equal(e.Schema) {
+		return false, nil
+	}
+	qe := q.Example()
+	for _, p := range e.Pos {
+		if !Simulates(qe, p) {
+			return false, nil
+		}
+	}
+	for _, n := range e.Neg {
+		if Simulates(qe, n) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Exists decides the existence problem for fitting tree CQs (Thm 5.10,
+// ExpTime): a fitting exists iff the distinguished element of the
+// product P of the positive examples occurs in a fact and P simulates
+// into no negative example. (If P ⪯ some negative then any candidate q
+// with q ⪯ P composes into the negative; conversely deep unravelings of
+// P fit, by Lemma 5.5.)
+func Exists(e Examples) (bool, error) {
+	if err := checkExamples(e); err != nil {
+		return false, err
+	}
+	prod, err := e.PositiveProduct()
+	if err != nil {
+		return false, err
+	}
+	if !prod.I.InDom(prod.Tuple[0]) {
+		// Every tree CQ has at least one atom at the root.
+		return false, nil
+	}
+	for _, n := range e.Neg {
+		if Simulates(prod, n) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Construct returns a fitting tree CQ as a succinct DAG (Thm 5.11): the
+// m-unraveling of the positive product for the least sufficient depth m,
+// computed by the decreasing fixpoint H_m(p, b) = "the depth-m
+// unraveling of P at p maps into the negative at b".
+func Construct(e Examples) (*DAG, bool, error) {
+	ok, err := Exists(e)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	prod, err := e.PositiveProduct()
+	if err != nil {
+		return nil, false, err
+	}
+	depth := 0
+	for _, n := range e.Neg {
+		m, ok := separationDepth(prod, n)
+		if !ok {
+			return nil, false, fmt.Errorf("tree: internal: product simulates into a negative after Exists check")
+		}
+		if m > depth {
+			depth = m
+		}
+	}
+	return &DAG{Source: prod, Depth: depth}, true, nil
+}
+
+// separationDepth returns the least m such that the m-unraveling of
+// src at its root does NOT map into neg (root to root), via the
+// decreasing fixpoint H_m. ok=false if no such m exists (src ⪯ neg).
+func separationDepth(src, neg instance.Pointed) (int, bool) {
+	type key struct {
+		p, b instance.Value
+	}
+	// H_0: unary compatibility.
+	h := map[key]bool{}
+	for _, p := range src.I.Dom() {
+		for _, b := range neg.I.Dom() {
+			ok := true
+			for _, u := range UnaryLabels(src.I, p) {
+				if !neg.I.Has(instance.NewFact(u, b)) {
+					ok = false
+					break
+				}
+			}
+			h[key{p, b}] = ok
+		}
+	}
+	root, nroot := src.Tuple[0], neg.Tuple[0]
+	rootHolds := func(h map[key]bool) bool {
+		if !neg.I.InDom(nroot) {
+			return false
+		}
+		return h[key{root, nroot}]
+	}
+	if !rootHolds(h) {
+		return 0, true
+	}
+	maxIter := src.I.DomSize()*neg.I.DomSize() + 1
+	for m := 1; m <= maxIter; m++ {
+		next := map[key]bool{}
+		changed := false
+		for k, v := range h {
+			if !v {
+				next[k] = false
+				continue
+			}
+			ok := true
+			for _, st := range RoleSteps(src.I, k.p) {
+				found := false
+				var witnesses []instance.Fact
+				if st.Forward {
+					witnesses = neg.I.FactsWith(st.Rel, 0, k.b)
+				} else {
+					witnesses = neg.I.FactsWith(st.Rel, 1, k.b)
+				}
+				for _, g := range witnesses {
+					other := g.Args[1]
+					if !st.Forward {
+						other = g.Args[0]
+					}
+					if h[key{st.Other, other}] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			next[k] = ok
+			if ok != v {
+				changed = true
+			}
+		}
+		h = next
+		if !rootHolds(h) {
+			return m, true
+		}
+		if !changed {
+			// Fixpoint reached with the root still held: src ⪯ neg.
+			return 0, false
+		}
+	}
+	return 0, false
+}

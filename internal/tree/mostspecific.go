@@ -1,0 +1,181 @@
+package tree
+
+import (
+	"fmt"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/instance"
+)
+
+// VerifyMostSpecific decides verification of most-specific fitting tree
+// CQs (Prop 5.14): q fits E and the product of the positive examples
+// simulates into q. The weak and strong notions coincide.
+func VerifyMostSpecific(q *cq.CQ, e Examples) (bool, error) {
+	ok, err := Verify(q, e)
+	if err != nil || !ok {
+		return false, err
+	}
+	prod, err := e.PositiveProduct()
+	if err != nil {
+		return false, err
+	}
+	return Simulates(prod, q.Example()), nil
+}
+
+// ExistsMostSpecific decides existence of a most-specific fitting tree
+// CQ (Thm 5.15): a fitting must exist and the unraveling of the positive
+// product must have a complete initial piece (Prop 5.17), which is
+// detected by building the greedy requirement closure over the finite
+// state space (parent element, role, element) and checking it for
+// cycles. A found witness is re-verified exactly with VerifyMostSpecific.
+func ExistsMostSpecific(e Examples) (bool, error) {
+	_, ok, err := ConstructMostSpecific(e, 1<<20)
+	return ok, err
+}
+
+// ConstructMostSpecific builds a most-specific fitting tree CQ (a
+// complete initial piece of the unraveling of the positive product,
+// Thm 5.18) with at most maxNodes nodes, when one exists.
+func ConstructMostSpecific(e Examples, maxNodes uint64) (*cq.CQ, bool, error) {
+	ok, err := Exists(e)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	prod, err := e.PositiveProduct()
+	if err != nil {
+		return nil, false, err
+	}
+	piece, finite := greedyCompletePiece(prod, maxNodes)
+	if !finite {
+		return nil, false, nil
+	}
+	q, err := cq.FromExample(piece)
+	if err != nil {
+		return nil, false, fmt.Errorf("tree: internal: greedy piece unsafe: %v", err)
+	}
+	if !IsTreeCQ(q) {
+		return nil, false, fmt.Errorf("tree: internal: greedy piece is not a tree CQ")
+	}
+	// Defensive exact re-verification (Prop 5.14).
+	isMS, err := VerifyMostSpecific(q, e)
+	if err != nil {
+		return nil, false, err
+	}
+	if !isMS {
+		return nil, false, fmt.Errorf("tree: internal: greedy piece failed most-specific verification")
+	}
+	return q, true, nil
+}
+
+// pieceState identifies a node of the greedy requirement closure.
+type pieceState struct {
+	parent  instance.Value // "" at the root
+	rel     string
+	forward bool
+	elem    instance.Value
+}
+
+// greedyCompletePiece builds the complete initial piece of the
+// unraveling of src greedily: at every node, for each role, only
+// simulation-maximal successor representatives are kept, and a successor
+// is dropped when the parent covers it (conditions (4) of the NTA in the
+// proof of Thm 5.18). The construction is finite iff no state repeats
+// along a root path.
+func greedyCompletePiece(src instance.Pointed, maxNodes uint64) (instance.Pointed, bool) {
+	auto := AutoSimulation(src.I)
+	out := instance.New(src.I.Schema())
+	counter := 0
+	var nodes uint64
+
+	var build func(st pieceState, name instance.Value, onPath map[pieceState]bool) bool
+	build = func(st pieceState, name instance.Value, onPath map[pieceState]bool) bool {
+		if onPath[st] {
+			return false // cycle: infinite requirement closure
+		}
+		nodes++
+		if nodes > maxNodes {
+			return false
+		}
+		onPath[st] = true
+		defer delete(onPath, st)
+
+		for _, u := range UnaryLabels(src.I, st.elem) {
+			if err := out.AddFact(u, name); err != nil {
+				panic(err)
+			}
+		}
+		// Group successor steps by role and keep simulation-maximal
+		// representatives.
+		type roleKey struct {
+			rel     string
+			forward bool
+		}
+		groups := map[roleKey][]instance.Value{}
+		for _, step := range RoleSteps(src.I, st.elem) {
+			k := roleKey{step.Rel, step.Forward}
+			groups[k] = append(groups[k], step.Other)
+		}
+		for k, cands := range groups {
+			reps := simMaximal(cands, auto)
+			for _, c := range reps {
+				// Parent cover: the predecessor provides the witness when
+				// the step goes back along the inverse of the incoming
+				// role and the parent element simulation-dominates c.
+				if st.parent != "" && st.rel == k.rel && st.forward != k.forward && auto.SimulatedBy(c, st.parent) {
+					continue
+				}
+				counter++
+				child := instance.Value(fmt.Sprintf("m%d", counter))
+				var err error
+				if k.forward {
+					err = out.AddFact(k.rel, name, child)
+				} else {
+					err = out.AddFact(k.rel, child, name)
+				}
+				if err != nil {
+					panic(err)
+				}
+				if !build(pieceState{parent: st.elem, rel: k.rel, forward: k.forward, elem: c}, child, onPath) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	rootName := instance.Value("m0")
+	rootState := pieceState{elem: src.Tuple[0]}
+	if !build(rootState, rootName, map[pieceState]bool{}) {
+		return instance.Pointed{}, false
+	}
+	return instance.NewPointed(out, rootName), true
+}
+
+// simMaximal keeps one representative per maximal simulation-equivalence
+// class among cands.
+func simMaximal(cands []instance.Value, auto *Simulation) []instance.Value {
+	var out []instance.Value
+	for i, c := range cands {
+		dominated := false
+		for j, d := range cands {
+			if i == j {
+				continue
+			}
+			if auto.SimulatedBy(c, d) {
+				if !auto.SimulatedBy(d, c) {
+					dominated = true // strictly below d
+					break
+				}
+				// Equivalent: keep the one with the smaller index.
+				if j < i {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package tree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+)
+
+// quickRooted generates random unary pointed instances over {R} for
+// property-based checks of the simulation pre-order (Section 5).
+type quickRooted struct {
+	P instance.Pointed
+}
+
+func (quickRooted) Generate(r *rand.Rand, size int) reflect.Value {
+	dom := 2 + r.Intn(3)
+	facts := 1 + r.Intn(4)
+	in := genex.RandomInstance(r, genex.SchemaR, dom, facts)
+	d := in.Dom()
+	return reflect.ValueOf(quickRooted{P: instance.NewPointed(in, d[r.Intn(len(d))])})
+}
+
+var quickCfg = &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(103))}
+
+// Homomorphisms are simulations (Section 5: e1 → e2 implies e1 ⪯ e2).
+func TestQuickHomImpliesSim(t *testing.T) {
+	prop := func(a, b quickRooted) bool {
+		if hom.Exists(a.P, b.P) && !Simulates(a.P, b.P) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The simulation pre-order is reflexive and transitive.
+func TestQuickSimPreorder(t *testing.T) {
+	refl := func(a quickRooted) bool { return Simulates(a.P, a.P) }
+	if err := quick.Check(refl, quickCfg); err != nil {
+		t.Error(err)
+	}
+	trans := func(a, b, c quickRooted) bool {
+		if Simulates(a.P, b.P) && Simulates(b.P, c.P) && !Simulates(a.P, c.P) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(trans, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Prop 5.4: the direct product is a greatest lower bound in the
+// simulation pre-order.
+func TestQuickSimProductGLB(t *testing.T) {
+	prop := func(a, b, x quickRooted) bool {
+		p, err := instance.Product(a.P, b.P)
+		if err != nil {
+			return false
+		}
+		return Simulates(x.P, p) == (Simulates(x.P, a.P) && Simulates(x.P, b.P))
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lemma 5.5(1), finite direction: unravelings are below the original in
+// the simulation pre-order, and map into everything the original does.
+func TestQuickUnravelBelow(t *testing.T) {
+	prop := func(a, b quickRooted) bool {
+		u, err := Unravel(a.P, 2)
+		if err != nil {
+			return false
+		}
+		if !Simulates(u, a.P) {
+			return false
+		}
+		if Simulates(a.P, b.P) && !Simulates(u, b.P) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Unravelings are trees, so simulation into them coincides with
+// homomorphism FROM them (Lemma 5.3 direction).
+func TestQuickUnravelIsTreeSource(t *testing.T) {
+	prop := func(a, b quickRooted) bool {
+		u, err := Unravel(a.P, 2)
+		if err != nil {
+			return false
+		}
+		return Simulates(u, b.P) == hom.Exists(u, b.P)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(107))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,457 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+var binR = genex.SchemaR
+
+var rpq = schema.MustNew(
+	schema.Relation{Name: "R", Arity: 2},
+	schema.Relation{Name: "P", Arity: 1},
+	schema.Relation{Name: "Q", Arity: 1},
+)
+
+func pt(t *testing.T, sch *schema.Schema, s string) instance.Pointed {
+	t.Helper()
+	p, err := instance.ParsePointed(sch, s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return p
+}
+
+// Example 5.1/5.2: the loop simulates into the 2-cycle although no
+// homomorphism exists.
+func TestSimulationExample51(t *testing.T) {
+	loop := pt(t, binR, "R(a,a) @ a")
+	twoCycle := pt(t, binR, "R(a,b). R(b,a) @ a")
+	if hom.Exists(loop, twoCycle) {
+		t.Fatal("no homomorphism from the loop to the 2-cycle")
+	}
+	if !Simulates(loop, twoCycle) {
+		t.Error("Example 5.2: the loop simulates into the 2-cycle")
+	}
+	if !Simulates(twoCycle, loop) {
+		t.Error("the 2-cycle simulates into the loop")
+	}
+}
+
+// Homomorphism implies simulation; on trees they coincide (Lemma 5.3).
+func TestSimVsHomOnTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 50; trial++ {
+		src := randomRootedTree(rng, 2+rng.Intn(4))
+		dst := genex.RandomPointed(rng, binR, 3, 5, 1)
+		simGot := Simulates(src, dst)
+		homGot := hom.Exists(src, dst)
+		if homGot && !simGot {
+			t.Fatalf("hom without simulation: %v -> %v", src, dst)
+		}
+		if simGot != homGot {
+			t.Fatalf("tree source: sim=%v hom=%v disagree:\n src=%v\n dst=%v", simGot, homGot, src, dst)
+		}
+	}
+}
+
+// Simulation respects composition and reflexivity on random instances.
+func TestSimulationPreorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var pool []instance.Pointed
+	for i := 0; i < 7; i++ {
+		pool = append(pool, genex.RandomPointed(rng, binR, 3, 4, 1))
+	}
+	for _, p := range pool {
+		if !Simulates(p, p) {
+			t.Fatalf("simulation not reflexive on %v", p)
+		}
+	}
+	for _, a := range pool {
+		for _, b := range pool {
+			for _, c := range pool {
+				if Simulates(a, b) && Simulates(b, c) && !Simulates(a, c) {
+					t.Fatalf("simulation not transitive: %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestIsTreeCQ(t *testing.T) {
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"q(x) :- R(x,y), P(y)", true},
+		{"q(x) :- R(x,y), R(z,y), R(z,w)", true}, // zig-zag is a tree
+		{"q(x) :- R(x,x)", false},                // loop: cycle through x
+		{"q(x) :- R(x,y), R(y,x)", false},        // 2-cycle
+		{"q(x) :- R(x,y), P(u)", false},          // disconnected
+	}
+	for _, c := range cases {
+		q := cq.MustParse(rpq, c.q)
+		if got := IsTreeCQ(q); got != c.want {
+			t.Errorf("IsTreeCQ(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	boolean := cq.MustParse(rpq, "q() :- R(x,y)")
+	if IsTreeCQ(boolean) {
+		t.Error("tree CQs are unary")
+	}
+}
+
+// Lemma 5.5 on random instances: (I,a) ⪯ (J,b) iff every m-unraveling
+// maps into (J,b).
+func TestUnravelingLemma55(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 40; trial++ {
+		i := genex.RandomPointed(rng, binR, 2, 3, 1)
+		j := genex.RandomPointed(rng, binR, 2, 3, 1)
+		simIJ := Simulates(i, j)
+		for m := 0; m <= 3; m++ {
+			u, err := Unravel(i, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if simIJ && !Simulates(u, j) {
+				t.Fatalf("m=%d unraveling fails although I ⪯ J:\n I=%v\n J=%v", m, i, j)
+			}
+		}
+		// The converse at the fixpoint bound: if all unravelings up to
+		// |I||J| map, then I ⪯ J. (The unraveling is materialized, so the
+		// instances above are kept tiny to bound the branching.)
+		bound := i.I.DomSize()*j.I.DomSize() + 1
+		u, err := Unravel(i, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Simulates(u, j) != simIJ {
+			t.Fatalf("deep unraveling disagrees with simulation:\n I=%v\n J=%v", i, j)
+		}
+	}
+}
+
+// Example 5.1: no fitting tree CQ for the loop-positive / 2-cycle-negative
+// pair, although the canonical CQ does not map to the negative.
+func TestNoFittingExample51(t *testing.T) {
+	loop := pt(t, binR, "R(a,a) @ a")
+	twoCycle := pt(t, binR, "R(a,b). R(b,a) @ a")
+	e := fitting.MustExamples(binR, 1, []instance.Pointed{loop}, []instance.Pointed{twoCycle})
+	ok, err := Exists(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Example 5.1: no tree CQ fits")
+	}
+}
+
+func TestFittingConstructAndVerify(t *testing.T) {
+	// Positive: path a->b with P(b); negative: bare edge.
+	posEx := pt(t, rpq, "R(a,b). P(b) @ a")
+	negEx := pt(t, rpq, "R(a,b) @ a")
+	e := fitting.MustExamples(rpq, 1, []instance.Pointed{posEx}, []instance.Pointed{negEx})
+	dag, ok, err := Construct(e)
+	if err != nil || !ok {
+		t.Fatalf("Construct: %v %v", ok, err)
+	}
+	q, err := dag.Expand(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := Verify(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fits {
+		t.Errorf("constructed witness %v does not fit", q)
+	}
+	// The obvious fitting also verifies.
+	q2 := cq.MustParse(rpq, "q(x) :- R(x,y), P(y)")
+	fits, err = Verify(q2, e)
+	if err != nil || !fits {
+		t.Errorf("R(x,y)∧P(y) should fit: %v %v", fits, err)
+	}
+	// And a non-tree query errors.
+	if _, err := Verify(cq.MustParse(rpq, "q(x) :- R(x,x)"), e); err == nil {
+		t.Error("non-tree CQ should be rejected")
+	}
+}
+
+// Example 5.13: most-specific fitting tree CQs need not exist.
+func TestMostSpecificExample513(t *testing.T) {
+	loop := pt(t, binR, "R(a,a) @ a")
+	e := fitting.MustExamples(binR, 1, []instance.Pointed{loop}, nil)
+	// Fittings exist: any unraveling fits.
+	ok, err := Exists(e)
+	if err != nil || !ok {
+		t.Fatalf("fitting should exist: %v %v", ok, err)
+	}
+	q := cq.MustParse(binR, "q(x) :- R(x,y)")
+	fits, err := Verify(q, e)
+	if err != nil || !fits {
+		t.Fatal("R(x,y) fits")
+	}
+	ms, err := VerifyMostSpecific(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms {
+		t.Error("R(x,y) is not most-specific (deeper unravelings are more specific)")
+	}
+	exists, err := ExistsMostSpecific(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exists {
+		t.Error("Example 5.13: no most-specific fitting tree CQ exists")
+	}
+}
+
+// A finite complete initial piece: single edge positive.
+func TestMostSpecificEdge(t *testing.T) {
+	edge := pt(t, binR, "R(a,b) @ a")
+	e := fitting.MustExamples(binR, 1, []instance.Pointed{edge}, nil)
+	q, ok, err := ConstructMostSpecific(e, 1000)
+	if err != nil || !ok {
+		t.Fatalf("ConstructMostSpecific: %v %v", ok, err)
+	}
+	want := cq.MustParse(binR, "q(x) :- R(x,y)")
+	if !SimEquivalent(q.Example(), want.Example()) {
+		t.Errorf("most-specific = %v, want R(x,y)", q)
+	}
+	ms, err := VerifyMostSpecific(want, e)
+	if err != nil || !ms {
+		t.Error("R(x,y) is most-specific here")
+	}
+}
+
+// Example 5.20: weakly most-general exists, no basis.
+func TestExample520(t *testing.T) {
+	i := pt(t, rpq, "P(a). R(a,b). Q(b) @ a")
+	j1 := pt(t, rpq, "P(a). R(a,b) @ a")
+	j2 := pt(t, rpq, "R(a,b). R(c,b). R(c,d). Q(d) @ a")
+	e := fitting.MustExamples(rpq, 1, []instance.Pointed{i}, []instance.Pointed{j1, j2})
+
+	q := cq.MustParse(rpq, "q(x) :- R(x,y), Q(y)")
+	fits, err := Verify(q, e)
+	if err != nil || !fits {
+		t.Fatalf("R(x,y)∧Q(y) fits Example 5.20: %v %v", fits, err)
+	}
+	wmg, err := VerifyWeaklyMostGeneral(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wmg {
+		t.Error("Example 5.20: q is weakly most-general")
+	}
+	// The paper's zig-zag queries q_i also fit: q_0 with the direct
+	// edge...
+	q1 := cq.MustParse(rpq, "q(x) :- P(x), R(x,y0), R(z1,y0), R(z1,y1), Q(y1)")
+	fits, err = Verify(q1, e)
+	if err != nil || !fits {
+		t.Errorf("zig-zag q_1 fits: %v %v", fits, err)
+	}
+	// No basis of most-general fitting tree CQs (Example 5.20).
+	_, found, err := SearchBasis(e, fitting.SearchOpts{MaxAtoms: 3, MaxVars: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Error("Example 5.20: no basis should exist")
+	}
+}
+
+// Example 5.21: no weakly most-general fitting tree CQ for
+// E- = {P-loopless point, R-loop}, although most-general CQs exist.
+func TestExample521(t *testing.T) {
+	rp := schema.MustNew(
+		schema.Relation{Name: "R", Arity: 2},
+		schema.Relation{Name: "P", Arity: 1},
+	)
+	n1 := pt(t, rp, "P(a) @ a")
+	n2 := pt(t, rp, "R(a,a) @ a")
+	e := fitting.MustExamples(rp, 1, nil, []instance.Pointed{n1, n2})
+
+	// Candidate fittings exist, e.g. q(x) :- R(x,y) ∧ P(y).
+	q := cq.MustParse(rp, "q(x) :- R(x,y), P(y)")
+	fits, err := Verify(q, e)
+	if err != nil || !fits {
+		t.Fatalf("q fits: %v %v", fits, err)
+	}
+	// But q is not weakly most-general...
+	wmg, err := VerifyWeaklyMostGeneral(q, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wmg {
+		t.Error("Example 5.21: q must not be weakly most-general")
+	}
+	// ...and a strictly more general fitting witness exists (the paper's
+	// zig-zag construction).
+	gen, ok, err := StrictGeneralization(q, e, 6)
+	if err != nil || !ok {
+		t.Fatalf("StrictGeneralization: %v %v", ok, err)
+	}
+	if !q.StrictlyContainedIn(gen) {
+		t.Error("witness must strictly generalize q")
+	}
+	fits, err = Verify(gen, e)
+	if err != nil || !fits {
+		t.Error("witness must fit")
+	}
+	// And the bounded search finds no weakly most-general fitting.
+	if _, found, _ := SearchWeaklyMostGeneral(e, fitting.SearchOpts{MaxAtoms: 3, MaxVars: 4}); found {
+		t.Error("Example 5.21: no weakly most-general fitting tree CQ")
+	}
+}
+
+// A positive weakly most-general + unique case.
+func TestUniqueTree(t *testing.T) {
+	// E+ = {edge@a}, E- = {isolated P point}: most-specific R(x,y) is
+	// also weakly most-general? Its frontier member is unsafe (isolated
+	// root), so yes.
+	rp := schema.MustNew(
+		schema.Relation{Name: "R", Arity: 2},
+		schema.Relation{Name: "P", Arity: 1},
+	)
+	edge := pt(t, rp, "R(a,b) @ a")
+	negP := pt(t, rp, "P(a) @ a")
+	e := fitting.MustExamples(rp, 1, []instance.Pointed{edge}, []instance.Pointed{negP})
+	q, ok, err := ExistsUnique(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("unique fitting should exist")
+	}
+	want := cq.MustParse(rp, "q(x) :- R(x,y)")
+	if !SimEquivalent(q.Example(), want.Example()) {
+		t.Errorf("unique fitting = %v, want R(x,y)", q)
+	}
+	u, err := VerifyUnique(want, e)
+	if err != nil || !u {
+		t.Error("R(x,y) is the unique fitting")
+	}
+}
+
+// Basis verification on a clean singleton case.
+func TestBasisSingleton(t *testing.T) {
+	rp := schema.MustNew(
+		schema.Relation{Name: "R", Arity: 2},
+		schema.Relation{Name: "P", Arity: 1},
+	)
+	negP := pt(t, rp, "P(a) @ a")
+	e := fitting.MustExamples(rp, 1, nil, []instance.Pointed{negP})
+	// q(x) :- R(x,y) fits; is {q} a basis? Fitting tree CQs here are all
+	// trees avoiding ⪯ P-point, i.e. whose root pattern is not
+	// simulated... the P-point has no R-edges, so any tree CQ (which has
+	// at least one edge at the root... not necessarily: q(x) :- P(x) maps
+	// into the negative) avoiding P-only-patterns fits.
+	basis, found, err := SearchBasis(e, fitting.SearchOpts{MaxAtoms: 2, MaxVars: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Skip("no basis within bounds; acceptable for this ad-hoc case")
+	}
+	ok, err := VerifyBasis(basis, e)
+	if err != nil || !ok {
+		t.Errorf("found basis must verify: %v %v", ok, err)
+	}
+}
+
+// Theorem 5.37 family: fitting exists and its size doubles exponentially.
+func TestDoubleExpTreeFamily(t *testing.T) {
+	for n := 1; n <= 2; n++ {
+		pos, neg := genex.DoubleExpTreeFamily(n)
+		e := fitting.MustExamples(genex.SchemaLRA, 1, pos, neg)
+		dag, ok, err := Construct(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("n=%d: fitting tree CQ should exist", n)
+		}
+		size := dag.TreeSize(1 << 62)
+		min := uint64(1) << (1 << uint(n)) // 2^(2^n)
+		if size < min {
+			t.Errorf("n=%d: fitting size %d below the double-exponential bound %d", n, size, min)
+		}
+		t.Logf("n=%d: DAG depth=%d dagNodes=%d treeSize=%d", n, dag.Depth, dag.NumNodes(), size)
+		if n == 1 {
+			q, err := dag.Expand(100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fits, err := Verify(q, e)
+			if err != nil || !fits {
+				t.Errorf("n=1 witness must fit: %v %v", fits, err)
+			}
+		}
+	}
+}
+
+// Critical fittings enumeration smoke test.
+func TestCriticalFittings(t *testing.T) {
+	rp := schema.MustNew(
+		schema.Relation{Name: "R", Arity: 2},
+		schema.Relation{Name: "P", Arity: 1},
+	)
+	negP := pt(t, rp, "P(a) @ a")
+	e := fitting.MustExamples(rp, 1, nil, []instance.Pointed{negP})
+	crits, err := CriticalFittings(e, fitting.SearchOpts{MaxAtoms: 2, MaxVars: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range crits {
+		ok, err := Verify(c, e)
+		if err != nil || !ok {
+			t.Errorf("critical fitting %v does not fit", c)
+		}
+	}
+}
+
+// Failure injection: wrong arity and non-binary schema.
+func TestTreeErrors(t *testing.T) {
+	e0 := fitting.MustExamples(binR, 0, nil, []instance.Pointed{pt(t, binR, "R(a,b)")})
+	if _, err := Exists(e0); err == nil {
+		t.Error("arity-0 examples must be rejected")
+	}
+	tern := schema.MustNew(schema.Relation{Name: "T", Arity: 3})
+	in := instance.MustFromFacts(tern, instance.NewFact("T", "a", "b", "c"))
+	eT := fitting.MustExamples(tern, 1, []instance.Pointed{instance.NewPointed(in, "a")}, nil)
+	if _, err := Exists(eT); err == nil {
+		t.Error("non-binary schema must be rejected")
+	}
+	if _, err := Unravel(pt(t, binR, "R(a,b)"), 2); err == nil {
+		t.Error("unraveling needs a unary pointed instance")
+	}
+}
+
+func randomRootedTree(rng *rand.Rand, n int) instance.Pointed {
+	in := instance.New(binR)
+	names := make([]instance.Value, n)
+	for i := range names {
+		names[i] = instance.Value(string(rune('a' + i)))
+	}
+	for i := 1; i < n; i++ {
+		p := rng.Intn(i)
+		a, b := names[p], names[i]
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		if err := in.AddFact("R", a, b); err != nil {
+			panic(err)
+		}
+	}
+	return instance.NewPointed(in, names[0])
+}

@@ -1,0 +1,199 @@
+package tree
+
+import (
+	"fmt"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/instance"
+)
+
+// IsTreeCQ reports whether q is a tree CQ in the sense of Section 5: a
+// unary CQ over a binary schema whose incidence graph is acyclic and
+// connected (Berge-acyclicity; note that unlike c-acyclicity, cycles
+// through the answer variable are NOT allowed).
+func IsTreeCQ(q *cq.CQ) bool {
+	if q.Arity() != 1 || !q.Schema().Binary() {
+		return false
+	}
+	return isTreeInstance(q.Example())
+}
+
+// isTreeInstance checks Berge-acyclicity + incidence connectivity of the
+// instance underlying a pointed instance (the tuple plays no role except
+// that its values must be in the single component).
+func isTreeInstance(e instance.Pointed) bool {
+	// Acyclic: treat no element as distinguished.
+	if !instance.CAcyclic(instance.NewPointed(e.I)) {
+		return false
+	}
+	// Connected in the incidence sense.
+	return len(instance.Components(instance.NewPointed(e.I))) <= 1
+}
+
+// RolesOf enumerates the role steps available at value v in instance in:
+// pairs (rel, forward?, other endpoint), covering R(v, w) (forward) and
+// R(w, v) (backward).
+type RoleStep struct {
+	Rel     string
+	Forward bool
+	Other   instance.Value
+}
+
+// RoleSteps lists the binary role steps at v (both directions) plus
+// nothing for unary facts.
+func RoleSteps(in *instance.Instance, v instance.Value) []RoleStep {
+	var out []RoleStep
+	for _, f := range in.FactsContaining(v) {
+		if len(f.Args) != 2 {
+			continue
+		}
+		if f.Args[0] == v {
+			out = append(out, RoleStep{Rel: f.Rel, Forward: true, Other: f.Args[1]})
+		}
+		if f.Args[1] == v {
+			out = append(out, RoleStep{Rel: f.Rel, Forward: false, Other: f.Args[0]})
+		}
+	}
+	return out
+}
+
+// UnaryLabels lists the unary relations holding at v.
+func UnaryLabels(in *instance.Instance, v instance.Value) []string {
+	var out []string
+	for _, f := range in.FactsContaining(v) {
+		if len(f.Args) == 1 {
+			out = append(out, f.Rel)
+		}
+	}
+	return out
+}
+
+// Unravel returns the depth-m unraveling of e at its (single)
+// distinguished element as a pointed instance whose underlying instance
+// is a tree (Section 5's m-unraveling, with depth counted in edges).
+// Paths are materialized as fresh node names.
+func Unravel(e instance.Pointed, depth int) (instance.Pointed, error) {
+	if e.Arity() != 1 {
+		return instance.Pointed{}, fmt.Errorf("tree: unraveling needs a unary pointed instance")
+	}
+	if !e.I.Schema().Binary() {
+		return instance.Pointed{}, fmt.Errorf("tree: unraveling needs a binary schema")
+	}
+	root := e.Tuple[0]
+	out := instance.New(e.I.Schema())
+	counter := 0
+	fresh := func() instance.Value {
+		counter++
+		return instance.Value(fmt.Sprintf("n%d", counter))
+	}
+	rootName := instance.Value("n0")
+
+	type node struct {
+		name instance.Value
+		elem instance.Value
+		d    int
+	}
+	queue := []node{{name: rootName, elem: root, d: 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, u := range UnaryLabels(e.I, cur.elem) {
+			if err := out.AddFact(u, cur.name); err != nil {
+				return instance.Pointed{}, err
+			}
+		}
+		if cur.d == depth {
+			continue
+		}
+		for _, st := range RoleSteps(e.I, cur.elem) {
+			child := fresh()
+			var err error
+			if st.Forward {
+				err = out.AddFact(st.Rel, cur.name, child)
+			} else {
+				err = out.AddFact(st.Rel, child, cur.name)
+			}
+			if err != nil {
+				return instance.Pointed{}, err
+			}
+			queue = append(queue, node{name: child, elem: st.Other, d: cur.d + 1})
+		}
+	}
+	return instance.NewPointed(out, rootName), nil
+}
+
+// DAG is a succinct representation of an unraveling-shaped tree CQ:
+// nodes are (element, depth) pairs of the source instance, so isomorphic
+// subtrees are shared. This mirrors the DAG representations of
+// Theorems 5.11/5.18.
+type DAG struct {
+	Source instance.Pointed // the instance being unraveled
+	Depth  int
+}
+
+// NumNodes returns the number of distinct DAG nodes (elements x depths
+// reachable), the paper's succinct size measure.
+func (d *DAG) NumNodes() int {
+	seen := map[string]bool{}
+	type st struct {
+		elem instance.Value
+		dep  int
+	}
+	stack := []st{{d.Source.Tuple[0], 0}}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		key := fmt.Sprintf("%s@%d", cur.elem, cur.dep)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if cur.dep == d.Depth {
+			continue
+		}
+		for _, s := range RoleSteps(d.Source.I, cur.elem) {
+			stack = append(stack, st{s.Other, cur.dep + 1})
+		}
+	}
+	return len(seen)
+}
+
+// TreeSize returns the number of nodes of the expanded tree, saturating
+// at max (the expanded tree can be doubly exponential; Theorem 5.37).
+func (d *DAG) TreeSize(max uint64) uint64 {
+	memo := map[string]uint64{}
+	var rec func(elem instance.Value, dep int) uint64
+	rec = func(elem instance.Value, dep int) uint64 {
+		key := fmt.Sprintf("%s@%d", elem, dep)
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		var total uint64 = 1
+		if dep < d.Depth {
+			for _, s := range RoleSteps(d.Source.I, elem) {
+				c := rec(s.Other, dep+1)
+				if total > max-c {
+					total = max
+					break
+				}
+				total += c
+			}
+		}
+		memo[key] = total
+		return total
+	}
+	return rec(d.Source.Tuple[0], 0)
+}
+
+// Expand materializes the DAG as a tree CQ, failing if the expansion
+// exceeds maxNodes.
+func (d *DAG) Expand(maxNodes uint64) (*cq.CQ, error) {
+	if n := d.TreeSize(maxNodes + 1); n > maxNodes {
+		return nil, fmt.Errorf("tree: expansion exceeds %d nodes", maxNodes)
+	}
+	p, err := Unravel(d.Source, d.Depth)
+	if err != nil {
+		return nil, err
+	}
+	return cq.FromExample(p)
+}

@@ -1,0 +1,362 @@
+// Package ucqfit implements unions of conjunctive queries and their
+// fitting problems (Section 4 of the paper): fitting existence and
+// verification (Prop 4.2, Thm 4.6), most-specific fittings (Prop 4.3),
+// most-general fittings via homomorphism dualities (Prop 4.4), and
+// unique fittings (Prop 4.5, Thm 4.8).
+package ucqfit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/duality"
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+// UCQ is a non-empty union q1 ∪ ... ∪ qn of CQs over the same schema and
+// arity.
+type UCQ struct {
+	disjuncts []*cq.CQ
+}
+
+// New builds a UCQ from at least one disjunct.
+func New(qs ...*cq.CQ) (*UCQ, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("ucqfit: a UCQ needs at least one disjunct")
+	}
+	for _, q := range qs[1:] {
+		if !q.Schema().Equal(qs[0].Schema()) {
+			return nil, fmt.Errorf("ucqfit: mixed schemas in UCQ")
+		}
+		if q.Arity() != qs[0].Arity() {
+			return nil, fmt.Errorf("ucqfit: mixed arities in UCQ")
+		}
+	}
+	return &UCQ{disjuncts: append([]*cq.CQ(nil), qs...)}, nil
+}
+
+// MustNew panics on error.
+func MustNew(qs ...*cq.CQ) *UCQ {
+	u, err := New(qs...)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Parse parses a UCQ given as CQ strings joined by "|" in a single
+// string, e.g. "q(x) :- P(x) | q(x) :- Q(x)".
+func Parse(sch *schema.Schema, s string) (*UCQ, error) {
+	parts := strings.Split(s, "|")
+	var qs []*cq.CQ
+	for _, p := range parts {
+		q, err := cq.Parse(sch, strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, q)
+	}
+	return New(qs...)
+}
+
+// Disjuncts returns the disjuncts.
+func (u *UCQ) Disjuncts() []*cq.CQ { return append([]*cq.CQ(nil), u.disjuncts...) }
+
+// Schema returns the UCQ's schema.
+func (u *UCQ) Schema() *schema.Schema { return u.disjuncts[0].Schema() }
+
+// Arity returns k.
+func (u *UCQ) Arity() int { return u.disjuncts[0].Arity() }
+
+// HomTo reports whether some disjunct maps homomorphically into e, i.e.
+// e's tuple is an answer on e's instance.
+func (u *UCQ) HomTo(e instance.Pointed) bool {
+	for _, q := range u.disjuncts {
+		if q.HomTo(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainedIn reports u ⊆ v: every disjunct of u is contained in some
+// disjunct of v (Section 4's homomorphism order on UCQs).
+func (u *UCQ) ContainedIn(v *UCQ) bool {
+	for _, qi := range u.disjuncts {
+		ok := false
+		for _, pj := range v.disjuncts {
+			if qi.ContainedIn(pj) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentTo reports u ≡ v.
+func (u *UCQ) EquivalentTo(v *UCQ) bool {
+	return u.ContainedIn(v) && v.ContainedIn(u)
+}
+
+// Evaluate returns the union of the disjuncts' answers, sorted.
+func (u *UCQ) Evaluate(in *instance.Instance) [][]instance.Value {
+	seen := map[string][]instance.Value{}
+	for _, q := range u.disjuncts {
+		for _, tup := range q.Evaluate(in) {
+			key := ""
+			for _, v := range tup {
+				key += string(v) + "\x1f"
+			}
+			seen[key] = tup
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][]instance.Value, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// String renders the union with " ∪ " separators.
+func (u *UCQ) String() string {
+	parts := make([]string, len(u.disjuncts))
+	for i, q := range u.disjuncts {
+		parts[i] = q.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}
+
+// Examples re-exports the labeled example collection.
+type Examples = fitting.Examples
+
+// ---------------------------------------------------------------------
+// Fitting problems
+// ---------------------------------------------------------------------
+
+// Verify decides the verification problem for fitting UCQs (Thm 4.6(3)):
+// some disjunct maps into each positive, no disjunct maps into any
+// negative.
+func Verify(u *UCQ, e Examples) bool {
+	if !u.Schema().Equal(e.Schema) || u.Arity() != e.Arity {
+		return false
+	}
+	for _, p := range e.Pos {
+		if !u.HomTo(p) {
+			return false
+		}
+	}
+	for _, n := range e.Neg {
+		for _, q := range u.disjuncts {
+			if q.HomTo(n) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Exists decides existence of a fitting UCQ (Prop 4.2): no positive
+// example maps into a negative example. With no positive examples the
+// canonical candidate is the all-facts query, which fits iff it avoids
+// all negatives.
+func Exists(e Examples) bool {
+	if len(e.Pos) == 0 {
+		top := instance.AllFactsInstance(e.Schema, e.Arity)
+		return !hom.ExistsToAny(top, e.Neg)
+	}
+	for _, p := range e.Pos {
+		if hom.ExistsToAny(p, e.Neg) {
+			return false
+		}
+	}
+	return true
+}
+
+// Construct returns the canonical fitting UCQ — the union of the
+// canonical CQs of the positive examples (Prop 4.2(3)) — when a fitting
+// exists. This is also the most-specific fitting UCQ (Prop 4.3).
+func Construct(e Examples) (*UCQ, bool, error) {
+	if !Exists(e) {
+		return nil, false, nil
+	}
+	if len(e.Pos) == 0 {
+		top, err := cq.FromExample(instance.AllFactsInstance(e.Schema, e.Arity))
+		if err != nil {
+			return nil, false, err
+		}
+		u, err := New(top)
+		return u, err == nil, err
+	}
+	var qs []*cq.CQ
+	for _, p := range e.Pos {
+		q, err := cq.FromExample(p)
+		if err != nil {
+			return nil, false, err
+		}
+		qs = append(qs, q)
+	}
+	u, err := New(qs...)
+	if err != nil {
+		return nil, false, err
+	}
+	return u, true, nil
+}
+
+// VerifyMostSpecific decides most-specific fitting verification
+// (Prop 4.3, Thm 4.6(4)): u fits and is equivalent to the union of the
+// canonical CQs of the positives. The weak and strong notions coincide.
+func VerifyMostSpecific(u *UCQ, e Examples) bool {
+	if !Verify(u, e) {
+		return false
+	}
+	canon, ok, err := Construct(e)
+	if err != nil || !ok {
+		return false
+	}
+	return u.EquivalentTo(canon)
+}
+
+// VerifyMostGeneral decides most-general fitting verification
+// (Prop 4.4, Thm 4.8): u fits and ({e_q1..e_qn}, E-) is a homomorphism
+// duality. The weak and strong notions coincide for UCQs. Exact over
+// binary schemas (ErrUnsupported otherwise), via the HomDual machinery.
+func VerifyMostGeneral(u *UCQ, e Examples) (bool, error) {
+	if !Verify(u, e) {
+		return false, nil
+	}
+	var F []instance.Pointed
+	for _, q := range u.disjuncts {
+		F = append(F, q.Example())
+	}
+	return duality.IsHomDuality(F, e.Neg)
+}
+
+// ExistsMostGeneral decides existence of a most-general fitting UCQ
+// (Thm 4.6(2)): a fitting must exist and E- must admit a finite
+// obstruction set, decided by the dismantling test.
+func ExistsMostGeneral(e Examples) bool {
+	if !Exists(e) {
+		return false
+	}
+	if len(e.Neg) == 0 {
+		// Every instance maps into the all-facts instance, so F = ∅ ...
+		// but a UCQ needs at least one disjunct; the all-facts query is
+		// then the most-general fitting iff it fits, which it does when
+		// E- is empty.
+		return true
+	}
+	return duality.DualityExistsForSet(e.Neg)
+}
+
+// SearchMostGeneral searches for a most-general fitting UCQ within the
+// given bounds and verifies it exactly. The disjunct candidates are the
+// bounded data examples that fit all negatives, reduced to
+// containment-maximal representatives.
+func SearchMostGeneral(e Examples, opts fitting.SearchOpts) (*UCQ, bool, error) {
+	if !Exists(e) {
+		return nil, false, nil
+	}
+	var cands []instance.Pointed
+	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+		if !hom.ExistsToAny(ex, e.Neg) {
+			core := hom.Core(ex)
+			for _, prev := range cands {
+				if hom.Equivalent(prev, core) {
+					return true
+				}
+			}
+			cands = append(cands, core)
+		}
+		return true
+	})
+	cands = minimizeHom(cands)
+	if len(cands) == 0 {
+		return nil, false, nil
+	}
+	var qs []*cq.CQ
+	for _, c := range cands {
+		q, err := cq.FromExample(c)
+		if err != nil {
+			continue
+		}
+		qs = append(qs, q)
+	}
+	u, err := New(qs...)
+	if err != nil {
+		return nil, false, err
+	}
+	ok, err := VerifyMostGeneral(u, e)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return u, true, nil
+}
+
+// minimizeHom keeps hom-minimal representatives (containment-maximal
+// queries).
+func minimizeHom(exs []instance.Pointed) []instance.Pointed {
+	var out []instance.Pointed
+	for i, f := range exs {
+		drop := false
+		for j, g := range exs {
+			if i == j {
+				continue
+			}
+			if hom.Exists(g, f) {
+				if !hom.Exists(f, g) || j < i {
+					drop = true
+					break
+				}
+			}
+		}
+		if !drop {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// VerifyUnique decides unique fitting verification (Prop 4.5): u fits
+// and (E+, E-) is a homomorphism duality.
+func VerifyUnique(u *UCQ, e Examples) (bool, error) {
+	if !Verify(u, e) {
+		return false, nil
+	}
+	if len(e.Pos) == 0 {
+		return false, fmt.Errorf("ucqfit: unique fitting with empty E+ is outside Prop 4.5's scope")
+	}
+	return duality.IsHomDuality(e.Pos, e.Neg)
+}
+
+// ExistsUnique decides existence of a unique fitting UCQ (Prop 4.5,
+// Thm 4.8): the canonical fitting exists and (E+, E-) is a duality; the
+// witness is the canonical fitting.
+func ExistsUnique(e Examples) (*UCQ, bool, error) {
+	u, ok, err := Construct(e)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if len(e.Pos) == 0 {
+		return nil, false, nil
+	}
+	isDual, err := duality.IsHomDuality(e.Pos, e.Neg)
+	if err != nil || !isDual {
+		return nil, false, err
+	}
+	return u, true, nil
+}

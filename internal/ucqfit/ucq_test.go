@@ -1,0 +1,257 @@
+package ucqfit
+
+import (
+	"testing"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+var binR = genex.SchemaR
+
+var pqr = schema.MustNew(
+	schema.Relation{Name: "P", Arity: 1},
+	schema.Relation{Name: "Q", Arity: 1},
+	schema.Relation{Name: "R", Arity: 1},
+)
+
+func pt(t *testing.T, sch *schema.Schema, s string) instance.Pointed {
+	t.Helper()
+	p, err := instance.ParsePointed(sch, s)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return p
+}
+
+func TestNewAndParse(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty UCQ accepted")
+	}
+	u, err := Parse(pqr, "q() :- P(x) | q() :- Q(x)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(u.Disjuncts()) != 2 {
+		t.Errorf("disjuncts = %d", len(u.Disjuncts()))
+	}
+	q1 := cq.MustParse(pqr, "q() :- P(x)")
+	q2 := cq.MustParse(binR, "q() :- R(x,y)")
+	if _, err := New(q1, q2); err == nil {
+		t.Error("mixed schemas accepted")
+	}
+	q3 := cq.MustParse(pqr, "q(x) :- P(x)")
+	if _, err := New(q1, q3); err == nil {
+		t.Error("mixed arities accepted")
+	}
+}
+
+func TestContainmentAndEvaluate(t *testing.T) {
+	qp := cq.MustParse(pqr, "q(x) :- P(x)")
+	qq := cq.MustParse(pqr, "q(x) :- Q(x)")
+	qpq := cq.MustParse(pqr, "q(x) :- P(x), Q(x)")
+	u1 := MustNew(qp)
+	u2 := MustNew(qp, qq)
+	u3 := MustNew(qpq)
+	if !u1.ContainedIn(u2) {
+		t.Error("P ⊆ P∪Q")
+	}
+	if u2.ContainedIn(u1) {
+		t.Error("P∪Q ⊄ P")
+	}
+	if !u3.ContainedIn(u2) {
+		t.Error("P∧Q ⊆ P∪Q")
+	}
+	in := instance.MustFromFacts(pqr,
+		instance.NewFact("P", "a"),
+		instance.NewFact("Q", "b"),
+	)
+	got := u2.Evaluate(in)
+	if len(got) != 2 {
+		t.Errorf("P∪Q answers = %v, want {a, b}", got)
+	}
+}
+
+// Example 4.1: a fitting UCQ exists where no fitting CQ does, and it is
+// unique.
+func TestExample41(t *testing.T) {
+	ePQ := pt(t, pqr, "P(a). Q(a)")
+	ePR := pt(t, pqr, "P(a). R(a)")
+	neg := pt(t, pqr, "P(a). Q(b). R(b)")
+	e := fitting.MustExamples(pqr, 0, []instance.Pointed{ePQ, ePR}, []instance.Pointed{neg})
+
+	// No fitting CQ (the product of positives maps into the negative).
+	okCQ, err := fitting.Exists(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if okCQ {
+		t.Error("Example 4.1: no fitting CQ should exist")
+	}
+	// But a fitting UCQ exists.
+	if !Exists(e) {
+		t.Error("Example 4.1: a fitting UCQ exists")
+	}
+	u, err := Parse(pqr, "q() :- P(x), Q(x) | q() :- P(x), R(x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(u, e) {
+		t.Error("q1 ∪ q2 fits Example 4.1")
+	}
+	// It is most-specific (equivalent to the union of the positives)...
+	if !VerifyMostSpecific(u, e) {
+		t.Error("q1 ∪ q2 is most-specific")
+	}
+	// ...and most-general (the pair is a homomorphism duality)...
+	mg, err := VerifyMostGeneral(u, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mg {
+		t.Error("q1 ∪ q2 is most-general (Example 4.1 discussion)")
+	}
+	// ...hence unique.
+	uq, err := VerifyUnique(u, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !uq {
+		t.Error("q1 ∪ q2 is the unique fitting UCQ")
+	}
+	got, exists, err := ExistsUnique(e)
+	if err != nil || !exists {
+		t.Fatalf("ExistsUnique: %v %v", exists, err)
+	}
+	if !got.EquivalentTo(u) {
+		t.Errorf("unique fitting = %v, want %v", got, u)
+	}
+}
+
+func TestExistsProp42(t *testing.T) {
+	// Positive maps into negative: no fitting.
+	e := fitting.MustExamples(binR, 0,
+		[]instance.Pointed{genex.DirectedCycle(4)},
+		[]instance.Pointed{genex.DirectedCycle(2)})
+	if Exists(e) {
+		t.Error("C4 -> C2: no fitting UCQ")
+	}
+	// Incomparable: fitting exists and the canonical UCQ fits.
+	e2 := fitting.MustExamples(binR, 0,
+		[]instance.Pointed{genex.DirectedCycle(3)},
+		[]instance.Pointed{genex.DirectedCycle(2)})
+	if !Exists(e2) {
+		t.Error("C3 vs C2: fitting UCQ exists")
+	}
+	u, ok, err := Construct(e2)
+	if err != nil || !ok {
+		t.Fatalf("Construct: %v %v", ok, err)
+	}
+	if !Verify(u, e2) {
+		t.Error("canonical UCQ must fit")
+	}
+	if !VerifyMostSpecific(u, e2) {
+		t.Error("canonical UCQ is most-specific")
+	}
+}
+
+func TestEmptyPositives(t *testing.T) {
+	// E+ = ∅, E- = {loop with all unary facts}: the all-facts query maps
+	// into it, so nothing fits.
+	sch := pqr
+	top := instance.AllFactsInstance(sch, 0)
+	e := fitting.MustExamples(sch, 0, nil, []instance.Pointed{top})
+	if Exists(e) {
+		t.Error("nothing escapes the all-facts negative")
+	}
+	// E- = {P(a)}: the all-facts query escapes... no: all-facts contains
+	// P, so it maps into... P(a) has only P: all-facts has Q-facts too,
+	// which cannot map. Fitting exists.
+	e2 := fitting.MustExamples(sch, 0, nil, []instance.Pointed{pt(t, sch, "P(a)")})
+	if !Exists(e2) {
+		t.Error("the all-facts query avoids {P(a)}")
+	}
+	u, ok, err := Construct(e2)
+	if err != nil || !ok || !Verify(u, e2) {
+		t.Errorf("all-facts construction failed: %v %v", ok, err)
+	}
+}
+
+// Theorem 4.6(1) workload: graph homomorphism as UCQ fitting existence.
+func TestGraphHomWorkload(t *testing.T) {
+	// G -> H iff no fitting for (E+ = {G}, E- = {H}).
+	g, h := genex.DirectedCycle(6), genex.DirectedCycle(3)
+	e := fitting.MustExamples(binR, 0, []instance.Pointed{g}, []instance.Pointed{h})
+	if Exists(e) {
+		t.Error("C6 -> C3: no fitting")
+	}
+	e2 := fitting.MustExamples(binR, 0, []instance.Pointed{h}, []instance.Pointed{g})
+	if !Exists(e2) {
+		t.Error("C3 does not map to C6: fitting exists")
+	}
+}
+
+// Most-general existence (Thm 4.6(2)) on known families.
+func TestExistsMostGeneral(t *testing.T) {
+	// E- = {K2}: no duality, so no most-general fitting UCQ even though
+	// fittings exist.
+	e := fitting.MustExamples(binR, 0,
+		[]instance.Pointed{genex.DirectedCycle(3)},
+		[]instance.Pointed{genex.DirectedCycle(2)})
+	if ExistsMostGeneral(e) {
+		t.Error("E- = {K2}: no most-general fitting UCQ")
+	}
+	// E- = {T_2}: duality exists (GHRV).
+	e2 := fitting.MustExamples(binR, 0,
+		nil,
+		[]instance.Pointed{genex.TransitiveTournament(2)})
+	if !ExistsMostGeneral(e2) {
+		t.Error("E- = {T_2}: most-general fitting UCQ exists")
+	}
+	// And the search finds a verified witness: the path P_2.
+	u, ok, err := SearchMostGeneral(e2, fitting.SearchOpts{MaxAtoms: 2, MaxVars: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("SearchMostGeneral should find the GHRV obstruction")
+	}
+	p2 := MustNew(cq.MustFromExample(genex.DirectedPath(2)))
+	if !u.EquivalentTo(p2) {
+		t.Errorf("most-general = %v, want P_2", u)
+	}
+}
+
+// Unique fitting vs. duality: GHRV gives unique fitting UCQs.
+func TestUniqueViaGHRV(t *testing.T) {
+	F, D := genex.DirectedPath(2), genex.TransitiveTournament(2)
+	e := fitting.MustExamples(binR, 0, []instance.Pointed{F}, []instance.Pointed{D})
+	u, ok, err := Construct(e)
+	if err != nil || !ok {
+		t.Fatal("fitting should exist")
+	}
+	isU, err := VerifyUnique(u, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isU {
+		t.Error("({P_2},{T_2}) duality: the canonical UCQ is unique")
+	}
+	// Breaking the duality breaks uniqueness: ({C3},{C2}) is no duality
+	// (the left side is not c-acyclic).
+	e2 := fitting.MustExamples(binR, 0, []instance.Pointed{genex.DirectedCycle(3)}, []instance.Pointed{genex.DirectedCycle(2)})
+	u2, ok, _ := Construct(e2)
+	if !ok {
+		t.Fatal("fitting exists")
+	}
+	isU, err = VerifyUnique(u2, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isU {
+		t.Error("no duality, no unique fitting")
+	}
+}
