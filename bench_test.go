@@ -9,12 +9,14 @@
 package extremalcq
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"extremalcq/internal/cq"
 	"extremalcq/internal/cqtree"
 	"extremalcq/internal/duality"
+	"extremalcq/internal/engine"
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/genex"
 	"extremalcq/internal/instance"
@@ -439,6 +441,110 @@ func BenchmarkSizeLowerBoundTreeCQ(b *testing.B) {
 			b.ReportMetric(float64(size), "tree_nodes")
 		})
 	}
+}
+
+// ---------------------------------------------------------------------
+// Fitting engine — memoization and batching
+// ---------------------------------------------------------------------
+
+// engineT1Job is the Table 1 construction workload (prime-cycle family,
+// product-dominated) as an engine job.
+func engineT1Job() engine.Job {
+	pos, neg := genex.PrimeCycleFamily(3)
+	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	return engine.Job{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: e}
+}
+
+// engineT3Job is the Table 3 tree-construction workload (DAG
+// construction plus expansion and core) as an engine job. The
+// simulation fixpoint itself is not memoized; the final core is.
+func engineT3Job() engine.Job {
+	return engine.Job{Kind: engine.KindTree, Task: engine.TaskConstruct, Examples: lraExamples}
+}
+
+// Cold cache: every execution recomputes products, hom checks and cores
+// from scratch (memoization disabled).
+func BenchmarkEngineColdCache(b *testing.B) {
+	for _, w := range []struct {
+		name string
+		job  engine.Job
+	}{{"T1construct", engineT1Job()}, {"T3treeConstruct", engineT3Job()}} {
+		b.Run(w.name, func(b *testing.B) {
+			eng := engine.New(engine.Options{Workers: 1, CacheSize: -1})
+			defer eng.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := eng.Do(context.Background(), w.job); res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+	}
+}
+
+// Warm cache: the first execution fills the shared memo; repeats of the
+// same workload are served from it. The cold/warm delta is the caching
+// win on duplicate-heavy traffic.
+func BenchmarkEngineWarmCache(b *testing.B) {
+	for _, w := range []struct {
+		name string
+		job  engine.Job
+	}{{"T1construct", engineT1Job()}, {"T3treeConstruct", engineT3Job()}} {
+		b.Run(w.name, func(b *testing.B) {
+			eng := engine.New(engine.Options{Workers: 1})
+			defer eng.Close()
+			if res := eng.Do(context.Background(), w.job); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := eng.Do(context.Background(), w.job); res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+			b.StopTimer()
+			if hits := eng.Stats().Cache.Hits(); hits == 0 {
+				b.Fatal("warm run must hit the memo")
+			}
+		})
+	}
+}
+
+// Batch of N duplicate jobs through the engine (worker pool + shared
+// memo) vs N sequential direct library calls.
+func BenchmarkEngineBatchVsSequential(b *testing.B) {
+	const n = 16
+	pos, neg := genex.PrimeCycleFamily(3)
+	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+
+	b.Run("sequential-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < n; k++ {
+				if _, ok, err := fitting.Construct(e); err != nil || !ok {
+					b.Fatal("fitting must exist")
+				}
+			}
+		}
+		b.ReportMetric(n, "jobs/op")
+	})
+
+	b.Run("engine-batch", func(b *testing.B) {
+		eng := engine.New(engine.Options{})
+		defer eng.Close()
+		jobs := make([]engine.Job, n)
+		for k := range jobs {
+			jobs[k] = engine.Job{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: e}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.DoBatch(context.Background(), jobs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.ReportMetric(n, "jobs/op")
+	})
 }
 
 // ---------------------------------------------------------------------

@@ -1,5 +1,7 @@
 // Command cqfit computes fitting queries from labeled data examples
-// given in a simple text format.
+// given in a simple text format. It runs through the same fitting
+// engine as the cqfitd service, so CLI invocations and service requests
+// share one execution path.
 //
 // Usage:
 //
@@ -18,14 +20,17 @@
 //	-q         query for -task verify, e.g. "q(x) :- R(x,y)"
 //	-atoms     search bound: max atoms for synthesis tasks (default 3)
 //	-vars      search bound: max variables for synthesis tasks (default 4)
+//	-timeout   per-job deadline, e.g. 30s (default none)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
 	"strings"
+	"time"
 
 	"extremalcq"
 )
@@ -40,268 +45,104 @@ func (m *multiFlag) Set(v string) error {
 }
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain parses args into a JobSpec, runs it through a single-worker
+// engine and renders the result; split from main for testability.
+func realMain(args []string, out, errw io.Writer) int {
+	spec, timeout, err := specFromArgs(args, errw)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		// The flag set has already reported the error and usage to errw.
+		return 2
+	}
+	job, err := spec.Build()
+	if err != nil {
+		fmt.Fprintln(errw, "cqfit:", err)
+		return 1
+	}
+	job.Timeout = timeout
+
+	eng := extremalcq.NewEngine(extremalcq.EngineOptions{Workers: 1})
+	defer eng.Close()
+	res := eng.Do(context.Background(), job)
+	if res.Err != nil {
+		fmt.Fprintln(errw, "cqfit:", res.Err)
+		return 1
+	}
+	fmt.Fprintln(out, render(res))
+	return 0
+}
+
+// specFromArgs wires the flag set into the engine's text-level job
+// specification.
+func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, time.Duration, error) {
+	fs := flag.NewFlagSet("cqfit", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	var (
-		schemaStr = flag.String("schema", "", `schema, e.g. "R/2,P/1"`)
-		arity     = flag.Int("arity", 0, "arity of examples and queries")
-		kind      = flag.String("kind", "cq", "cq | ucq | tree")
-		task      = flag.String("task", "construct", "exists | construct | most-specific | weakly-most-general | basis | unique | verify")
-		queryStr  = flag.String("q", "", "query for -task verify")
-		maxAtoms  = flag.Int("atoms", 3, "search bound: max atoms")
-		maxVars   = flag.Int("vars", 4, "search bound: max variables")
+		schemaStr = fs.String("schema", "", `schema, e.g. "R/2,P/1"`)
+		arity     = fs.Int("arity", 0, "arity of examples and queries")
+		kind      = fs.String("kind", "cq", "cq | ucq | tree")
+		task      = fs.String("task", "construct", "exists | construct | most-specific | weakly-most-general | basis | unique | verify")
+		queryStr  = fs.String("q", "", "query for -task verify")
+		maxAtoms  = fs.Int("atoms", 0, "search bound: max atoms (0 = default, <0 = no enumeration)")
+		maxVars   = fs.Int("vars", 0, "search bound: max variables (0 = default, <0 = no enumeration)")
+		timeout   = fs.Duration("timeout", 0, "per-job deadline (0 = none)")
 	)
 	var posFlags, negFlags multiFlag
-	flag.Var(&posFlags, "pos", "positive example (repeatable)")
-	flag.Var(&negFlags, "neg", "negative example (repeatable)")
-	flag.Parse()
-
-	if err := run(*schemaStr, *arity, *kind, *task, *queryStr, posFlags, negFlags,
-		extremalcq.SearchOpts{MaxAtoms: *maxAtoms, MaxVars: *maxVars}); err != nil {
-		fmt.Fprintln(os.Stderr, "cqfit:", err)
-		os.Exit(1)
+	fs.Var(&posFlags, "pos", "positive example (repeatable)")
+	fs.Var(&negFlags, "neg", "negative example (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return extremalcq.JobSpec{}, 0, err
 	}
+	return extremalcq.JobSpec{
+		Schema:   *schemaStr,
+		Arity:    *arity,
+		Kind:     *kind,
+		Task:     *task,
+		Pos:      posFlags,
+		Neg:      negFlags,
+		Query:    *queryStr,
+		MaxAtoms: *maxAtoms,
+		MaxVars:  *maxVars,
+	}, *timeout, nil
 }
 
-func run(schemaStr string, arity int, kind, task, queryStr string, posFlags, negFlags []string, opts extremalcq.SearchOpts) error {
-	sch, err := parseSchema(schemaStr)
-	if err != nil {
-		return err
+// kindName renders the query language for human-facing messages.
+func kindName(k extremalcq.JobKind) string {
+	switch k {
+	case extremalcq.KindUCQ:
+		return "UCQ"
+	case extremalcq.KindTree:
+		return "tree CQ"
 	}
-	var pos, neg []extremalcq.Example
-	for _, s := range posFlags {
-		e, err := extremalcq.ParseExample(sch, s)
-		if err != nil {
-			return fmt.Errorf("-pos %q: %w", s, err)
-		}
-		pos = append(pos, e)
-	}
-	for _, s := range negFlags {
-		e, err := extremalcq.ParseExample(sch, s)
-		if err != nil {
-			return fmt.Errorf("-neg %q: %w", s, err)
-		}
-		neg = append(neg, e)
-	}
-	E, err := extremalcq.NewExamples(sch, arity, pos, neg)
-	if err != nil {
-		return err
-	}
-
-	switch kind {
-	case "cq":
-		return runCQ(E, sch, task, queryStr, opts)
-	case "ucq":
-		return runUCQ(E, sch, task, queryStr, opts)
-	case "tree":
-		return runTree(E, sch, task, queryStr, opts)
-	}
-	return fmt.Errorf("unknown -kind %q", kind)
+	return "CQ"
 }
 
-func runCQ(E extremalcq.Examples, sch *extremalcq.Schema, task, queryStr string, opts extremalcq.SearchOpts) error {
-	switch task {
-	case "exists":
-		ok, err := extremalcq.FittingExists(E)
-		if err != nil {
-			return err
-		}
-		fmt.Println("fitting CQ exists:", ok)
-	case "construct", "most-specific":
-		q, ok, err := extremalcq.ConstructMostSpecific(E)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Println("no fitting CQ exists")
-			return nil
-		}
-		fmt.Println(q.Core())
-	case "weakly-most-general":
-		q, found, err := extremalcq.SearchWeaklyMostGeneral(E, opts)
-		if err != nil {
-			return err
-		}
-		if !found {
-			fmt.Println("none found within bounds")
-			return nil
-		}
-		fmt.Println(q)
-	case "basis":
-		basis, found, err := extremalcq.SearchBasis(E, opts)
-		if err != nil {
-			return err
-		}
-		if !found {
-			fmt.Println("no basis found within bounds")
-			return nil
-		}
-		for _, b := range basis {
-			fmt.Println(b)
-		}
-	case "unique":
-		q, ok, err := extremalcq.UniqueFittingExists(E)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Println("no unique fitting CQ")
-			return nil
-		}
-		fmt.Println(q.Core())
-	case "verify":
-		q, err := extremalcq.ParseCQ(sch, queryStr)
-		if err != nil {
-			return err
-		}
-		fmt.Println("fits:", extremalcq.VerifyFitting(q, E))
-	default:
-		return fmt.Errorf("unknown -task %q", task)
+// render turns an engine result into the CLI's output text.
+func render(res extremalcq.Result) string {
+	switch res.Task {
+	case extremalcq.TaskExists:
+		return fmt.Sprintf("fitting %s exists: %v", kindName(res.Kind), res.Found)
+	case extremalcq.TaskVerify:
+		return fmt.Sprintf("fits: %v", res.Found)
 	}
-	return nil
-}
-
-func runUCQ(E extremalcq.Examples, sch *extremalcq.Schema, task, queryStr string, opts extremalcq.SearchOpts) error {
-	switch task {
-	case "exists":
-		fmt.Println("fitting UCQ exists:", extremalcq.FittingUCQExists(E))
-	case "construct", "most-specific":
-		u, ok, err := extremalcq.ConstructFittingUCQ(E)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Println("no fitting UCQ exists")
-			return nil
-		}
-		fmt.Println(u)
-	case "weakly-most-general", "basis":
-		u, found, err := extremalcq.SearchMostGeneralUCQ(E, opts)
-		if err != nil {
-			return err
-		}
-		if !found {
-			fmt.Println("none found within bounds")
-			return nil
-		}
-		fmt.Println(u)
-	case "unique":
-		u, ok, err := extremalcq.UniqueUCQExists(E)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Println("no unique fitting UCQ")
-			return nil
-		}
-		fmt.Println(u)
-	case "verify":
-		u, err := extremalcq.ParseUCQ(sch, queryStr)
-		if err != nil {
-			return err
-		}
-		fmt.Println("fits:", extremalcq.VerifyFittingUCQ(u, E))
-	default:
-		return fmt.Errorf("unknown -task %q", task)
+	if len(res.Queries) > 0 {
+		return strings.Join(res.Queries, "\n")
 	}
-	return nil
-}
-
-func runTree(E extremalcq.Examples, sch *extremalcq.Schema, task, queryStr string, opts extremalcq.SearchOpts) error {
-	switch task {
-	case "exists":
-		ok, err := extremalcq.FittingTreeExists(E)
-		if err != nil {
-			return err
-		}
-		fmt.Println("fitting tree CQ exists:", ok)
-	case "construct":
-		dag, ok, err := extremalcq.ConstructFittingTree(E)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Println("no fitting tree CQ exists")
-			return nil
-		}
-		q, err := dag.Expand(100000)
-		if err != nil {
-			fmt.Printf("fitting tree CQ as DAG: depth %d, %d shared nodes (too large to expand)\n",
-				dag.Depth, dag.NumNodes())
-			return nil
-		}
-		fmt.Println(q.Core())
-	case "most-specific":
-		q, ok, err := extremalcq.ConstructMostSpecificTree(E, 100000)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Println("no most-specific fitting tree CQ exists")
-			return nil
-		}
-		fmt.Println(q.Core())
-	case "weakly-most-general":
-		q, found, err := extremalcq.SearchWeaklyMostGeneralTree(E, opts)
-		if err != nil {
-			return err
-		}
-		if !found {
-			fmt.Println("none found within bounds")
-			return nil
-		}
-		fmt.Println(q)
-	case "basis":
-		basis, found, err := extremalcq.SearchBasisTree(E, opts)
-		if err != nil {
-			return err
-		}
-		if !found {
-			fmt.Println("no basis found within bounds")
-			return nil
-		}
-		for _, b := range basis {
-			fmt.Println(b)
-		}
-	case "unique":
-		q, ok, err := extremalcq.UniqueTreeExists(E)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Println("no unique fitting tree CQ")
-			return nil
-		}
-		fmt.Println(q.Core())
-	case "verify":
-		q, err := extremalcq.ParseCQ(sch, queryStr)
-		if err != nil {
-			return err
-		}
-		fits, err := extremalcq.VerifyFittingTree(q, E)
-		if err != nil {
-			return err
-		}
-		fmt.Println("fits:", fits)
-	default:
-		return fmt.Errorf("unknown -task %q", task)
+	if res.Note != "" {
+		return res.Note
 	}
-	return nil
-}
-
-func parseSchema(s string) (*extremalcq.Schema, error) {
-	if strings.TrimSpace(s) == "" {
-		return nil, fmt.Errorf("missing -schema")
+	switch res.Task {
+	case extremalcq.TaskConstruct, extremalcq.TaskMostSpecific:
+		return fmt.Sprintf("no fitting %s exists", kindName(res.Kind))
+	case extremalcq.TaskUnique:
+		return fmt.Sprintf("no unique fitting %s", kindName(res.Kind))
+	case extremalcq.TaskBasis:
+		return "no basis found within bounds"
 	}
-	var rels []extremalcq.Rel
-	for _, part := range strings.Split(s, ",") {
-		name, arityStr, ok := strings.Cut(strings.TrimSpace(part), "/")
-		if !ok {
-			return nil, fmt.Errorf("bad schema entry %q (want Name/Arity)", part)
-		}
-		a, err := strconv.Atoi(arityStr)
-		if err != nil {
-			return nil, fmt.Errorf("bad arity in %q: %w", part, err)
-		}
-		rels = append(rels, extremalcq.Rel{Name: name, Arity: a})
-	}
-	return extremalcq.NewSchema(rels...)
+	return "none found within bounds"
 }

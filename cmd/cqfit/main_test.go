@@ -1,0 +1,218 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRealMain drives the flag→job wiring end-to-end through the engine
+// for every -kind/-task combination.
+func TestRealMain(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string // exact output line(s), joined by \n
+	}{
+		// ---- CQs ----
+		{
+			name: "cq exists",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-task", "exists", "-pos", "R(a,b)"},
+			want: "fitting CQ exists: true",
+		},
+		{
+			name: "cq construct",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-task", "construct", "-pos", "R(a,b)", "-neg", "P(u)"},
+			want: "q() :- R(a,b)",
+		},
+		{
+			name: "cq most-specific",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-task", "most-specific", "-pos", "R(a,b)", "-neg", "P(u)"},
+			want: "q() :- R(a,b)",
+		},
+		{
+			name: "cq weakly-most-general",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-task", "weakly-most-general", "-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- R(v0,v1)",
+		},
+		{
+			name: "cq basis",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-task", "basis", "-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- R(v0,v1)\nq() :- P(v0) ∧ Q(v1)",
+		},
+		{
+			name: "cq unique",
+			args: []string{"-schema", "R/2", "-arity", "1", "-task", "unique",
+				"-pos", "R(a,b). R(b,a). R(b,b) @ b", "-neg", "R(a,b). R(b,a). R(b,b) @ a"},
+			want: "q(b) :- R(b,b)",
+		},
+		{
+			name: "cq verify",
+			args: []string{"-schema", "R/2", "-arity", "1", "-task", "verify",
+				"-pos", "R(a,b). R(b,c) @ a", "-q", "q(x) :- R(x,y)"},
+			want: "fits: true",
+		},
+		{
+			name: "cq construct impossible",
+			args: []string{"-schema", "R/2", "-task", "construct", "-pos", "R(a,b)", "-neg", "R(a,b)"},
+			want: "no fitting CQ exists",
+		},
+		// ---- UCQs ----
+		{
+			name: "ucq exists",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-kind", "ucq", "-task", "exists", "-pos", "R(a,b)"},
+			want: "fitting UCQ exists: true",
+		},
+		{
+			name: "ucq construct",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-kind", "ucq", "-task", "construct",
+				"-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- P(u) ∧ Q(u) ∧ R(u,u)",
+		},
+		{
+			name: "ucq most-specific",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-kind", "ucq", "-task", "most-specific",
+				"-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- P(u) ∧ Q(u) ∧ R(u,u)",
+		},
+		{
+			name: "ucq weakly-most-general",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-kind", "ucq", "-task", "weakly-most-general",
+				"-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- R(v0,v1) ∪ q() :- P(v0) ∧ Q(v1)",
+		},
+		{
+			name: "ucq basis",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-kind", "ucq", "-task", "basis",
+				"-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- R(v0,v1) ∪ q() :- P(v0) ∧ Q(v1)",
+		},
+		{
+			name: "ucq unique none",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-kind", "ucq", "-task", "unique",
+				"-neg", "P(a)", "-neg", "Q(a)"},
+			want: "no unique fitting UCQ",
+		},
+		{
+			name: "ucq verify",
+			args: []string{"-schema", "R/2", "-kind", "ucq", "-task", "verify",
+				"-pos", "R(a,b)", "-q", "q() :- R(x,y)"},
+			want: "fits: true",
+		},
+		// ---- tree CQs ----
+		{
+			name: "tree exists",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-arity", "1", "-kind", "tree", "-task", "exists",
+				"-pos", "P(a). R(a,b). Q(b) @ a", "-neg", "P(a) @ a"},
+			want: "fitting tree CQ exists: true",
+		},
+		{
+			name: "tree construct",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-arity", "1", "-kind", "tree", "-task", "construct",
+				"-pos", "P(a). R(a,b). Q(b) @ a", "-neg", "P(a) @ a"},
+			want: "q(n0) :- P(n0) ∧ Q(n1) ∧ R(n0,n1)",
+		},
+		{
+			name: "tree most-specific",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-arity", "1", "-kind", "tree", "-task", "most-specific",
+				"-pos", "P(a). R(a,b). Q(b) @ a", "-neg", "P(a) @ a"},
+			want: "q(m0) :- P(m0) ∧ Q(m1) ∧ R(m0,m1)",
+		},
+		{
+			name: "tree weakly-most-general",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-arity", "1", "-kind", "tree", "-task", "weakly-most-general",
+				"-pos", "P(a). R(a,b). Q(b) @ a", "-neg", "P(a) @ a"},
+			want: "q(v0) :- R(v0,v1)",
+		},
+		{
+			name: "tree basis",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-arity", "1", "-kind", "tree", "-task", "basis",
+				"-pos", "P(a). R(a,b). Q(b) @ a", "-neg", "P(a) @ a"},
+			want: "q(v0) :- R(v0,v1)",
+		},
+		{
+			name: "tree unique none",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-arity", "1", "-kind", "tree", "-task", "unique",
+				"-pos", "P(a). R(a,b). Q(b) @ a", "-neg", "P(a) @ a"},
+			want: "no unique fitting tree CQ",
+		},
+		{
+			name: "tree verify",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-arity", "1", "-kind", "tree", "-task", "verify",
+				"-pos", "P(a). R(a,b). Q(b) @ a", "-neg", "P(a) @ a", "-q", "q(x) :- R(x,y), Q(y)"},
+			want: "fits: true",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			code := realMain(tc.args, &out, &errw)
+			if code != 0 {
+				t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+			}
+			got := strings.TrimRight(out.String(), "\n")
+			if got != tc.want {
+				t.Errorf("output:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRealMainErrors checks the error paths of the flag wiring.
+func TestRealMainErrors(t *testing.T) {
+	tests := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{
+			name:     "missing schema",
+			args:     []string{"-task", "exists"},
+			wantCode: 1,
+			wantErr:  "missing schema",
+		},
+		{
+			name:     "unknown kind",
+			args:     []string{"-schema", "R/2", "-kind", "nope", "-task", "exists"},
+			wantCode: 1,
+			wantErr:  "unknown kind",
+		},
+		{
+			name:     "unknown task",
+			args:     []string{"-schema", "R/2", "-task", "nope"},
+			wantCode: 1,
+			wantErr:  "unknown task",
+		},
+		{
+			name:     "verify without query",
+			args:     []string{"-schema", "R/2", "-task", "verify", "-pos", "R(a,b)"},
+			wantCode: 1,
+			wantErr:  "needs a query",
+		},
+		{
+			name:     "bad flag",
+			args:     []string{"-nonsense"},
+			wantCode: 2,
+			wantErr:  "flag provided but not defined",
+		},
+		{
+			name:     "bad example",
+			args:     []string{"-schema", "R/2", "-task", "exists", "-pos", "R(a)"},
+			wantCode: 1,
+			wantErr:  "pos example",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			code := realMain(tc.args, &out, &errw)
+			if code != tc.wantCode {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", code, tc.wantCode, errw.String())
+			}
+			if !strings.Contains(errw.String(), tc.wantErr) {
+				t.Errorf("stderr %q does not mention %q", errw.String(), tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Command cqfitd serves the fitting engine over HTTP/JSON.
+//
+// Usage:
+//
+//	cqfitd [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/jobs   run one fitting job
+//	POST /v1/batch  run a batch of fitting jobs
+//	GET  /v1/stats  cache hit rates, queue depth, per-task latency
+//
+// A job is a JSON object using the same text formats as the cqfit CLI:
+//
+//	{
+//	  "schema": "R/2,P/1", "arity": 1,
+//	  "kind": "cq", "task": "construct",
+//	  "pos": ["R(a,b). R(b,c) @ a"],
+//	  "neg": ["P(u) @ u"],
+//	  "max_atoms": 3, "max_vars": 4, "timeout_ms": 1000
+//	}
+//
+// See README.md for curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"extremalcq/internal/engine"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 256, "job queue size")
+		cache   = flag.Int("cache", 0, "memo entries per class (0 = default, <0 = disable)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-job deadline (0 = none)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Options{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+	})
+	defer eng.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+	}
+	go func() {
+		log.Printf("cqfitd: listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("cqfitd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("cqfitd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("cqfitd: shutdown: %v", err)
+	}
+}

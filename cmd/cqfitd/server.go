@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"extremalcq/internal/engine"
+)
+
+// server exposes a fitting engine over HTTP/JSON:
+//
+//	POST /v1/jobs   — run a single job (body: JobSpec)
+//	POST /v1/batch  — run a batch     (body: {"jobs": [JobSpec, ...]})
+//	GET  /v1/stats  — engine statistics (cache hit rates, queue depth,
+//	                  per-task latency)
+type server struct {
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	start time.Time
+}
+
+func newServer(eng *engine.Engine) *server {
+	s := &server{eng: eng, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// resultJSON is the wire form of an engine.Result.
+type resultJSON struct {
+	Label     string   `json:"label,omitempty"`
+	Kind      string   `json:"kind,omitempty"`
+	Task      string   `json:"task,omitempty"`
+	Found     bool     `json:"found"`
+	Queries   []string `json:"queries,omitempty"`
+	Note      string   `json:"note,omitempty"`
+	Error     string   `json:"error,omitempty"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+func toJSON(res engine.Result) resultJSON {
+	out := resultJSON{
+		Label:     res.Label,
+		Kind:      string(res.Kind),
+		Task:      string(res.Task),
+		Found:     res.Found,
+		Queries:   res.Queries,
+		Note:      res.Note,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	return out
+}
+
+// maxBodyBytes bounds request bodies; batches of text-format examples
+// are small, so 8 MiB is generous.
+const maxBodyBytes = 8 << 20
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	var spec engine.JobSpec
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, err := spec.Build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job: %v", err)
+		return
+	}
+	res := s.eng.Do(r.Context(), job)
+	writeJSON(w, http.StatusOK, toJSON(res))
+}
+
+type batchRequest struct {
+	Jobs []engine.JobSpec `json:"jobs"`
+}
+
+type batchResponse struct {
+	Results   []resultJSON `json:"results"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	start := time.Now()
+	// Specs that fail to build report their error in place; the rest run
+	// through the engine as one batch.
+	results := make([]resultJSON, len(req.Jobs))
+	jobs := make([]engine.Job, 0, len(req.Jobs))
+	idx := make([]int, 0, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		job, err := spec.Build()
+		if err != nil {
+			results[i] = resultJSON{Label: spec.Label, Kind: spec.Kind, Task: spec.Task, Error: err.Error()}
+			continue
+		}
+		jobs = append(jobs, job)
+		idx = append(idx, i)
+	}
+	for k, res := range s.eng.DoBatch(r.Context(), jobs) {
+		results[idx[k]] = toJSON(res)
+	}
+	writeJSON(w, http.StatusOK, batchResponse{
+		Results:   results,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+type statsResponse struct {
+	UptimeMS float64      `json:"uptime_ms"`
+	Engine   engine.Stats `json:"engine"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Engine:   s.eng.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

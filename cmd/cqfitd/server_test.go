@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"extremalcq/internal/engine"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: 4})
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+
+	req := map[string]any{
+		"jobs": []engine.JobSpec{
+			{
+				Label: "construct", Schema: "R/2,P/1", Arity: 1, Kind: "cq", Task: "construct",
+				Pos: []string{"R(a,b). R(b,c) @ a"},
+				Neg: []string{"P(u) @ u"},
+			},
+			{
+				Label: "verify", Schema: "R/2,P/1", Arity: 1, Kind: "cq", Task: "verify",
+				Pos:   []string{"R(a,b). R(b,c) @ a"},
+				Query: "q(x) :- R(x,y)",
+			},
+			{
+				Label: "broken", Schema: "", Kind: "cq", Task: "exists",
+			},
+		},
+	}
+	resp := postJSON(t, ts.URL+"/v1/batch", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(out.Results))
+	}
+	if r := out.Results[0]; !r.Found || len(r.Queries) != 1 || !strings.Contains(r.Queries[0], ":-") {
+		t.Errorf("construct result: %+v", r)
+	}
+	if r := out.Results[1]; !r.Found || r.Error != "" {
+		t.Errorf("verify result: %+v", r)
+	}
+	if r := out.Results[2]; r.Error == "" {
+		t.Errorf("broken spec must report its build error: %+v", r)
+	}
+}
+
+func TestSingleJobAndStats(t *testing.T) {
+	ts := newTestServer(t)
+
+	spec := engine.JobSpec{
+		Schema: "R/2", Arity: 0, Kind: "cq", Task: "exists",
+		Pos: []string{"R(a,b)"},
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs", spec)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var res resultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Error != "" {
+		t.Fatalf("exists result: %+v", res)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.JobsDone < 1 {
+		t.Errorf("stats report %d jobs done, want >= 1", stats.Engine.JobsDone)
+	}
+	if _, ok := stats.Engine.Tasks["cq/exists"]; !ok {
+		t.Errorf("stats missing cq/exists latency: %+v", stats.Engine.Tasks)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/batch", map[string]any{"jobs": []any{}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -33,6 +33,20 @@
 //	fitting   — CQ fitting problems (Section 3)
 //	ucqfit    — UCQ fitting problems (Section 4)
 //	tree      — tree-CQ fitting problems (Section 5)
+//	engine    — concurrent fitting engine (batching, caching, deadlines)
+//
+// The engine layer runs any kind × task combination above as a Job on a
+// bounded worker pool, memoizing homomorphism checks, cores and direct
+// products in a shared thread-safe cache so that duplicate-heavy batches
+// reuse work:
+//
+//	eng := extremalcq.NewEngine(extremalcq.EngineOptions{Workers: 8})
+//	defer eng.Close()
+//	results := eng.DoBatch(ctx, jobs)  // jobs built via Job or JobSpec
+//	fmt.Println(eng.Stats().Cache)     // hit rates per memo class
+//
+// The cqfit CLI and the cqfitd HTTP/JSON service are thin wrappers over
+// this same execution path.
 //
 // Quickstart:
 //
@@ -47,6 +61,7 @@ package extremalcq
 import (
 	"extremalcq/internal/cq"
 	"extremalcq/internal/duality"
+	"extremalcq/internal/engine"
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/frontier"
 	"extremalcq/internal/hom"
@@ -188,6 +203,53 @@ var (
 	SearchMostGeneralUCQ  = ucqfit.SearchMostGeneral
 	VerifyUniqueUCQ       = ucqfit.VerifyUnique
 	UniqueUCQExists       = ucqfit.ExistsUnique
+)
+
+// The fitting engine: batched, concurrent, memoized execution of all of
+// the above.
+type (
+	// Engine schedules fitting jobs across a bounded worker pool with a
+	// shared memoization cache.
+	Engine = engine.Engine
+	// EngineOptions configures NewEngine.
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of queue depth, cache hit rates and
+	// per-task latency.
+	EngineStats = engine.Stats
+	// Job is one fitting problem (kind × task over labeled examples).
+	Job = engine.Job
+	// JobSpec is the text-level form of a Job (also the cqfitd wire
+	// format).
+	JobSpec = engine.JobSpec
+	// Result is the outcome of a Job.
+	Result = engine.Result
+	// JobKind selects the query language of a Job.
+	JobKind = engine.Kind
+	// JobTask selects the fitting problem of a Job.
+	JobTask = engine.Task
+)
+
+// Job kinds and tasks.
+const (
+	KindCQ   = engine.KindCQ
+	KindUCQ  = engine.KindUCQ
+	KindTree = engine.KindTree
+
+	TaskExists            = engine.TaskExists
+	TaskConstruct         = engine.TaskConstruct
+	TaskMostSpecific      = engine.TaskMostSpecific
+	TaskWeaklyMostGeneral = engine.TaskWeaklyMostGeneral
+	TaskBasis             = engine.TaskBasis
+	TaskUnique            = engine.TaskUnique
+	TaskVerify            = engine.TaskVerify
+)
+
+// Engine construction and helpers.
+var (
+	// NewEngine starts a fitting engine; Close it when done.
+	NewEngine = engine.New
+	// ParseJobSchema parses "R/2,P/1"-style schema declarations.
+	ParseJobSchema = engine.ParseSchema
 )
 
 // Tree-CQ fitting (Section 5).

@@ -1,0 +1,3 @@
+module extremalcq
+
+go 1.24

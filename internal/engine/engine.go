@@ -1,0 +1,383 @@
+// Package engine is a concurrent fitting engine on top of the fitting,
+// ucqfit and tree packages: it accepts batches of fitting jobs (any
+// kind × task combination the extremalcq facade exposes), schedules them
+// across a bounded worker pool with per-job context cancellation and
+// deadlines, and threads a shared, thread-safe memoization cache (see
+// Memo) through the hot paths — homomorphism checks, cores and direct
+// products — via the injectable hooks in internal/hom and
+// internal/instance. The cqfit CLI and the cqfitd JSON service both run
+// through this one execution path.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+)
+
+// ErrClosed is reported by jobs submitted to, or still queued in, a
+// closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine. The zero value selects sensible
+// defaults.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueSize bounds the number of queued jobs before Submit blocks;
+	// <= 0 selects 64.
+	QueueSize int
+	// CacheSize bounds each memo class (hom, core, product); 0 selects
+	// DefaultCacheSize, negative disables the shared cache entirely.
+	CacheSize int
+	// DefaultTimeout applies to jobs that do not set their own Timeout;
+	// zero means no default deadline.
+	DefaultTimeout time.Duration
+}
+
+// Engine is a concurrent fitting-job scheduler. Create with New, release
+// with Close. All methods are safe for concurrent use.
+//
+// The shared memo is installed behind the process-wide cache hooks of
+// internal/hom and internal/instance, so at most one caching Engine
+// should be live at a time (the most recently created one wins).
+type Engine struct {
+	opts  Options
+	memo  *Memo
+	jobs  chan *envelope
+	done  chan struct{}
+	wg    sync.WaitGroup
+	close sync.Once
+	start time.Time
+
+	// closeMu guards closed and the registration of in-flight Submits in
+	// subWG; Close flips closed under the write lock, then drains the
+	// queue only after every registered Submit has finished, so an
+	// envelope can never land in a queue nothing will drain. Submit never
+	// blocks while holding the lock, so Close is never delayed by slow
+	// jobs or a full queue.
+	closeMu sync.RWMutex
+	closed  bool
+	subWG   sync.WaitGroup
+
+	jobsDone   atomic.Int64
+	jobsFailed atomic.Int64
+	statsMu    sync.Mutex
+	tasks      map[string]*taskAgg
+}
+
+type envelope struct {
+	ctx context.Context
+	job Job
+	out chan Result
+}
+
+// Pending is a handle to a submitted job.
+type Pending struct {
+	out  chan Result
+	once sync.Once
+	res  Result
+}
+
+// Wait blocks until the job's result is available. It may be called any
+// number of times.
+func (p *Pending) Wait() Result {
+	p.once.Do(func() { p.res = <-p.out })
+	return p.res
+}
+
+// New starts an engine. Unless opts.CacheSize is negative it creates the
+// shared memo and installs it behind the hom and product cache hooks.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueSize <= 0 {
+		opts.QueueSize = 64
+	}
+	e := &Engine{
+		opts:  opts,
+		jobs:  make(chan *envelope, opts.QueueSize),
+		done:  make(chan struct{}),
+		start: time.Now(),
+		tasks: make(map[string]*taskAgg),
+	}
+	if opts.CacheSize >= 0 {
+		e.memo = NewMemo(opts.CacheSize)
+		hom.Use(e.memo)
+		instance.UseProductCache(e.memo)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the workers, fails any still-queued jobs with ErrClosed
+// and uninstalls the cache hooks if this engine's memo is the one
+// installed. Close is idempotent and safe to call concurrently with
+// Submit: jobs submitted after Close fail with ErrClosed.
+func (e *Engine) Close() {
+	e.close.Do(func() {
+		// Refuse new Submits, then wake workers and any Submit blocked on
+		// a full queue (both select on done). Workers abandon in-flight
+		// computations, so this does not wait out slow jobs.
+		e.closeMu.Lock()
+		e.closed = true
+		e.closeMu.Unlock()
+		close(e.done)
+		e.wg.Wait()
+		// Only after every in-flight Submit has left its enqueue select is
+		// the queue quiescent; the drain below is then final.
+		e.subWG.Wait()
+		for {
+			select {
+			case env := <-e.jobs:
+				env.out <- failedResult(env.job, ErrClosed)
+			default:
+				if e.memo != nil {
+					if hom.Active() == hom.Cache(e.memo) {
+						hom.Use(nil)
+					}
+					if instance.ActiveProductCache() == instance.ProductCache(e.memo) {
+						instance.UseProductCache(nil)
+					}
+				}
+				return
+			}
+		}
+	})
+}
+
+// Submit enqueues a job and returns immediately with a handle to its
+// eventual result. ctx governs both queue wait and execution: a context
+// canceled while the job is queued aborts it without executing. The
+// job's examples are deep-copied at submission, so the caller may reuse
+// or mutate them afterwards.
+func (e *Engine) Submit(ctx context.Context, j Job) *Pending {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &Pending{out: make(chan Result, 1)}
+	if err := j.Validate(); err != nil {
+		p.out <- failedResult(j, err)
+		return p
+	}
+	// Deterministically refuse dead contexts before enqueueing.
+	if err := ctx.Err(); err != nil {
+		p.out <- failedResult(j, err)
+		return p
+	}
+	j.Examples = cloneExamples(j.Examples)
+	env := &envelope{ctx: ctx, job: j, out: p.out}
+	// Register with subWG under the read lock, but do the (possibly
+	// blocking) enqueue outside it: Close waits for registered Submits
+	// before its final drain, and closing done wakes a Submit blocked on
+	// a full queue.
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		p.out <- failedResult(j, ErrClosed)
+		return p
+	}
+	e.subWG.Add(1)
+	e.closeMu.RUnlock()
+	defer e.subWG.Done()
+	select {
+	case e.jobs <- env:
+	case <-ctx.Done():
+		p.out <- failedResult(j, ctx.Err())
+	case <-e.done:
+		p.out <- failedResult(j, ErrClosed)
+	}
+	return p
+}
+
+// Do runs a single job synchronously.
+func (e *Engine) Do(ctx context.Context, j Job) Result {
+	return e.Submit(ctx, j).Wait()
+}
+
+// DoBatch submits all jobs and waits for all results, in input order.
+// Jobs run concurrently across the worker pool; duplicate-heavy batches
+// benefit from the shared memo.
+func (e *Engine) DoBatch(ctx context.Context, jobs []Job) []Result {
+	pending := make([]*Pending, len(jobs))
+	for i, j := range jobs {
+		pending[i] = e.Submit(ctx, j)
+	}
+	out := make([]Result, len(jobs))
+	for i, p := range pending {
+		out[i] = p.Wait()
+	}
+	return out
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case env := <-e.jobs:
+			e.execute(env)
+		}
+	}
+}
+
+func (e *Engine) execute(env *envelope) {
+	j := env.job
+	// A closed engine or a context canceled while the job sat in the
+	// queue aborts it before any work happens. (The worker's select can
+	// pick a queued envelope over the closed done channel, so the check
+	// here keeps post-Close dequeues from spawning computations.)
+	select {
+	case <-e.done:
+		env.out <- failedResult(j, ErrClosed)
+		return
+	default:
+	}
+	if err := env.ctx.Err(); err != nil {
+		env.out <- failedResult(j, err)
+		return
+	}
+	ctx := env.ctx
+	timeout := j.Timeout
+	if timeout <= 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	ch := make(chan Result, 1)
+	go func() { ch <- run(j) }()
+	var res Result
+	select {
+	case res = <-ch:
+	case <-ctx.Done():
+		// The algorithms are not interruptible mid-search; the worker
+		// moves on and the abandoned computation is discarded when it
+		// finishes.
+		res = failedResult(j, ctx.Err())
+	case <-e.done:
+		// Close abandons in-flight work the same way, so shutdown is
+		// prompt rather than bounded by the slowest job's deadline.
+		res = failedResult(j, ErrClosed)
+	}
+	res.Elapsed = time.Since(start)
+	e.record(j, res)
+	env.out <- res
+}
+
+func failedResult(j Job, err error) Result {
+	return Result{Label: j.Label, Kind: j.Kind, Task: j.Task, Err: err}
+}
+
+func cloneExamples(e fitting.Examples) fitting.Examples {
+	out := fitting.Examples{Schema: e.Schema, Arity: e.Arity}
+	for _, p := range e.Pos {
+		out.Pos = append(out.Pos, p.Clone())
+	}
+	for _, n := range e.Neg {
+		out.Neg = append(out.Neg, n.Clone())
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+type taskAgg struct {
+	count  int64
+	errors int64
+	total  time.Duration
+	max    time.Duration
+}
+
+// TaskStats aggregates latency per kind/task combination.
+type TaskStats struct {
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"`
+	TotalMS float64 `json:"total_ms"`
+	AvgMS   float64 `json:"avg_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// Stats is a point-in-time snapshot of engine activity.
+type Stats struct {
+	Workers    int                  `json:"workers"`
+	QueueDepth int                  `json:"queue_depth"`
+	JobsDone   int64                `json:"jobs_done"`
+	JobsFailed int64                `json:"jobs_failed"`
+	Cache      CacheStats           `json:"cache"`
+	Tasks      map[string]TaskStats `json:"tasks"`
+}
+
+func (e *Engine) record(j Job, res Result) {
+	e.jobsDone.Add(1)
+	if res.Err != nil {
+		e.jobsFailed.Add(1)
+	}
+	key := string(j.Kind) + "/" + string(j.Task)
+	e.statsMu.Lock()
+	agg, ok := e.tasks[key]
+	if !ok {
+		agg = &taskAgg{}
+		e.tasks[key] = agg
+	}
+	agg.count++
+	if res.Err != nil {
+		agg.errors++
+	}
+	agg.total += res.Elapsed
+	if res.Elapsed > agg.max {
+		agg.max = res.Elapsed
+	}
+	e.statsMu.Unlock()
+}
+
+// Stats returns a snapshot of queue depth, job counters, cache hit rates
+// and per-task latency aggregates.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Workers:    e.opts.Workers,
+		QueueDepth: len(e.jobs),
+		JobsDone:   e.jobsDone.Load(),
+		JobsFailed: e.jobsFailed.Load(),
+		Tasks:      make(map[string]TaskStats),
+	}
+	if e.memo != nil {
+		s.Cache = e.memo.Stats()
+	}
+	e.statsMu.Lock()
+	for k, a := range e.tasks {
+		ts := TaskStats{
+			Count:   a.count,
+			Errors:  a.errors,
+			TotalMS: float64(a.total) / float64(time.Millisecond),
+			MaxMS:   float64(a.max) / float64(time.Millisecond),
+		}
+		if a.count > 0 {
+			ts.AvgMS = ts.TotalMS / float64(a.count)
+		}
+		s.Tasks[k] = ts
+	}
+	e.statsMu.Unlock()
+	return s
+}
+
+// Memo returns the engine's shared memo, or nil when caching is
+// disabled.
+func (e *Engine) Memo() *Memo { return e.memo }

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+)
+
+// specs returns a duplicate-heavy batch: nCopies copies each of a CQ
+// construction, a CQ existence, a UCQ construction and a tree existence
+// job, all over shared workloads.
+func dupBatch(t *testing.T, nCopies int) []Job {
+	t.Helper()
+	var jobs []Job
+	base := []JobSpec{
+		{
+			Label: "cq-construct", Schema: "R/2,P/1", Arity: 1, Kind: "cq", Task: "construct",
+			Pos: []string{"R(a,b). R(b,c) @ a", "R(x,y). R(y,z). R(z,x) @ x"},
+			Neg: []string{"P(u) @ u"},
+		},
+		{
+			Label: "cq-exists", Schema: "R/2,P/1", Arity: 1, Kind: "cq", Task: "exists",
+			Pos: []string{"R(a,b). R(b,c) @ a", "R(x,y). R(y,z). R(z,x) @ x"},
+			Neg: []string{"P(u) @ u"},
+		},
+		{
+			Label: "ucq-construct", Schema: "R/2,P/1", Arity: 0, Kind: "ucq", Task: "construct",
+			Pos: []string{"R(a,b)", "P(c)"},
+			Neg: nil,
+		},
+		{
+			Label: "tree-exists", Schema: "R/2,P/1", Arity: 1, Kind: "tree", Task: "exists",
+			Pos: []string{"R(a,b) @ a"},
+			Neg: []string{"P(a) @ a"},
+		},
+	}
+	for i := 0; i < nCopies; i++ {
+		for _, s := range base {
+			j, err := s.Build()
+			if err != nil {
+				t.Fatalf("build %s: %v", s.Label, err)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// TestBatchCacheHitsAndParity runs a duplicate-heavy batch on a pool of
+// >= 4 workers and checks that (a) the shared memo reports cache hits
+// and (b) every engine result is identical to the corresponding direct
+// facade call made without any cache installed.
+func TestBatchCacheHitsAndParity(t *testing.T) {
+	if hom.Active() != nil {
+		t.Fatal("a hom cache is already installed")
+	}
+	jobs := dupBatch(t, 8)
+
+	// Direct results, computed before any engine (and hence any cache)
+	// exists.
+	direct := make([]Result, len(jobs))
+	for i, j := range jobs {
+		direct[i] = run(j)
+	}
+
+	eng := New(Options{Workers: 8, QueueSize: 8})
+	defer eng.Close()
+	results := eng.DoBatch(context.Background(), jobs)
+
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d (%s): %v", i, res.Label, res.Err)
+		}
+		want := direct[i]
+		if res.Found != want.Found {
+			t.Errorf("job %d (%s): Found=%v, direct says %v", i, res.Label, res.Found, want.Found)
+		}
+		if fmt.Sprint(res.Queries) != fmt.Sprint(want.Queries) {
+			t.Errorf("job %d (%s): queries %v, direct says %v", i, res.Label, res.Queries, want.Queries)
+		}
+	}
+
+	st := eng.Stats()
+	if st.Cache.Hits() == 0 {
+		t.Errorf("duplicate-heavy batch reported no cache hits: %+v", st.Cache)
+	}
+	if st.JobsDone != int64(len(jobs)) {
+		t.Errorf("JobsDone = %d, want %d", st.JobsDone, len(jobs))
+	}
+	if got := st.Tasks["cq/construct"]; got.Count != 8 {
+		t.Errorf("cq/construct count = %d, want 8", got.Count)
+	}
+}
+
+// TestCanceledContextAbortsQueuedJobs submits jobs under an
+// already-canceled context and checks they abort with context.Canceled
+// without ever executing.
+func TestCanceledContextAbortsQueuedJobs(t *testing.T) {
+	eng := New(Options{Workers: 1, QueueSize: 16})
+	defer eng.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	jobs := dupBatch(t, 2)
+	results := eng.DoBatch(ctx, jobs)
+	for i, res := range results {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("job %d: err = %v, want context.Canceled", i, res.Err)
+		}
+		if res.Found || len(res.Queries) > 0 {
+			t.Errorf("job %d: canceled job carries a result: %+v", i, res)
+		}
+	}
+	// Aborted-in-queue jobs never reach the execution path, so no task
+	// latency is recorded for them.
+	if st := eng.Stats(); len(st.Tasks) != 0 || st.JobsDone != 0 {
+		t.Errorf("canceled jobs were executed: %+v", st)
+	}
+}
+
+// TestJobTimeout checks that a per-job deadline fails a long-running job
+// with context.DeadlineExceeded.
+func TestJobTimeout(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	defer eng.Close()
+
+	pos, neg := genex.PrimeCycleFamily(4)
+	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	res := eng.Do(context.Background(), Job{
+		Kind: KindCQ, Task: TaskConstruct, Examples: e,
+		Timeout: time.Microsecond,
+	})
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", res.Err)
+	}
+}
+
+// TestClosePromptWithInflightJob checks that Close abandons a running
+// job promptly (failing it with ErrClosed) instead of waiting out its
+// deadline.
+func TestClosePromptWithInflightJob(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	pos, neg := genex.PrimeCycleFamily(5)
+	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	p := eng.Submit(context.Background(), Job{Kind: KindCQ, Task: TaskConstruct, Examples: e})
+	time.Sleep(100 * time.Millisecond) // let the worker pick it up
+	start := time.Now()
+	eng.Close()
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("Close took %v with a job in flight", d)
+	}
+	res := p.Wait()
+	if res.Err == nil {
+		t.Skip("job finished before Close; nothing to observe")
+	}
+	if !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", res.Err)
+	}
+}
+
+// TestSubmitValidation checks that malformed jobs fail fast.
+func TestSubmitValidation(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	defer eng.Close()
+
+	res := eng.Do(context.Background(), Job{Kind: "nope", Task: TaskExists})
+	if res.Err == nil {
+		t.Fatal("expected an error for an unknown kind")
+	}
+	res = eng.Do(context.Background(), Job{Kind: KindCQ, Task: "nope"})
+	if res.Err == nil {
+		t.Fatal("expected an error for an unknown task")
+	}
+}
+
+// TestCloseFailsPendingAndUninstallsHooks checks ErrClosed on
+// post-Close submission and that the cache hooks are released.
+func TestCloseFailsPendingAndUninstallsHooks(t *testing.T) {
+	eng := New(Options{Workers: 2})
+	if hom.Active() == nil || instance.ActiveProductCache() == nil {
+		t.Fatal("caching engine must install the hom and product hooks")
+	}
+	eng.Close()
+	if hom.Active() != nil || instance.ActiveProductCache() != nil {
+		t.Fatal("Close must uninstall the cache hooks")
+	}
+	res := eng.Do(context.Background(), dupBatch(t, 1)[0])
+	if !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", res.Err)
+	}
+}
+
+// TestMemoCopies checks that the memo never hands out shared mutable
+// state: cached cores and assignments are copied on get.
+func TestMemoCopies(t *testing.T) {
+	m := NewMemo(16)
+	sch := genex.SchemaR
+	p, err := instance.ParsePointed(sch, "R(a,b). R(b,a) @ a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := hom.Core(p)
+	m.PutCore(p, core)
+	got1, ok := m.GetCore(p)
+	if !ok {
+		t.Fatal("expected a core hit")
+	}
+	got2, _ := m.GetCore(p)
+	if got1.I == got2.I {
+		t.Fatal("GetCore returned a shared instance")
+	}
+	h, exists := hom.Find(p, p)
+	if !exists {
+		t.Fatal("identity homomorphism must exist")
+	}
+	m.PutHom(p, p, h, true)
+	h1, _, ok := m.GetHom(p, p)
+	if !ok {
+		t.Fatal("expected a hom hit")
+	}
+	h1["a"] = "tampered"
+	h2, _, _ := m.GetHom(p, p)
+	if h2["a"] == "tampered" {
+		t.Fatal("GetHom returned a shared assignment")
+	}
+}
+
+// TestJobSpecPartialBounds checks that each unset search bound defaults
+// individually: a spec setting only max_atoms must not search with zero
+// variables.
+func TestJobSpecPartialBounds(t *testing.T) {
+	spec := JobSpec{
+		Schema: "R/2,P/1,Q/1", Kind: "cq", Task: "weakly-most-general",
+		Neg: []string{"P(a)", "Q(a)"}, MaxAtoms: 5,
+	}
+	j, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(j)
+	if res.Err != nil || !res.Found {
+		t.Fatalf("search with partial bounds found nothing: %+v", res)
+	}
+	// The same normalization applies to directly-constructed Jobs whose
+	// Opts are left zero (the documented behavior).
+	j.Opts = fitting.SearchOpts{}
+	res = run(j)
+	if res.Err != nil || !res.Found {
+		t.Fatalf("search with zero opts found nothing: %+v", res)
+	}
+}
+
+// TestEngineCachingDisabled checks that CacheSize < 0 runs without
+// installing any hooks.
+func TestEngineCachingDisabled(t *testing.T) {
+	eng := New(Options{Workers: 2, CacheSize: -1})
+	defer eng.Close()
+	if hom.Active() != nil || instance.ActiveProductCache() != nil {
+		t.Fatal("cache hooks installed despite CacheSize < 0")
+	}
+	res := eng.Do(context.Background(), dupBatch(t, 1)[0])
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if st := eng.Stats(); st.Cache.Hits() != 0 || st.Cache.HomMisses != 0 {
+		t.Errorf("cache counters moved without a cache: %+v", st.Cache)
+	}
+}

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"fmt"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/tree"
+	"extremalcq/internal/ucqfit"
+)
+
+// maxTreeExpand bounds the number of nodes a fitting tree DAG is
+// expanded to before the engine falls back to reporting its DAG shape.
+const maxTreeExpand = 100000
+
+// run executes a validated job synchronously and fills in everything of
+// the Result except Elapsed. It is a pure dispatch onto the fitting,
+// ucqfit and tree packages — the same calls the facade exposes — so
+// engine results are identical to direct library calls (modulo the
+// shared memo, which only changes cost, not answers).
+func run(j Job) Result {
+	res := Result{Label: j.Label, Kind: j.Kind, Task: j.Task}
+	if err := j.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+	// Per Job.Opts: a zero bound selects the default; negative bounds
+	// pass through (disabling enumeration for that dimension).
+	if j.Opts.MaxAtoms == 0 {
+		j.Opts.MaxAtoms = fitting.DefaultSearch.MaxAtoms
+	}
+	if j.Opts.MaxVars == 0 {
+		j.Opts.MaxVars = fitting.DefaultSearch.MaxVars
+	}
+	switch j.Kind {
+	case KindCQ:
+		runCQ(j, &res)
+	case KindUCQ:
+		runUCQ(j, &res)
+	case KindTree:
+		runTree(j, &res)
+	}
+	return res
+}
+
+func runCQ(j Job, res *Result) {
+	e := j.Examples
+	switch j.Task {
+	case TaskExists:
+		res.Found, res.Err = fitting.Exists(e)
+	case TaskConstruct, TaskMostSpecific:
+		q, ok, err := fitting.ConstructMostSpecific(e)
+		if fill(res, ok, err) {
+			res.Queries = []string{q.Core().String()}
+		}
+	case TaskWeaklyMostGeneral:
+		q, found, err := fitting.SearchWeaklyMostGeneral(e, j.Opts)
+		if fill(res, found, err) {
+			res.Queries = []string{q.String()}
+		}
+	case TaskBasis:
+		basis, found, err := fitting.SearchBasis(e, j.Opts)
+		if fill(res, found, err) {
+			for _, b := range basis {
+				res.Queries = append(res.Queries, b.String())
+			}
+		}
+	case TaskUnique:
+		q, ok, err := fitting.ExistsUnique(e)
+		if fill(res, ok, err) {
+			res.Queries = []string{q.Core().String()}
+		}
+	case TaskVerify:
+		q, err := cq.Parse(e.Schema, j.Query)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		res.Found = fitting.Verify(q, e)
+	}
+}
+
+func runUCQ(j Job, res *Result) {
+	e := j.Examples
+	switch j.Task {
+	case TaskExists:
+		res.Found = ucqfit.Exists(e)
+	case TaskConstruct, TaskMostSpecific:
+		u, ok, err := ucqfit.Construct(e)
+		if fill(res, ok, err) {
+			res.Queries = []string{u.String()}
+		}
+	case TaskWeaklyMostGeneral, TaskBasis:
+		u, found, err := ucqfit.SearchMostGeneral(e, j.Opts)
+		if fill(res, found, err) {
+			res.Queries = []string{u.String()}
+		}
+	case TaskUnique:
+		u, ok, err := ucqfit.ExistsUnique(e)
+		if fill(res, ok, err) {
+			res.Queries = []string{u.String()}
+		}
+	case TaskVerify:
+		u, err := ucqfit.Parse(e.Schema, j.Query)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		res.Found = ucqfit.Verify(u, e)
+	}
+}
+
+func runTree(j Job, res *Result) {
+	e := j.Examples
+	switch j.Task {
+	case TaskExists:
+		res.Found, res.Err = tree.Exists(e)
+	case TaskConstruct:
+		dag, ok, err := tree.Construct(e)
+		if !fill(res, ok, err) {
+			return
+		}
+		q, err := dag.Expand(maxTreeExpand)
+		if err != nil {
+			res.Note = fmt.Sprintf("fitting tree CQ as DAG: depth %d, %d shared nodes (too large to expand)",
+				dag.Depth, dag.NumNodes())
+			return
+		}
+		res.Queries = []string{q.Core().String()}
+	case TaskMostSpecific:
+		q, ok, err := tree.ConstructMostSpecific(e, maxTreeExpand)
+		if fill(res, ok, err) {
+			res.Queries = []string{q.Core().String()}
+		}
+	case TaskWeaklyMostGeneral:
+		q, found, err := tree.SearchWeaklyMostGeneral(e, j.Opts)
+		if fill(res, found, err) {
+			res.Queries = []string{q.String()}
+		}
+	case TaskBasis:
+		basis, found, err := tree.SearchBasis(e, j.Opts)
+		if fill(res, found, err) {
+			for _, b := range basis {
+				res.Queries = append(res.Queries, b.String())
+			}
+		}
+	case TaskUnique:
+		q, ok, err := tree.ExistsUnique(e)
+		if fill(res, ok, err) {
+			res.Queries = []string{q.Core().String()}
+		}
+	case TaskVerify:
+		q, err := cq.Parse(e.Schema, j.Query)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		res.Found, res.Err = tree.Verify(q, e)
+	}
+}
+
+// fill records the (found, err) pair on the result and reports whether
+// the task produced a query to render.
+func fill(res *Result, found bool, err error) bool {
+	res.Found, res.Err = found, err
+	return err == nil && found
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+// Kind selects the query language of a fitting job.
+type Kind string
+
+// The query languages the facade exposes.
+const (
+	KindCQ   Kind = "cq"
+	KindUCQ  Kind = "ucq"
+	KindTree Kind = "tree"
+)
+
+// Task selects the fitting problem of a job.
+type Task string
+
+// The fitting problems the facade exposes.
+const (
+	TaskExists            Task = "exists"
+	TaskConstruct         Task = "construct"
+	TaskMostSpecific      Task = "most-specific"
+	TaskWeaklyMostGeneral Task = "weakly-most-general"
+	TaskBasis             Task = "basis"
+	TaskUnique            Task = "unique"
+	TaskVerify            Task = "verify"
+)
+
+func validKind(k Kind) bool {
+	switch k {
+	case KindCQ, KindUCQ, KindTree:
+		return true
+	}
+	return false
+}
+
+func validTask(t Task) bool {
+	switch t {
+	case TaskExists, TaskConstruct, TaskMostSpecific, TaskWeaklyMostGeneral,
+		TaskBasis, TaskUnique, TaskVerify:
+		return true
+	}
+	return false
+}
+
+// Job is one fitting problem instance to be executed by the engine: a
+// kind × task combination over a collection of labeled examples. For
+// verify tasks Query holds the textual query to check (a CQ for kinds cq
+// and tree, a UCQ for kind ucq).
+type Job struct {
+	// Label is an opaque caller identifier echoed into the Result.
+	Label string
+	Kind  Kind
+	Task  Task
+	// Examples is the labeled collection E = (E+, E-).
+	Examples fitting.Examples
+	// Query is the query text for TaskVerify, in the cq/ucq text format.
+	Query string
+	// Opts bounds the synthesis searches. A zero field selects the
+	// corresponding fitting.DefaultSearch bound; a negative field
+	// disables candidate enumeration for that dimension (only canonical
+	// candidates are considered).
+	Opts fitting.SearchOpts
+	// Timeout bounds this job's execution time; zero means no bound
+	// beyond the submission context.
+	Timeout time.Duration
+}
+
+// Validate reports whether the job names a known kind × task combination
+// and carries a well-formed example collection.
+func (j Job) Validate() error {
+	if !validKind(j.Kind) {
+		return fmt.Errorf("engine: unknown kind %q", j.Kind)
+	}
+	if !validTask(j.Task) {
+		return fmt.Errorf("engine: unknown task %q", j.Task)
+	}
+	if j.Examples.Schema == nil {
+		return fmt.Errorf("engine: job has no schema")
+	}
+	if j.Task == TaskVerify && strings.TrimSpace(j.Query) == "" {
+		return fmt.Errorf("engine: verify task needs a query")
+	}
+	return nil
+}
+
+// Result is the outcome of one Job.
+type Result struct {
+	// Label echoes Job.Label.
+	Label string
+	Kind  Kind
+	Task  Task
+	// Found reports the task's boolean outcome: existence for exists
+	// tasks, "fits" for verify tasks, and whether a query (or basis) was
+	// produced for construction and search tasks.
+	Found bool
+	// Queries holds the rendered fitting queries: one entry for
+	// construct/most-specific/weakly-most-general/unique, one per member
+	// for basis, empty for exists/verify.
+	Queries []string
+	// Note carries auxiliary human-readable information (e.g. that a tree
+	// fitting exists but is too large to expand).
+	Note string
+	// Err is non-nil when the job failed or was canceled.
+	Err error
+	// Elapsed is the execution wall time (zero for jobs aborted before
+	// execution).
+	Elapsed time.Duration
+}
+
+// ---------------------------------------------------------------------
+// Text-level job specifications
+// ---------------------------------------------------------------------
+
+// JobSpec is the text-level form of a Job, shared by the cqfit CLI and
+// the cqfitd JSON service: schema, examples and query are strings in the
+// package's text formats. The JSON field names define the cqfitd wire
+// format.
+type JobSpec struct {
+	Label     string   `json:"label,omitempty"`
+	Schema    string   `json:"schema"`
+	Arity     int      `json:"arity"`
+	Kind      string   `json:"kind"`
+	Task      string   `json:"task"`
+	Pos       []string `json:"pos,omitempty"`
+	Neg       []string `json:"neg,omitempty"`
+	Query     string   `json:"query,omitempty"`
+	MaxAtoms  int      `json:"max_atoms,omitempty"`
+	MaxVars   int      `json:"max_vars,omitempty"`
+	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+}
+
+// ParseSchema parses a comma-separated relation/arity declaration list
+// such as "R/2,P/1".
+func ParseSchema(s string) (*schema.Schema, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("engine: missing schema")
+	}
+	var rels []schema.Relation
+	for _, part := range strings.Split(s, ",") {
+		name, arityStr, ok := strings.Cut(strings.TrimSpace(part), "/")
+		if !ok {
+			return nil, fmt.Errorf("engine: bad schema entry %q (want Name/Arity)", part)
+		}
+		a, err := strconv.Atoi(arityStr)
+		if err != nil {
+			return nil, fmt.Errorf("engine: bad arity in %q: %w", part, err)
+		}
+		rels = append(rels, schema.Relation{Name: name, Arity: a})
+	}
+	return schema.New(rels...)
+}
+
+// Build parses the spec into an executable Job. Kind defaults to cq and
+// task to construct. Zero (or omitted) search bounds select the
+// fitting.DefaultSearch bounds at execution time; negative bounds
+// disable candidate enumeration (see Job.Opts).
+func (s JobSpec) Build() (Job, error) {
+	sch, err := ParseSchema(s.Schema)
+	if err != nil {
+		return Job{}, err
+	}
+	var pos, neg []instance.Pointed
+	for _, t := range s.Pos {
+		e, err := instance.ParsePointed(sch, t)
+		if err != nil {
+			return Job{}, fmt.Errorf("engine: pos example %q: %w", t, err)
+		}
+		pos = append(pos, e)
+	}
+	for _, t := range s.Neg {
+		e, err := instance.ParsePointed(sch, t)
+		if err != nil {
+			return Job{}, fmt.Errorf("engine: neg example %q: %w", t, err)
+		}
+		neg = append(neg, e)
+	}
+	E, err := fitting.NewExamples(sch, s.Arity, pos, neg)
+	if err != nil {
+		return Job{}, err
+	}
+	kind, task := Kind(s.Kind), Task(s.Task)
+	if s.Kind == "" {
+		kind = KindCQ
+	}
+	if s.Task == "" {
+		task = TaskConstruct
+	}
+	j := Job{
+		Label:    s.Label,
+		Kind:     kind,
+		Task:     task,
+		Examples: E,
+		Query:    s.Query,
+		Opts:     fitting.SearchOpts{MaxAtoms: s.MaxAtoms, MaxVars: s.MaxVars},
+		Timeout:  time.Duration(s.TimeoutMS) * time.Millisecond,
+	}
+	if err := j.Validate(); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}

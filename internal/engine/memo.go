@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+)
+
+// DefaultCacheSize is the per-class entry bound used when Options leaves
+// CacheSize at zero.
+const DefaultCacheSize = 4096
+
+// Memo is a thread-safe memoization cache for the hot paths of the
+// fitting algorithms: homomorphism searches, cores and direct products,
+// keyed by the canonical fingerprints of the operand pointed instances.
+// It implements hom.Cache and instance.ProductCache, so a single Memo
+// can be installed behind both hooks.
+//
+// Stored instances and assignments are deep-copied on both Put and Get:
+// the cache never shares mutable state with its callers, which keeps
+// concurrent workers race-free even though Instance builds its lookup
+// indexes lazily.
+type Memo struct {
+	mu   sync.Mutex
+	max  int // per-class entry bound
+	hom  map[string]homEntry
+	core map[string]instance.Pointed
+	prod map[string]instance.Pointed
+
+	homHits    atomic.Int64
+	homMisses  atomic.Int64
+	coreHits   atomic.Int64
+	coreMisses atomic.Int64
+	prodHits   atomic.Int64
+	prodMisses atomic.Int64
+}
+
+type homEntry struct {
+	h      hom.Assignment
+	exists bool
+}
+
+// NewMemo returns a Memo bounding each class (hom, core, product) to
+// maxEntries entries; maxEntries <= 0 selects DefaultCacheSize. When a
+// class is full an arbitrary entry is evicted.
+func NewMemo(maxEntries int) *Memo {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	return &Memo{
+		max:  maxEntries,
+		hom:  make(map[string]homEntry),
+		core: make(map[string]instance.Pointed),
+		prod: make(map[string]instance.Pointed),
+	}
+}
+
+// CacheStats is a snapshot of hit/miss counters per memo class.
+type CacheStats struct {
+	HomHits     int64 `json:"hom_hits"`
+	HomMisses   int64 `json:"hom_misses"`
+	CoreHits    int64 `json:"core_hits"`
+	CoreMisses  int64 `json:"core_misses"`
+	ProductHits int64 `json:"product_hits"`
+	ProdMisses  int64 `json:"product_misses"`
+	Entries     int   `json:"entries"`
+}
+
+// Hits returns the total number of cache hits across all classes.
+func (s CacheStats) Hits() int64 { return s.HomHits + s.CoreHits + s.ProductHits }
+
+// Stats returns a snapshot of the counters and current size.
+func (m *Memo) Stats() CacheStats {
+	m.mu.Lock()
+	entries := len(m.hom) + len(m.core) + len(m.prod)
+	m.mu.Unlock()
+	return CacheStats{
+		HomHits:     m.homHits.Load(),
+		HomMisses:   m.homMisses.Load(),
+		CoreHits:    m.coreHits.Load(),
+		CoreMisses:  m.coreMisses.Load(),
+		ProductHits: m.prodHits.Load(),
+		ProdMisses:  m.prodMisses.Load(),
+		Entries:     entries,
+	}
+}
+
+func pairKey(a, b instance.Pointed) string {
+	return a.Fingerprint() + b.Fingerprint()
+}
+
+// GetHom implements hom.Cache.
+func (m *Memo) GetHom(from, to instance.Pointed) (hom.Assignment, bool, bool) {
+	k := pairKey(from, to)
+	m.mu.Lock()
+	e, ok := m.hom[k]
+	m.mu.Unlock()
+	if !ok {
+		m.homMisses.Add(1)
+		return nil, false, false
+	}
+	m.homHits.Add(1)
+	return copyAssignment(e.h), e.exists, true
+}
+
+// PutHom implements hom.Cache.
+func (m *Memo) PutHom(from, to instance.Pointed, h hom.Assignment, exists bool) {
+	k := pairKey(from, to)
+	e := homEntry{h: copyAssignment(h), exists: exists}
+	m.mu.Lock()
+	evictIfFull(m.hom, k, m.max)
+	m.hom[k] = e
+	m.mu.Unlock()
+}
+
+// GetCore implements hom.Cache.
+func (m *Memo) GetCore(p instance.Pointed) (instance.Pointed, bool) {
+	k := p.Fingerprint()
+	m.mu.Lock()
+	c, ok := m.core[k]
+	m.mu.Unlock()
+	if !ok {
+		m.coreMisses.Add(1)
+		return instance.Pointed{}, false
+	}
+	m.coreHits.Add(1)
+	return c.Clone(), true
+}
+
+// PutCore implements hom.Cache.
+func (m *Memo) PutCore(p, core instance.Pointed) {
+	k := p.Fingerprint()
+	c := core.Clone()
+	m.mu.Lock()
+	evictIfFull(m.core, k, m.max)
+	m.core[k] = c
+	m.mu.Unlock()
+}
+
+// GetProduct implements instance.ProductCache.
+func (m *Memo) GetProduct(a, b instance.Pointed) (instance.Pointed, bool) {
+	k := pairKey(a, b)
+	m.mu.Lock()
+	p, ok := m.prod[k]
+	m.mu.Unlock()
+	if !ok {
+		m.prodMisses.Add(1)
+		return instance.Pointed{}, false
+	}
+	m.prodHits.Add(1)
+	return p.Clone(), true
+}
+
+// PutProduct implements instance.ProductCache.
+func (m *Memo) PutProduct(a, b, prod instance.Pointed) {
+	k := pairKey(a, b)
+	p := prod.Clone()
+	m.mu.Lock()
+	evictIfFull(m.prod, k, m.max)
+	m.prod[k] = p
+	m.mu.Unlock()
+}
+
+// evictIfFull removes one arbitrary entry when the map has reached the
+// bound and key is not already present (overwrites need no capacity);
+// map iteration order makes the choice pseudorandom.
+func evictIfFull[V any](mp map[string]V, key string, max int) {
+	if len(mp) < max {
+		return
+	}
+	if _, ok := mp[key]; ok {
+		return
+	}
+	for k := range mp {
+		delete(mp, k)
+		return
+	}
+}
+
+func copyAssignment(h hom.Assignment) hom.Assignment {
+	if h == nil {
+		return nil
+	}
+	out := make(hom.Assignment, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package hom
+
+import (
+	"sync/atomic"
+
+	"extremalcq/internal/instance"
+)
+
+// Cache memoizes homomorphism searches and cores. The hooks may be
+// called concurrently, so implementations must be safe for concurrent
+// use; GetHom must return an assignment and GetCore an instance that the
+// caller may freely use (not shared with other callers).
+//
+// Caches are keyed on the exact content of the pointed instances (see
+// instance.Pointed.Fingerprint), so a cached assignment remains a valid
+// witness for every later query with the same operands.
+type Cache interface {
+	// GetHom returns a memoized Find result: ok reports a cache hit,
+	// exists whether a homomorphism from 'from' to 'to' exists, and h a
+	// witness when exists is true.
+	GetHom(from, to instance.Pointed) (h Assignment, exists, ok bool)
+	// PutHom memoizes a Find result.
+	PutHom(from, to instance.Pointed, h Assignment, exists bool)
+	// GetCore returns a memoized core.
+	GetCore(p instance.Pointed) (instance.Pointed, bool)
+	// PutCore memoizes a core.
+	PutCore(p, core instance.Pointed)
+}
+
+type cacheBox struct{ c Cache }
+
+var activeCache atomic.Pointer[cacheBox]
+
+// Use installs c as the process-wide cache consulted by Exists, Find and
+// Core; a nil c uninstalls it. The fitting engine installs its shared
+// memo here so that the fitting, ucqfit and tree packages benefit
+// without changes to their algorithms.
+func Use(c Cache) {
+	if c == nil {
+		activeCache.Store(nil)
+		return
+	}
+	activeCache.Store(&cacheBox{c: c})
+}
+
+// Active returns the installed cache, or nil.
+func Active() Cache {
+	if b := activeCache.Load(); b != nil {
+		return b.c
+	}
+	return nil
+}

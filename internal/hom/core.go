@@ -8,8 +8,21 @@ import "extremalcq/internal/instance"
 //
 // The algorithm repeatedly looks for a retraction that avoids some
 // non-distinguished element and replaces the instance by the induced
-// subinstance on the remaining values.
+// subinstance on the remaining values. Results are memoized through the
+// installed Cache, if any (see Use).
 func Core(p instance.Pointed) instance.Pointed {
+	if c := Active(); c != nil {
+		if core, ok := c.GetCore(p); ok {
+			return core
+		}
+		core := coreUncached(p)
+		c.PutCore(p, core)
+		return core
+	}
+	return coreUncached(p)
+}
+
+func coreUncached(p instance.Pointed) instance.Pointed {
 	cur := p.Clone()
 	for {
 		dropped := false
@@ -44,9 +57,13 @@ func Core(p instance.Pointed) instance.Pointed {
 }
 
 // retraction finds a homomorphism from p into target (an induced
-// subinstance of p) fixing the distinguished tuple pointwise.
+// subinstance of p) fixing the distinguished tuple pointwise. It
+// bypasses the cache: the intermediate restricted instances of a core
+// computation never recur, so memoizing them would only flood the
+// bounded cache with single-use entries (the overall Core result is
+// what gets memoized).
 func retraction(p, target instance.Pointed) (Assignment, bool) {
-	return Find(p, target)
+	return findUncached(p, target)
 }
 
 // imageOf restricts p to the image of h (induced subinstance).

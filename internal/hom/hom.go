@@ -23,8 +23,21 @@ func Exists(from, to instance.Pointed) bool {
 }
 
 // Find returns a homomorphism from 'from' to 'to' if one exists. The
-// assignment covers adom(from) and all distinguished elements.
+// assignment covers adom(from) and all distinguished elements. Results
+// are memoized through the installed Cache, if any (see Use).
 func Find(from, to instance.Pointed) (Assignment, bool) {
+	if c := Active(); c != nil {
+		if h, exists, ok := c.GetHom(from, to); ok {
+			return h, exists
+		}
+		h, exists := findUncached(from, to)
+		c.PutHom(from, to, h, exists)
+		return h, exists
+	}
+	return findUncached(from, to)
+}
+
+func findUncached(from, to instance.Pointed) (Assignment, bool) {
 	s, ok := newSearch(from, to)
 	if !ok {
 		return nil, false

@@ -1,0 +1,126 @@
+package instance
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// This file adds canonical hashing of (pointed) instances, used as cache
+// keys by the memoization layer of the fitting engine, and the injectable
+// product-cache hook consulted by Product.
+
+// Fingerprint returns a canonical digest of the pointed instance: two
+// pointed instances with equal schemas, equal fact sets and equal
+// distinguished tuples have equal fingerprints, and (up to hash
+// collisions of SHA-256) conversely. The digest is returned as a raw
+// 32-byte string so it can be used directly as a map key.
+//
+// Note that the fingerprint identifies instances up to equality, not up
+// to isomorphism: value names matter. That is the right granularity for
+// memoizing homomorphism checks, cores and products, whose outputs also
+// depend on the concrete value names.
+func (p Pointed) Fingerprint() string {
+	h := sha256.New()
+	io.WriteString(h, p.I.Fingerprint())
+	writeUint(h, uint64(len(p.Tuple)))
+	for _, a := range p.Tuple {
+		writeString(h, string(a))
+	}
+	return string(h.Sum(nil))
+}
+
+// Fingerprint returns the canonical digest of the instance alone (its
+// schema and fact set); see Pointed.Fingerprint. The digest is computed
+// lazily and memoized like the lookup indexes (so, like them, it is not
+// safe to race with concurrent mutation).
+func (in *Instance) Fingerprint() string {
+	if in.fp == "" {
+		h := sha256.New()
+		writeInstance(h, in)
+		in.fp = string(h.Sum(nil))
+	}
+	return in.fp
+}
+
+func writeInstance(w io.Writer, in *Instance) {
+	// Schema: relations sorted by name with arities, count-prefixed so
+	// the schema and fact sections cannot blur into each other.
+	rels := in.sch.Relations()
+	writeUint(w, uint64(len(rels)))
+	for _, r := range rels {
+		writeString(w, r.Name)
+		writeUint(w, uint64(r.Arity))
+	}
+	// Facts: every component is length-prefixed, so the encoding is
+	// structurally injective even for values containing separator or
+	// control bytes (which CheckValue rejects on the parse paths, but
+	// programmatic construction does not enforce).
+	keys := make([]string, 0, len(in.facts))
+	for k := range in.facts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	writeUint(w, uint64(len(keys)))
+	for _, k := range keys {
+		f := in.facts[k]
+		writeString(w, f.Rel)
+		writeUint(w, uint64(len(f.Args)))
+		for _, a := range f.Args {
+			writeString(w, string(a))
+		}
+	}
+}
+
+func writeUint(w io.Writer, n uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], n)
+	w.Write(buf[:])
+}
+
+// writeString writes a length-prefixed string, making concatenated
+// writes unambiguous.
+func writeString(w io.Writer, s string) {
+	writeUint(w, uint64(len(s)))
+	io.WriteString(w, s)
+}
+
+// ---------------------------------------------------------------------
+// Product-cache hook
+// ---------------------------------------------------------------------
+
+// ProductCache memoizes direct products of pointed instances. The cache
+// is consulted by Product with the two (validated) operands; both hooks
+// may be called concurrently, so implementations must be safe for
+// concurrent use, and GetProduct must return an instance the caller may
+// freely use (i.e. one not shared with other callers).
+type ProductCache interface {
+	GetProduct(a, b Pointed) (Pointed, bool)
+	PutProduct(a, b, prod Pointed)
+}
+
+type productCacheBox struct{ c ProductCache }
+
+var activeProductCache atomic.Pointer[productCacheBox]
+
+// UseProductCache installs c as the process-wide product cache consulted
+// by Product; a nil c uninstalls it. The fitting engine installs its
+// shared memo here so that PositiveProduct and friends benefit without
+// changing their call sites.
+func UseProductCache(c ProductCache) {
+	if c == nil {
+		activeProductCache.Store(nil)
+		return
+	}
+	activeProductCache.Store(&productCacheBox{c: c})
+}
+
+// ActiveProductCache returns the installed product cache, or nil.
+func ActiveProductCache() ProductCache {
+	if b := activeProductCache.Load(); b != nil {
+		return b.c
+	}
+	return nil
+}

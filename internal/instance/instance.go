@@ -22,12 +22,20 @@ type Value string
 const reservedRunes = "⟨⟩"
 
 // CheckValue reports whether v is admissible as a user-supplied value.
+// Control characters are rejected because 0x1f/0x1e act as separators in
+// canonical fact keys (Fact.Key): admitting them would let distinct
+// facts collide.
 func CheckValue(v Value) error {
 	if v == "" {
 		return fmt.Errorf("instance: empty value")
 	}
 	if strings.ContainsAny(string(v), reservedRunes+",") {
 		return fmt.Errorf("instance: value %q contains a reserved character (⟨ ⟩ ,)", v)
+	}
+	for _, b := range []byte(v) {
+		if b < 0x20 || b == 0x7f {
+			return fmt.Errorf("instance: value %q contains a control character", v)
+		}
 	}
 	return nil
 }
@@ -101,6 +109,7 @@ type Instance struct {
 	byRel    map[string][]Fact
 	byRelPos map[string][]map[Value][]Fact // rel -> position -> value -> facts
 	byVal    map[Value][]Fact
+	fp       string // memoized canonical digest (see Fingerprint)
 }
 
 // New returns an empty instance over the schema.
@@ -182,6 +191,7 @@ func (in *Instance) invalidate() {
 	in.byRel = nil
 	in.byRelPos = nil
 	in.byVal = nil
+	in.fp = ""
 }
 
 // Has reports whether the fact is present.

@@ -226,6 +226,20 @@ func Product(e1, e2 Pointed) (Pointed, error) {
 	if e1.Arity() != e2.Arity() {
 		return Pointed{}, fmt.Errorf("instance: product of arities %d and %d", e1.Arity(), e2.Arity())
 	}
+	if c := ActiveProductCache(); c != nil {
+		if prod, ok := c.GetProduct(e1, e2); ok {
+			return prod, nil
+		}
+		prod, err := productUncached(e1, e2)
+		if err == nil {
+			c.PutProduct(e1, e2, prod)
+		}
+		return prod, err
+	}
+	return productUncached(e1, e2)
+}
+
+func productUncached(e1, e2 Pointed) (Pointed, error) {
 	out := New(e1.I.Schema())
 	e1.I.buildByRel()
 	e2.I.buildByRel()
