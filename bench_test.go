@@ -545,6 +545,30 @@ func BenchmarkEngineBatchVsSequential(b *testing.B) {
 		}
 		b.ReportMetric(n, "jobs/op")
 	})
+
+	// Cold cache per op: a fresh engine receives the n duplicates with
+	// nothing memoized, so the speedup over sequential-direct is pure
+	// single-flight dedup (one computation, n-1 coalesced joins).
+	b.Run("engine-batch-coldcache", func(b *testing.B) {
+		jobs := make([]engine.Job, n)
+		for k := range jobs {
+			jobs[k] = engine.Job{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: e}
+		}
+		var shared int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Options{Workers: n, QueueSize: n})
+			for _, res := range eng.DoBatch(context.Background(), jobs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+			shared += eng.Stats().DedupShared
+			eng.Close()
+		}
+		b.ReportMetric(n, "jobs/op")
+		b.ReportMetric(float64(shared)/float64(b.N), "deduped/op")
+	})
 }
 
 // ---------------------------------------------------------------------

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -68,7 +69,11 @@ func realMain(args []string, out, errw io.Writer) int {
 
 	eng := extremalcq.NewEngine(extremalcq.EngineOptions{Workers: 1})
 	defer eng.Close()
-	res := eng.Do(context.Background(), job)
+	// The solvers are interruptible, so Ctrl-C (like -timeout) stops the
+	// search mid-flight instead of waiting out the computation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res := eng.Do(ctx, job)
 	if res.Err != nil {
 		fmt.Fprintln(errw, "cqfit:", res.Err)
 		return 1

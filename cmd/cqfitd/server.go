@@ -63,6 +63,10 @@ func toJSON(res engine.Result) resultJSON {
 // are small, so 8 MiB is generous.
 const maxBodyBytes = 8 << 20
 
+// retryAfterSeconds is the Retry-After hint returned with 429 responses
+// when the engine's queue is full.
+const retryAfterSeconds = "1"
+
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	var spec engine.JobSpec
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
@@ -75,8 +79,15 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad job: %v", err)
 		return
 	}
-	res := s.eng.Do(r.Context(), job)
-	writeJSON(w, http.StatusOK, toJSON(res))
+	// Admission control: never park an HTTP handler on a full queue;
+	// shed load and tell the client when to come back.
+	p, ok := s.eng.TrySubmit(r.Context(), job)
+	if !ok {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		httpError(w, http.StatusTooManyRequests, "job queue full; retry later")
+		return
+	}
+	writeJSON(w, http.StatusOK, toJSON(p.Wait()))
 }
 
 type batchRequest struct {
@@ -100,22 +111,38 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	// Specs that fail to build report their error in place; the rest run
-	// through the engine as one batch.
+	// Specs that fail to build report their error in place; the rest are
+	// admitted job-by-job without ever blocking the handler on a full
+	// queue. When the queue refuses the entire batch, the client gets a
+	// 429 with a Retry-After hint; a partially admitted batch runs the
+	// admitted jobs and reports the refusals in place.
 	results := make([]resultJSON, len(req.Jobs))
-	jobs := make([]engine.Job, 0, len(req.Jobs))
+	pendings := make([]*engine.Pending, 0, len(req.Jobs))
 	idx := make([]int, 0, len(req.Jobs))
+	admitted, refused := 0, 0
 	for i, spec := range req.Jobs {
 		job, err := spec.Build()
 		if err != nil {
 			results[i] = resultJSON{Label: spec.Label, Kind: spec.Kind, Task: spec.Task, Error: err.Error()}
 			continue
 		}
-		jobs = append(jobs, job)
+		p, ok := s.eng.TrySubmit(r.Context(), job)
+		if !ok {
+			refused++
+			results[i] = resultJSON{Label: spec.Label, Kind: spec.Kind, Task: spec.Task, Error: engine.ErrQueueFull.Error()}
+			continue
+		}
+		admitted++
+		pendings = append(pendings, p)
 		idx = append(idx, i)
 	}
-	for k, res := range s.eng.DoBatch(r.Context(), jobs) {
-		results[idx[k]] = toJSON(res)
+	if refused > 0 && admitted == 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		httpError(w, http.StatusTooManyRequests, "job queue full; retry later")
+		return
+	}
+	for k, p := range pendings {
+		results[idx[k]] = toJSON(p.Wait())
 	}
 	writeJSON(w, http.StatusOK, batchResponse{
 		Results:   results,

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"extremalcq/internal/engine"
 )
@@ -112,6 +114,60 @@ func TestSingleJobAndStats(t *testing.T) {
 	}
 	if _, ok := stats.Engine.Tasks["cq/exists"]; !ok {
 		t.Errorf("stats missing cq/exists latency: %+v", stats.Engine.Tasks)
+	}
+}
+
+// TestQueueFull429 checks admission control: with the worker pinned by
+// a slow job and the queue full, POST /v1/jobs sheds load with 429 and
+// a Retry-After hint instead of blocking the handler.
+func TestQueueFull429(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1, QueueSize: 1})
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	// A job slow enough to pin the single worker: existence over the
+	// prime-cycle family is product-dominated. The server's own timeout
+	// field keeps it bounded if the test outlives expectations.
+	slow := engine.JobSpec{
+		Schema: "R/2", Arity: 0, Kind: "cq", Task: "construct",
+		Pos: []string{
+			"R(a0,a1). R(a1,a0)",
+			"R(b0,b1). R(b1,b2). R(b2,b0)",
+			"R(c0,c1). R(c1,c2). R(c2,c3). R(c3,c4). R(c4,c0)",
+			"R(d0,d1). R(d1,d2). R(d2,d3). R(d3,d4). R(d4,d5). R(d5,d6). R(d6,d0)",
+		},
+		TimeoutMS: 30000,
+	}
+	job, err := slow.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the worker, then fill the one queue slot.
+	eng.Submit(context.Background(), job)
+	time.Sleep(50 * time.Millisecond)
+	eng.Submit(context.Background(), job)
+
+	quick := engine.JobSpec{
+		Schema: "R/2", Arity: 0, Kind: "cq", Task: "exists",
+		Pos: []string{"R(a,b)"},
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs", quick)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After hint")
+	}
+
+	// A batch refused in its entirety gets the same treatment.
+	resp = postJSON(t, ts.URL+"/v1/batch", map[string]any{"jobs": []engine.JobSpec{quick, quick}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch status = %d, want 429", resp.StatusCode)
 	}
 }
 

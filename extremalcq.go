@@ -37,8 +37,13 @@
 //
 // The engine layer runs any kind × task combination above as a Job on a
 // bounded worker pool, memoizing homomorphism checks, cores and direct
-// products in a shared thread-safe cache so that duplicate-heavy batches
-// reuse work:
+// products in a per-engine thread-safe cache and coalescing identical
+// in-flight jobs (single-flight dedup), so that duplicate-heavy batches
+// do each distinct computation once. Any number of caching engines can
+// be live in one process — each owns its memo outright. The solver
+// algorithms check their context inside the search loops, so per-job
+// timeouts, canceled submission contexts and Close stop in-flight work
+// promptly instead of abandoning goroutines:
 //
 //	eng := extremalcq.NewEngine(extremalcq.EngineOptions{Workers: 8})
 //	defer eng.Close()
@@ -250,6 +255,11 @@ var (
 	NewEngine = engine.New
 	// ParseJobSchema parses "R/2,P/1"-style schema declarations.
 	ParseJobSchema = engine.ParseSchema
+	// ErrEngineClosed is reported by jobs submitted to a closed engine.
+	ErrEngineClosed = engine.ErrClosed
+	// ErrQueueFull is reported by Engine.TrySubmit-based admission
+	// control when the job queue has no room.
+	ErrQueueFull = engine.ErrQueueFull
 )
 
 // Tree-CQ fitting (Section 5).

@@ -12,6 +12,7 @@
 package cq
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -195,10 +196,20 @@ func (q *CQ) Core() *CQ {
 	return &CQ{ex: hom.Core(q.ex)}
 }
 
+// CoreCtx is Core under a solver context (see hom.CoreCtx).
+func (q *CQ) CoreCtx(ctx context.Context) *CQ {
+	return &CQ{ex: hom.CoreCtx(ctx, q.ex)}
+}
+
 // HomTo reports q → e: a homomorphism from the canonical example of q to
 // the data example e. By Chandra–Merlin this says that e's tuple is an
 // answer to q on e's instance.
 func (q *CQ) HomTo(e instance.Pointed) bool { return hom.Exists(q.ex, e) }
+
+// HomToCtx is HomTo under a solver context (see hom.ExistsCtx).
+func (q *CQ) HomToCtx(ctx context.Context, e instance.Pointed) bool {
+	return hom.ExistsCtx(ctx, q.ex, e)
+}
 
 // Fits is a convenience alias: e is a positive example for q.
 func (q *CQ) FitsPositive(e instance.Pointed) bool { return q.HomTo(e) }
@@ -209,9 +220,19 @@ func (q *CQ) FitsNegative(e instance.Pointed) bool { return !q.HomTo(e) }
 // ContainedIn reports q ⊆ q2 (Chandra–Merlin: e_{q2} → e_q).
 func (q *CQ) ContainedIn(q2 *CQ) bool { return hom.Exists(q2.ex, q.ex) }
 
+// ContainedInCtx is ContainedIn under a solver context.
+func (q *CQ) ContainedInCtx(ctx context.Context, q2 *CQ) bool {
+	return hom.ExistsCtx(ctx, q2.ex, q.ex)
+}
+
 // EquivalentTo reports q ≡ q2.
 func (q *CQ) EquivalentTo(q2 *CQ) bool {
 	return q.ContainedIn(q2) && q2.ContainedIn(q)
+}
+
+// EquivalentToCtx is EquivalentTo under a solver context.
+func (q *CQ) EquivalentToCtx(ctx context.Context, q2 *CQ) bool {
+	return q.ContainedInCtx(ctx, q2) && q2.ContainedInCtx(ctx, q)
 }
 
 // StrictlyContainedIn reports q ⊊ q2.

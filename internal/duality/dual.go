@@ -21,6 +21,7 @@
 package duality
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -53,13 +54,22 @@ func DualOf(e instance.Pointed) ([]instance.Pointed, error) {
 	return DualOfCaps(e, DefaultCaps)
 }
 
+// DualOfCtx is DualOf under a solver context (see DualOfCaps).
+func DualOfCtx(ctx context.Context, e instance.Pointed) ([]instance.Pointed, error) {
+	return dualOfCaps(ctx, e, DefaultCaps)
+}
+
 // DualOfCaps is DualOf with explicit size caps.
 func DualOfCaps(e instance.Pointed, caps Caps) ([]instance.Pointed, error) {
+	return dualOfCaps(context.Background(), e, caps)
+}
+
+func dualOfCaps(ctx context.Context, e instance.Pointed, caps Caps) ([]instance.Pointed, error) {
 	sch := e.I.Schema()
 	if !sch.Binary() {
 		return nil, ErrUnsupported
 	}
-	core := hom.Core(e)
+	core := hom.CoreCtx(ctx, e)
 	if !instance.CAcyclic(core) {
 		return nil, fmt.Errorf("%w: core is not c-acyclic (Theorem 2.16)", ErrUnsupported)
 	}

@@ -1,10 +1,12 @@
 package duality
 
 import (
+	"context"
 	"fmt"
 
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
 )
 
 // DualOfSet computes a finite D such that (F, D) is a homomorphism
@@ -12,17 +14,26 @@ import (
 // cores over a binary schema): D consists of the products of one dual
 // per member (proof of Theorem 3.31).
 func DualOfSet(F []instance.Pointed) ([]instance.Pointed, error) {
-	return DualOfSetCaps(F, DefaultCaps)
+	return dualOfSetCaps(context.Background(), F, DefaultCaps)
+}
+
+// DualOfSetCtx is DualOfSet under a solver context.
+func DualOfSetCtx(ctx context.Context, F []instance.Pointed) ([]instance.Pointed, error) {
+	return dualOfSetCaps(ctx, F, DefaultCaps)
 }
 
 // DualOfSetCaps is DualOfSet with explicit caps.
 func DualOfSetCaps(F []instance.Pointed, caps Caps) ([]instance.Pointed, error) {
+	return dualOfSetCaps(context.Background(), F, caps)
+}
+
+func dualOfSetCaps(ctx context.Context, F []instance.Pointed, caps Caps) ([]instance.Pointed, error) {
 	if len(F) == 0 {
 		return nil, fmt.Errorf("duality: dual of empty set is undefined (every instance would be an obstruction target)")
 	}
 	perMember := make([][]instance.Pointed, len(F))
 	for i, f := range F {
-		ds, err := DualOfCaps(f, caps)
+		ds, err := dualOfCaps(ctx, f, caps)
 		if err != nil {
 			return nil, err
 		}
@@ -36,16 +47,17 @@ func DualOfSetCaps(F []instance.Pointed, caps Caps) ([]instance.Pointed, error) 
 	for _, ds := range perMember[1:] {
 		var next []instance.Pointed
 		for _, a := range acc {
+			solve.Check(ctx)
 			for _, d := range ds {
 				if a.I.DomSize()*d.I.DomSize() > caps.MaxElements {
 					return nil, ErrTooLarge
 				}
-				p, err := instance.Product(a, d)
+				p, err := instance.ProductCtx(ctx, a, d)
 				if err != nil {
 					return nil, err
 				}
 				if p.I.DomSize() <= coreCap {
-					p = hom.Core(p)
+					p = hom.CoreCtx(ctx, p)
 				}
 				next = append(next, p)
 				if len(next) > caps.MaxDuals {
@@ -65,6 +77,13 @@ func DualOfSetCaps(F []instance.Pointed, caps Caps) ([]instance.Pointed, error) 
 // known-correct dual D' of F is constructed and compared to D for mutual
 // coverage. Requires a binary schema (ErrUnsupported otherwise).
 func IsHomDuality(F, D []instance.Pointed) (bool, error) {
+	return IsHomDualityCtx(context.Background(), F, D)
+}
+
+// IsHomDualityCtx is IsHomDuality under a solver context: the
+// homomorphism checks and dual constructions are memoized through the
+// caches carried by ctx and stop promptly on cancellation.
+func IsHomDualityCtx(ctx context.Context, F, D []instance.Pointed) (bool, error) {
 	if len(F) == 0 {
 		return false, fmt.Errorf("duality: empty F never forms a duality (no instance lies above it)")
 	}
@@ -72,32 +91,32 @@ func IsHomDuality(F, D []instance.Pointed) (bool, error) {
 	// both above F and below D).
 	for _, f := range F {
 		for _, d := range D {
-			if hom.Exists(f, d) {
+			if hom.ExistsCtx(ctx, f, d) {
 				return false, nil
 			}
 		}
 	}
-	Fmin := minimizeLower(F)
+	Fmin := minimizeLower(ctx, F)
 	for _, f := range Fmin {
-		if !instance.CAcyclic(hom.Core(f)) {
+		if !instance.CAcyclic(hom.CoreCtx(ctx, f)) {
 			// The left-hand side of a finite duality must consist of
 			// c-acyclic cores (Prop 4.7).
 			return false, nil
 		}
 	}
-	Dprime, err := DualOfSet(Fmin)
+	Dprime, err := DualOfSetCtx(ctx, Fmin)
 	if err != nil {
 		return false, err
 	}
 	// (F, D) is a duality iff D and D' are hom-equivalent as downsets:
 	// every d in D maps into some d' in D' and vice versa.
 	for _, d := range D {
-		if !hom.ExistsToAny(d, Dprime) {
+		if !hom.ExistsToAnyCtx(ctx, d, Dprime) {
 			return false, nil
 		}
 	}
 	for _, dp := range Dprime {
-		if !hom.ExistsToAny(dp, D) {
+		if !hom.ExistsToAnyCtx(ctx, dp, D) {
 			return false, nil
 		}
 	}
@@ -107,7 +126,7 @@ func IsHomDuality(F, D []instance.Pointed) (bool, error) {
 // minimizeLower keeps hom-minimal representatives of F: f is dropped if
 // some other member maps into it (the remaining members generate the
 // same upward closure).
-func minimizeLower(F []instance.Pointed) []instance.Pointed {
+func minimizeLower(ctx context.Context, F []instance.Pointed) []instance.Pointed {
 	var out []instance.Pointed
 	for i, f := range F {
 		dominated := false
@@ -115,9 +134,9 @@ func minimizeLower(F []instance.Pointed) []instance.Pointed {
 			if i == j {
 				continue
 			}
-			if hom.Exists(g, f) && !(hom.Exists(f, g) && j > i) {
+			if hom.ExistsCtx(ctx, g, f) && !(hom.ExistsCtx(ctx, f, g) && j > i) {
 				// g is below f; keep g (ties broken by index).
-				if !hom.Exists(f, g) || j < i {
+				if !hom.ExistsCtx(ctx, f, g) || j < i {
 					dominated = true
 					break
 				}
@@ -136,6 +155,10 @@ func minimizeLower(F []instance.Pointed) []instance.Pointed {
 // MaximizeUpper keeps hom-maximal representatives of D: d is dropped if
 // it maps into some other member (same downward closure).
 func MaximizeUpper(D []instance.Pointed) []instance.Pointed {
+	return maximizeUpper(context.Background(), D)
+}
+
+func maximizeUpper(ctx context.Context, D []instance.Pointed) []instance.Pointed {
 	var out []instance.Pointed
 	for i, d := range D {
 		dominated := false
@@ -143,8 +166,8 @@ func MaximizeUpper(D []instance.Pointed) []instance.Pointed {
 			if i == j {
 				continue
 			}
-			if hom.Exists(d, g) {
-				if !hom.Exists(g, d) || j < i {
+			if hom.ExistsCtx(ctx, d, g) {
+				if !hom.ExistsCtx(ctx, g, d) || j < i {
 					dominated = true
 					break
 				}

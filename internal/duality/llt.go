@@ -1,9 +1,12 @@
 package duality
 
 import (
+	"context"
+
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
 	"extremalcq/internal/schema"
+	"extremalcq/internal/solve"
 )
 
 // SingleDualityExists implements the Larose–Loten–Tardif dismantling
@@ -13,8 +16,13 @@ import (
 // non-diagonal elements dominated by another element. Distinguished
 // elements of the square are diagonal pairs and are never removed.
 func SingleDualityExists(e instance.Pointed) bool {
-	core := hom.Core(e)
-	sq, err := instance.Product(core, core)
+	return SingleDualityExistsCtx(context.Background(), e)
+}
+
+// SingleDualityExistsCtx is SingleDualityExists under a solver context.
+func SingleDualityExistsCtx(ctx context.Context, e instance.Pointed) bool {
+	core := hom.CoreCtx(ctx, e)
+	sq, err := instance.ProductCtx(ctx, core, core)
 	if err != nil {
 		return false
 	}
@@ -25,7 +33,7 @@ func SingleDualityExists(e instance.Pointed) bool {
 	for _, a := range core.Tuple {
 		diag[instance.PairValue(a, a)] = true
 	}
-	return dismantlesTo(sq.I, diag)
+	return dismantlesTo(ctx, sq.I, diag)
 }
 
 // DualityExistsForSet reports whether a finite F with (F, D) a
@@ -35,11 +43,16 @@ func SingleDualityExists(e instance.Pointed) bool {
 // sets F_i combine into F = {disjoint unions of picks}; conversely each
 // maximal member must individually be a right-hand side of a duality.)
 func DualityExistsForSet(D []instance.Pointed) bool {
+	return DualityExistsForSetCtx(context.Background(), D)
+}
+
+// DualityExistsForSetCtx is DualityExistsForSet under a solver context.
+func DualityExistsForSetCtx(ctx context.Context, D []instance.Pointed) bool {
 	if len(D) == 0 {
 		return false
 	}
-	for _, d := range MaximizeUpper(D) {
-		if !SingleDualityExists(d) {
+	for _, d := range maximizeUpper(ctx, D) {
+		if !SingleDualityExistsCtx(ctx, d) {
 			return false
 		}
 	}
@@ -49,7 +62,7 @@ func DualityExistsForSet(D []instance.Pointed) bool {
 // dismantlesTo repeatedly removes an element outside keep that is
 // dominated by some other remaining element, and reports whether all
 // elements outside keep can be removed.
-func dismantlesTo(in *instance.Instance, keep map[instance.Value]bool) bool {
+func dismantlesTo(ctx context.Context, in *instance.Instance, keep map[instance.Value]bool) bool {
 	// Work on a mutable copy of the fact set.
 	present := make(map[instance.Value]bool)
 	for _, v := range in.Dom() {
@@ -91,6 +104,7 @@ func dismantlesTo(in *instance.Instance, keep map[instance.Value]bool) bool {
 	}
 
 	for {
+		solve.Check(ctx)
 		removedAny := false
 		for x := range present {
 			if keep[x] {

@@ -2,11 +2,21 @@
 // ucqfit and tree packages: it accepts batches of fitting jobs (any
 // kind × task combination the extremalcq facade exposes), schedules them
 // across a bounded worker pool with per-job context cancellation and
-// deadlines, and threads a shared, thread-safe memoization cache (see
-// Memo) through the hot paths — homomorphism checks, cores and direct
-// products — via the injectable hooks in internal/hom and
-// internal/instance. The cqfit CLI and the cqfitd JSON service both run
-// through this one execution path.
+// deadlines, and threads a per-engine, thread-safe memoization cache
+// (see Memo) through the hot paths — homomorphism checks, cores and
+// direct products — via the context-carried caches of internal/hom and
+// internal/instance. Identical jobs running concurrently are coalesced
+// by single-flight deduplication keyed by a canonical job fingerprint,
+// so a duplicate-heavy batch performs each distinct computation once.
+// The cqfit CLI and the cqfitd JSON service both run through this one
+// execution path.
+//
+// Engines are fully isolated from each other: each attaches its own
+// memo to the contexts of its jobs, so any number of caching engines
+// can be live in one process, and closing one never disturbs another.
+// The solver algorithms check their context inside the search loops, so
+// per-job deadlines and Close stop in-flight work promptly instead of
+// abandoning goroutines to run to completion.
 package engine
 
 import (
@@ -26,6 +36,11 @@ import (
 // closed engine.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrQueueFull is reported by TrySubmit when the job queue has no room;
+// callers doing admission control (e.g. cqfitd's 429 path) can retry
+// later.
+var ErrQueueFull = errors.New("engine: queue full")
+
 // Options configures an Engine. The zero value selects sensible
 // defaults.
 type Options struct {
@@ -35,7 +50,7 @@ type Options struct {
 	// <= 0 selects 64.
 	QueueSize int
 	// CacheSize bounds each memo class (hom, core, product); 0 selects
-	// DefaultCacheSize, negative disables the shared cache entirely.
+	// DefaultCacheSize, negative disables the per-engine cache entirely.
 	CacheSize int
 	// DefaultTimeout applies to jobs that do not set their own Timeout;
 	// zero means no default deadline.
@@ -43,11 +58,9 @@ type Options struct {
 }
 
 // Engine is a concurrent fitting-job scheduler. Create with New, release
-// with Close. All methods are safe for concurrent use.
-//
-// The shared memo is installed behind the process-wide cache hooks of
-// internal/hom and internal/instance, so at most one caching Engine
-// should be live at a time (the most recently created one wins).
+// with Close. All methods are safe for concurrent use. Each engine owns
+// its memo outright; concurrently live engines never share or disturb
+// each other's cache state.
 type Engine struct {
 	opts  Options
 	memo  *Memo
@@ -56,6 +69,11 @@ type Engine struct {
 	wg    sync.WaitGroup
 	close sync.Once
 	start time.Time
+
+	// rootCtx is canceled by Close; every job's solver context is linked
+	// to it, so in-flight searches unwind promptly on shutdown.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
 
 	// closeMu guards closed and the registration of in-flight Submits in
 	// subWG; Close flips closed under the write lock, then drains the
@@ -67,6 +85,19 @@ type Engine struct {
 	closed  bool
 	subWG   sync.WaitGroup
 
+	// waiters tracks single-flight followers parked off-worker; Close
+	// waits for them before the final queue drain.
+	waiters sync.WaitGroup
+
+	// flights coalesces identical in-flight jobs by fingerprint: the
+	// first job to arrive computes, the rest wait for its result.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	solvers      atomic.Int64 // solver goroutines currently running
+	dedupLeaders atomic.Int64 // flights that performed the computation
+	dedupShared  atomic.Int64 // jobs that adopted an in-flight twin's result
+
 	jobsDone   atomic.Int64
 	jobsFailed atomic.Int64
 	statsMu    sync.Mutex
@@ -77,6 +108,14 @@ type envelope struct {
 	ctx context.Context
 	job Job
 	out chan Result
+}
+
+// flight is one in-flight computation shared by identical jobs: res is
+// published before done is closed, so waiters reading after <-done see
+// the completed value.
+type flight struct {
+	done chan struct{}
+	res  Result
 }
 
 // Pending is a handle to a submitted job.
@@ -94,7 +133,8 @@ func (p *Pending) Wait() Result {
 }
 
 // New starts an engine. Unless opts.CacheSize is negative it creates the
-// shared memo and installs it behind the hom and product cache hooks.
+// engine's own memo, attached to the solver context of every job this
+// engine executes (and of no other engine's jobs).
 func New(opts Options) *Engine {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -102,17 +142,19 @@ func New(opts Options) *Engine {
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = 64
 	}
+	rootCtx, rootCancel := context.WithCancel(context.Background())
 	e := &Engine{
-		opts:  opts,
-		jobs:  make(chan *envelope, opts.QueueSize),
-		done:  make(chan struct{}),
-		start: time.Now(),
-		tasks: make(map[string]*taskAgg),
+		opts:       opts,
+		jobs:       make(chan *envelope, opts.QueueSize),
+		done:       make(chan struct{}),
+		start:      time.Now(),
+		rootCtx:    rootCtx,
+		rootCancel: rootCancel,
+		flights:    make(map[string]*flight),
+		tasks:      make(map[string]*taskAgg),
 	}
 	if opts.CacheSize >= 0 {
 		e.memo = NewMemo(opts.CacheSize)
-		hom.Use(e.memo)
-		instance.UseProductCache(e.memo)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
@@ -121,36 +163,33 @@ func New(opts Options) *Engine {
 	return e
 }
 
-// Close stops the workers, fails any still-queued jobs with ErrClosed
-// and uninstalls the cache hooks if this engine's memo is the one
-// installed. Close is idempotent and safe to call concurrently with
-// Submit: jobs submitted after Close fail with ErrClosed.
+// Close stops the workers, cancels in-flight solver work (the
+// interruptible searches unwind promptly) and fails any still-queued
+// jobs with ErrClosed. Close is idempotent and safe to call concurrently
+// with Submit: jobs submitted after Close fail with ErrClosed. Closing
+// one engine never affects another engine's cache or jobs.
 func (e *Engine) Close() {
 	e.close.Do(func() {
 		// Refuse new Submits, then wake workers and any Submit blocked on
-		// a full queue (both select on done). Workers abandon in-flight
-		// computations, so this does not wait out slow jobs.
+		// a full queue (both select on done). Canceling rootCtx unwinds
+		// every in-flight solver, so shutdown is prompt and leaves no
+		// goroutine burning CPU.
 		e.closeMu.Lock()
 		e.closed = true
 		e.closeMu.Unlock()
 		close(e.done)
+		e.rootCancel()
 		e.wg.Wait()
-		// Only after every in-flight Submit has left its enqueue select is
-		// the queue quiescent; the drain below is then final.
+		// Only after every in-flight Submit has left its enqueue select
+		// and every single-flight waiter has resolved is the queue
+		// quiescent; the drain below is then final.
 		e.subWG.Wait()
+		e.waiters.Wait()
 		for {
 			select {
 			case env := <-e.jobs:
 				env.out <- failedResult(env.job, ErrClosed)
 			default:
-				if e.memo != nil {
-					if hom.Active() == hom.Cache(e.memo) {
-						hom.Use(nil)
-					}
-					if instance.ActiveProductCache() == instance.ProductCache(e.memo) {
-						instance.UseProductCache(nil)
-					}
-				}
 				return
 			}
 		}
@@ -163,18 +202,63 @@ func (e *Engine) Close() {
 // job's examples are deep-copied at submission, so the caller may reuse
 // or mutate them afterwards.
 func (e *Engine) Submit(ctx context.Context, j Job) *Pending {
+	p, env, ok := e.prepare(ctx, j)
+	if !ok {
+		return p
+	}
+	defer e.subWG.Done()
+	select {
+	case e.jobs <- env:
+	case <-env.ctx.Done():
+		p.out <- failedResult(j, env.ctx.Err())
+	case <-e.done:
+		p.out <- failedResult(j, ErrClosed)
+	}
+	return p
+}
+
+// TrySubmit is Submit without blocking on a full queue: when the job
+// queue has no room it declines the job and returns ok=false (and a nil
+// Pending) instead of waiting. Invalid jobs and dead contexts are still
+// accepted and resolve immediately through the returned Pending, as in
+// Submit.
+func (e *Engine) TrySubmit(ctx context.Context, j Job) (*Pending, bool) {
+	p, env, ok := e.prepare(ctx, j)
+	if !ok {
+		return p, true
+	}
+	defer e.subWG.Done()
+	select {
+	case e.jobs <- env:
+		return p, true
+	case <-env.ctx.Done():
+		p.out <- failedResult(j, env.ctx.Err())
+		return p, true
+	case <-e.done:
+		p.out <- failedResult(j, ErrClosed)
+		return p, true
+	default:
+		return nil, false
+	}
+}
+
+// prepare validates the job and registers the submission. ok=false means
+// the Pending already carries a terminal result and nothing was
+// registered; ok=true means the caller owns a subWG registration and
+// must enqueue (or fail) the returned envelope.
+func (e *Engine) prepare(ctx context.Context, j Job) (*Pending, *envelope, bool) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	p := &Pending{out: make(chan Result, 1)}
 	if err := j.Validate(); err != nil {
 		p.out <- failedResult(j, err)
-		return p
+		return p, nil, false
 	}
 	// Deterministically refuse dead contexts before enqueueing.
 	if err := ctx.Err(); err != nil {
 		p.out <- failedResult(j, err)
-		return p
+		return p, nil, false
 	}
 	j.Examples = cloneExamples(j.Examples)
 	env := &envelope{ctx: ctx, job: j, out: p.out}
@@ -186,19 +270,11 @@ func (e *Engine) Submit(ctx context.Context, j Job) *Pending {
 	if e.closed {
 		e.closeMu.RUnlock()
 		p.out <- failedResult(j, ErrClosed)
-		return p
+		return p, nil, false
 	}
 	e.subWG.Add(1)
 	e.closeMu.RUnlock()
-	defer e.subWG.Done()
-	select {
-	case e.jobs <- env:
-	case <-ctx.Done():
-		p.out <- failedResult(j, ctx.Err())
-	case <-e.done:
-		p.out <- failedResult(j, ErrClosed)
-	}
-	return p
+	return p, env, true
 }
 
 // Do runs a single job synchronously.
@@ -208,7 +284,8 @@ func (e *Engine) Do(ctx context.Context, j Job) Result {
 
 // DoBatch submits all jobs and waits for all results, in input order.
 // Jobs run concurrently across the worker pool; duplicate-heavy batches
-// benefit from the shared memo.
+// are coalesced by single-flight dedup and served from the per-engine
+// memo.
 func (e *Engine) DoBatch(ctx context.Context, jobs []Job) []Result {
 	pending := make([]*Pending, len(jobs))
 	for i, j := range jobs {
@@ -249,35 +326,165 @@ func (e *Engine) execute(env *envelope) {
 		env.out <- failedResult(j, err)
 		return
 	}
-	ctx := env.ctx
+	ctx, cancel := e.jobContext(env.ctx, j)
+
+	// Single-flight: identical jobs already in flight are joined, not
+	// recomputed. Followers park in a goroutine so the worker stays free
+	// for distinct work.
+	key := j.fingerprint()
+	start := time.Now()
+	if res, led := e.tryLead(ctx, key, j); led {
+		cancel()
+		e.deliver(env, j, start, res)
+		return
+	}
+	e.waiters.Add(1)
+	go func() {
+		defer e.waiters.Done()
+		defer cancel()
+		e.deliver(env, j, start, e.followFlight(ctx, key, j))
+	}()
+}
+
+// deliver finalizes a result: execution wall time (including any
+// single-flight wait), stats, and the caller's channel.
+func (e *Engine) deliver(env *envelope, j Job, start time.Time, res Result) {
+	res.Elapsed = time.Since(start)
+	e.record(j, res)
+	env.out <- res
+}
+
+// tryLead registers a flight for key if none is live and runs the job as
+// its leader; led=false means another flight owns the key and the caller
+// must follow it.
+func (e *Engine) tryLead(ctx context.Context, key string, j Job) (Result, bool) {
+	e.flightMu.Lock()
+	if _, ok := e.flights[key]; ok {
+		e.flightMu.Unlock()
+		return Result{}, false
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[key] = f
+	e.flightMu.Unlock()
+	return e.lead(ctx, key, f, j), true
+}
+
+// lead computes the flight's result and publishes it: res is stored, the
+// flight is retired (later identical jobs start fresh), then done is
+// closed so waiters observe the stored value.
+func (e *Engine) lead(ctx context.Context, key string, f *flight, j Job) Result {
+	e.dedupLeaders.Add(1)
+	res := e.runSolver(ctx, j)
+	f.res = res
+	e.flightMu.Lock()
+	delete(e.flights, key)
+	e.flightMu.Unlock()
+	close(f.done)
+	return res
+}
+
+// followFlight resolves a job that found an identical twin in flight: it
+// waits for the twin's result, honoring its own deadline, and adopts it
+// when shareable. A leader aborted by its own caller (a canceled
+// submission context, an earlier-started deadline) yields a result that
+// says nothing about this job, so a still-live follower re-enters the
+// flight map instead — exactly one waiting follower becomes the new
+// leader and the rest re-join its flight, never a recompute stampede.
+func (e *Engine) followFlight(ctx context.Context, key string, j Job) Result {
+	for {
+		e.flightMu.Lock()
+		f, ok := e.flights[key]
+		if !ok {
+			f = &flight{done: make(chan struct{})}
+			e.flights[key] = f
+			e.flightMu.Unlock()
+			return e.lead(ctx, key, f, j)
+		}
+		e.flightMu.Unlock()
+		select {
+		case <-f.done:
+			if res := f.res; !nonShareable(res.Err) {
+				e.dedupShared.Add(1)
+				res.Label = j.Label
+				return res
+			}
+			if ctx.Err() != nil {
+				return failedResult(j, e.closeErr(ctx))
+			}
+		case <-ctx.Done():
+			return failedResult(j, e.closeErr(ctx))
+		case <-e.done:
+			return failedResult(j, ErrClosed)
+		}
+	}
+}
+
+// nonShareable reports that err describes the fate of one particular
+// submission (canceled caller, expired deadline, closing engine) rather
+// than a property of the job itself, so a twin job must not adopt it.
+func nonShareable(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrClosed)
+}
+
+// jobContext derives the solver context for one execution: the job's (or
+// engine default) timeout on top of the submission context, with
+// cancellation linked to engine Close. The returned cancel releases both
+// links and must always be called.
+func (e *Engine) jobContext(parent context.Context, j Job) (context.Context, context.CancelFunc) {
 	timeout := j.Timeout
 	if timeout <= 0 {
 		timeout = e.opts.DefaultTimeout
 	}
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
+		ctx, cancel = context.WithTimeout(parent, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(parent)
 	}
-	start := time.Now()
+	stop := context.AfterFunc(e.rootCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// runSolver executes the job on a dedicated goroutine with the engine's
+// memo attached to the solver context, and returns as soon as the job
+// finishes or ctx is done. The algorithms check ctx inside their search
+// loops, so on cancellation the solver goroutine unwinds within a few
+// search steps instead of running the computation to completion.
+func (e *Engine) runSolver(ctx context.Context, j Job) Result {
+	solveCtx := ctx
+	if e.memo != nil {
+		solveCtx = hom.WithCache(solveCtx, e.memo)
+		solveCtx = instance.WithProductCache(solveCtx, e.memo)
+	}
 	ch := make(chan Result, 1)
-	go func() { ch <- run(j) }()
-	var res Result
+	e.solvers.Add(1)
+	go func() {
+		defer e.solvers.Add(-1)
+		ch <- run(solveCtx, j)
+	}()
 	select {
-	case res = <-ch:
+	case res := <-ch:
+		return res
 	case <-ctx.Done():
-		// The algorithms are not interruptible mid-search; the worker
-		// moves on and the abandoned computation is discarded when it
-		// finishes.
-		res = failedResult(j, ctx.Err())
+		return failedResult(j, e.closeErr(ctx))
 	case <-e.done:
-		// Close abandons in-flight work the same way, so shutdown is
-		// prompt rather than bounded by the slowest job's deadline.
-		res = failedResult(j, ErrClosed)
+		return failedResult(j, ErrClosed)
 	}
-	res.Elapsed = time.Since(start)
-	e.record(j, res)
-	env.out <- res
+}
+
+// closeErr maps a context failure observed during Close to ErrClosed
+// (the engine canceled the work), and to the context's own error
+// otherwise.
+func (e *Engine) closeErr(ctx context.Context) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+		return ctx.Err()
+	}
 }
 
 func failedResult(j Job, err error) Result {
@@ -317,12 +524,21 @@ type TaskStats struct {
 
 // Stats is a point-in-time snapshot of engine activity.
 type Stats struct {
-	Workers    int                  `json:"workers"`
-	QueueDepth int                  `json:"queue_depth"`
-	JobsDone   int64                `json:"jobs_done"`
-	JobsFailed int64                `json:"jobs_failed"`
-	Cache      CacheStats           `json:"cache"`
-	Tasks      map[string]TaskStats `json:"tasks"`
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queue_depth"`
+	JobsDone   int64 `json:"jobs_done"`
+	JobsFailed int64 `json:"jobs_failed"`
+	// ActiveSolvers counts solver goroutines currently running; after
+	// deadlines or Close it settles back to zero promptly because the
+	// searches are interruptible.
+	ActiveSolvers int64 `json:"active_solvers"`
+	// DedupLeaders counts computations actually performed; DedupShared
+	// counts jobs that adopted the result of an identical in-flight job
+	// (followers that had to recompute count as leaders instead).
+	DedupLeaders int64                `json:"dedup_leaders"`
+	DedupShared  int64                `json:"dedup_shared"`
+	Cache        CacheStats           `json:"cache"`
+	Tasks        map[string]TaskStats `json:"tasks"`
 }
 
 func (e *Engine) record(j Job, res Result) {
@@ -348,15 +564,18 @@ func (e *Engine) record(j Job, res Result) {
 	e.statsMu.Unlock()
 }
 
-// Stats returns a snapshot of queue depth, job counters, cache hit rates
-// and per-task latency aggregates.
+// Stats returns a snapshot of queue depth, job counters, single-flight
+// dedup counters, cache hit rates and per-task latency aggregates.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Workers:    e.opts.Workers,
-		QueueDepth: len(e.jobs),
-		JobsDone:   e.jobsDone.Load(),
-		JobsFailed: e.jobsFailed.Load(),
-		Tasks:      make(map[string]TaskStats),
+		Workers:       e.opts.Workers,
+		QueueDepth:    len(e.jobs),
+		JobsDone:      e.jobsDone.Load(),
+		JobsFailed:    e.jobsFailed.Load(),
+		ActiveSolvers: e.solvers.Load(),
+		DedupLeaders:  e.dedupLeaders.Load(),
+		DedupShared:   e.dedupShared.Load(),
+		Tasks:         make(map[string]TaskStats),
 	}
 	if e.memo != nil {
 		s.Cache = e.memo.Stats()
@@ -378,6 +597,6 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
-// Memo returns the engine's shared memo, or nil when caching is
-// disabled.
+// Memo returns the engine's memo, or nil when caching is disabled. The
+// memo belongs to this engine alone.
 func (e *Engine) Memo() *Memo { return e.memo }

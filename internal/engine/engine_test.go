@@ -54,20 +54,16 @@ func dupBatch(t *testing.T, nCopies int) []Job {
 }
 
 // TestBatchCacheHitsAndParity runs a duplicate-heavy batch on a pool of
-// >= 4 workers and checks that (a) the shared memo reports cache hits
-// and (b) every engine result is identical to the corresponding direct
-// facade call made without any cache installed.
+// >= 4 workers and checks that (a) the per-engine memo reports cache
+// hits and (b) every engine result is identical to the corresponding
+// direct library call made without any cache.
 func TestBatchCacheHitsAndParity(t *testing.T) {
-	if hom.Active() != nil {
-		t.Fatal("a hom cache is already installed")
-	}
 	jobs := dupBatch(t, 8)
 
-	// Direct results, computed before any engine (and hence any cache)
-	// exists.
+	// Direct results, computed without any cache attached.
 	direct := make([]Result, len(jobs))
 	for i, j := range jobs {
-		direct[i] = run(j)
+		direct[i] = run(context.Background(), j)
 	}
 
 	eng := New(Options{Workers: 8, QueueSize: 8})
@@ -88,8 +84,8 @@ func TestBatchCacheHitsAndParity(t *testing.T) {
 	}
 
 	st := eng.Stats()
-	if st.Cache.Hits() == 0 {
-		t.Errorf("duplicate-heavy batch reported no cache hits: %+v", st.Cache)
+	if st.Cache.Hits() == 0 && st.DedupShared == 0 {
+		t.Errorf("duplicate-heavy batch reported neither cache hits nor dedup: %+v", st)
 	}
 	if st.JobsDone != int64(len(jobs)) {
 		t.Errorf("JobsDone = %d, want %d", st.JobsDone, len(jobs))
@@ -143,7 +139,7 @@ func TestJobTimeout(t *testing.T) {
 	}
 }
 
-// TestClosePromptWithInflightJob checks that Close abandons a running
+// TestClosePromptWithInflightJob checks that Close interrupts a running
 // job promptly (failing it with ErrClosed) instead of waiting out its
 // deadline.
 func TestClosePromptWithInflightJob(t *testing.T) {
@@ -164,6 +160,9 @@ func TestClosePromptWithInflightJob(t *testing.T) {
 	if !errors.Is(res.Err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", res.Err)
 	}
+	// The interruptible solver unwinds after Close rather than burning
+	// CPU to search completion.
+	waitForSolversToExit(t, eng, 2*time.Second)
 }
 
 // TestSubmitValidation checks that malformed jobs fail fast.
@@ -181,20 +180,48 @@ func TestSubmitValidation(t *testing.T) {
 	}
 }
 
-// TestCloseFailsPendingAndUninstallsHooks checks ErrClosed on
-// post-Close submission and that the cache hooks are released.
-func TestCloseFailsPendingAndUninstallsHooks(t *testing.T) {
+// TestCloseFailsPending checks ErrClosed on post-Close submission.
+func TestCloseFailsPending(t *testing.T) {
 	eng := New(Options{Workers: 2})
-	if hom.Active() == nil || instance.ActiveProductCache() == nil {
-		t.Fatal("caching engine must install the hom and product hooks")
-	}
 	eng.Close()
-	if hom.Active() != nil || instance.ActiveProductCache() != nil {
-		t.Fatal("Close must uninstall the cache hooks")
-	}
 	res := eng.Do(context.Background(), dupBatch(t, 1)[0])
 	if !errors.Is(res.Err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", res.Err)
+	}
+}
+
+// TestTwoEnginesIsolatedCaches is the regression test for the global
+// cache hooks: two concurrently live caching engines must each serve
+// repeats from their own memo, and closing one must not disturb the
+// other's caching. Under the old process-wide hooks the second engine's
+// hook installation stomped the first's, and closing either could
+// uninstall the survivor's cache.
+func TestTwoEnginesIsolatedCaches(t *testing.T) {
+	job := dupBatch(t, 1)[0]
+
+	eng1 := New(Options{Workers: 2})
+	eng2 := New(Options{Workers: 2})
+	defer eng2.Close()
+
+	for _, eng := range []*Engine{eng1, eng2} {
+		for i := 0; i < 2; i++ {
+			if res := eng.Do(context.Background(), job); res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+	}
+	h1, h2 := eng1.Stats().Cache.Hits(), eng2.Stats().Cache.Hits()
+	if h1 == 0 || h2 == 0 {
+		t.Fatalf("both live engines must hit their own memo: eng1=%d eng2=%d", h1, h2)
+	}
+
+	// Closing the first engine must leave the second one caching.
+	eng1.Close()
+	if res := eng2.Do(context.Background(), job); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := eng2.Stats().Cache.Hits(); got <= h2 {
+		t.Fatalf("closing a sibling engine broke caching: hits %d -> %d", h2, got)
 	}
 }
 
@@ -245,26 +272,26 @@ func TestJobSpecPartialBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := run(j)
+	res := run(context.Background(), j)
 	if res.Err != nil || !res.Found {
 		t.Fatalf("search with partial bounds found nothing: %+v", res)
 	}
 	// The same normalization applies to directly-constructed Jobs whose
 	// Opts are left zero (the documented behavior).
 	j.Opts = fitting.SearchOpts{}
-	res = run(j)
+	res = run(context.Background(), j)
 	if res.Err != nil || !res.Found {
 		t.Fatalf("search with zero opts found nothing: %+v", res)
 	}
 }
 
-// TestEngineCachingDisabled checks that CacheSize < 0 runs without
-// installing any hooks.
+// TestEngineCachingDisabled checks that CacheSize < 0 runs jobs with no
+// cache attached and leaves the counters untouched.
 func TestEngineCachingDisabled(t *testing.T) {
 	eng := New(Options{Workers: 2, CacheSize: -1})
 	defer eng.Close()
-	if hom.Active() != nil || instance.ActiveProductCache() != nil {
-		t.Fatal("cache hooks installed despite CacheSize < 0")
+	if eng.Memo() != nil {
+		t.Fatal("memo created despite CacheSize < 0")
 	}
 	res := eng.Do(context.Background(), dupBatch(t, 1)[0])
 	if res.Err != nil {
@@ -272,5 +299,174 @@ func TestEngineCachingDisabled(t *testing.T) {
 	}
 	if st := eng.Stats(); st.Cache.Hits() != 0 || st.Cache.HomMisses != 0 {
 		t.Errorf("cache counters moved without a cache: %+v", st.Cache)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Interruptibility
+// ---------------------------------------------------------------------
+
+// adversarialJob builds a fitting-construction job over the
+// prime-cycle family with 4 primes: the positive product has
+// 2·3·5·7 = 210 elements and the uninterrupted computation (product,
+// negative-example hom checks, core) runs for roughly ten seconds on a
+// development machine — several orders of magnitude past any deadline
+// used in these tests — so only interruptible solvers return promptly.
+func adversarialJob(t *testing.T, timeout time.Duration) Job {
+	t.Helper()
+	pos, neg := genex.PrimeCycleFamily(4)
+	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	return Job{Label: "prime4", Kind: KindCQ, Task: TaskConstruct, Examples: e, Timeout: timeout}
+}
+
+func waitForSolversToExit(t *testing.T, eng *Engine, within time.Duration) time.Duration {
+	t.Helper()
+	start := time.Now()
+	deadline := start.Add(within)
+	for time.Now().Before(deadline) {
+		if eng.Stats().ActiveSolvers == 0 {
+			return time.Since(start)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("solver goroutines still running after %v: %d active", within, eng.Stats().ActiveSolvers)
+	return 0
+}
+
+// TestTimeoutStopsSolverPromptly is the goroutine-leak regression test:
+// a 10ms deadline on an adversarial instance must not only surface
+// context.DeadlineExceeded but actually terminate the solver goroutine,
+// observed via the ActiveSolvers completion probe. Before interruptible
+// solvers, the abandoned goroutine kept burning CPU for the entire
+// ~3^23-node search.
+func TestTimeoutStopsSolverPromptly(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	defer eng.Close()
+
+	start := time.Now()
+	res := eng.Do(context.Background(), adversarialJob(t, 10*time.Millisecond))
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", res.Err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timed-out job returned after %v; deadline was 10ms", d)
+	}
+	// The solver must stop consuming CPU within tens of milliseconds of
+	// the deadline; the bound is generous for loaded CI machines.
+	settle := waitForSolversToExit(t, eng, 2*time.Second)
+	t.Logf("solver exited %v after the result was delivered", settle)
+}
+
+// ---------------------------------------------------------------------
+// Single-flight dedup
+// ---------------------------------------------------------------------
+
+// TestSingleFlightDedup checks that a DoBatch of N identical jobs on a
+// cold cache performs exactly one uncached computation: the memo records
+// no more misses than a single direct run, the dedup counters account
+// for every job, and at least one job was served by coalescing.
+func TestSingleFlightDedup(t *testing.T) {
+	pos, neg := genex.PrimeCycleFamily(3)
+	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	job := Job{Kind: KindCQ, Task: TaskConstruct, Examples: e}
+
+	// Baseline: one job on a fresh engine establishes the cold-cache
+	// miss profile of this computation.
+	base := New(Options{Workers: 1})
+	if res := base.Do(context.Background(), job); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	baseStats := base.Stats().Cache
+	baseMisses := baseStats.HomMisses + baseStats.CoreMisses + baseStats.ProductMisses
+	base.Close()
+
+	const n = 8
+	eng := New(Options{Workers: n, QueueSize: n})
+	defer eng.Close()
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = job
+	}
+	for i, res := range eng.DoBatch(context.Background(), jobs) {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		if !res.Found {
+			t.Fatalf("job %d: fitting must exist", i)
+		}
+	}
+
+	st := eng.Stats()
+	misses := st.Cache.HomMisses + st.Cache.CoreMisses + st.Cache.ProductMisses
+	if misses > baseMisses {
+		t.Errorf("batch of %d identical jobs recorded %d cold misses, single run records %d", n, misses, baseMisses)
+	}
+	if st.DedupLeaders+st.DedupShared != n {
+		t.Errorf("dedup counters account for %d jobs, want %d (leaders=%d shared=%d)",
+			st.DedupLeaders+st.DedupShared, n, st.DedupLeaders, st.DedupShared)
+	}
+	if st.DedupShared == 0 {
+		t.Errorf("no job was coalesced onto an in-flight twin: %+v", st)
+	}
+}
+
+// TestSingleFlightHonorsFollowerDeadline checks that a follower with its
+// own tight deadline is released at that deadline even while the leader
+// keeps computing, and that the leader's later success is untouched.
+func TestSingleFlightHonorsFollowerDeadline(t *testing.T) {
+	// Distinct timeouts give distinct fingerprints, so twin adoption
+	// never crosses deadline classes; this test pins the simpler
+	// property that dedup never delays a job past its own deadline.
+	eng := New(Options{Workers: 2})
+	defer eng.Close()
+
+	slow := adversarialJob(t, 300*time.Millisecond)
+	p1 := eng.Submit(context.Background(), slow)
+	p2 := eng.Submit(context.Background(), slow)
+	start := time.Now()
+	r1, r2 := p1.Wait(), p2.Wait()
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("deduped pair took %v despite 300ms deadlines", d)
+	}
+	for i, r := range []Result{r1, r2} {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Errorf("job %d: err = %v, want context.DeadlineExceeded", i, r.Err)
+		}
+	}
+	waitForSolversToExit(t, eng, 2*time.Second)
+}
+
+// ---------------------------------------------------------------------
+// TrySubmit admission
+// ---------------------------------------------------------------------
+
+// TestTrySubmitQueueFull checks that TrySubmit declines instead of
+// blocking when the queue is full, and that invalid jobs still resolve
+// through the returned Pending.
+func TestTrySubmitQueueFull(t *testing.T) {
+	eng := New(Options{Workers: 1, QueueSize: 1})
+	defer eng.Close()
+
+	// One slow job occupies the worker, one fills the queue.
+	slow := adversarialJob(t, 30*time.Second)
+	running := eng.Submit(context.Background(), slow)
+	_ = running
+	time.Sleep(50 * time.Millisecond) // let the worker dequeue it
+	quick := dupBatch(t, 1)[0]
+	if _, ok := eng.TrySubmit(context.Background(), quick); !ok {
+		t.Fatal("queue slot free, TrySubmit must accept")
+	}
+	p, ok := eng.TrySubmit(context.Background(), quick)
+	if ok || p != nil {
+		t.Fatal("full queue, TrySubmit must decline with ok=false")
+	}
+
+	// Invalid jobs are not an admission matter: they resolve immediately.
+	p, ok = eng.TrySubmit(context.Background(), Job{Kind: "nope"})
+	if !ok || p == nil {
+		t.Fatal("invalid job must be accepted and fail through its Pending")
+	}
+	if res := p.Wait(); res.Err == nil {
+		t.Fatal("invalid job must carry its validation error")
 	}
 }

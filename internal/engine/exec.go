@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"extremalcq/internal/cq"
 	"extremalcq/internal/fitting"
+	"extremalcq/internal/solve"
 	"extremalcq/internal/tree"
 	"extremalcq/internal/ucqfit"
 )
@@ -13,16 +15,31 @@ import (
 // expanded to before the engine falls back to reporting its DAG shape.
 const maxTreeExpand = 100000
 
-// run executes a validated job synchronously and fills in everything of
-// the Result except Elapsed. It is a pure dispatch onto the fitting,
-// ucqfit and tree packages — the same calls the facade exposes — so
-// engine results are identical to direct library calls (modulo the
-// shared memo, which only changes cost, not answers).
-func run(j Job) Result {
-	res := Result{Label: j.Label, Kind: j.Kind, Task: j.Task}
+// run executes a validated job synchronously under ctx and fills in
+// everything of the Result except Elapsed. It is a pure dispatch onto
+// the fitting, ucqfit and tree packages — the same calls the facade
+// exposes — so engine results are identical to direct library calls
+// (modulo the per-engine memo carried by ctx, which only changes cost,
+// not answers). A cancellation unwinding out of the solvers is caught
+// and yields a clean failed Result: whatever fields the dispatch had
+// already filled in (a Found flag without its rendered queries, say)
+// are discarded rather than delivered half-set next to the error.
+func run(ctx context.Context, j Job) Result {
+	res, err := dispatch(ctx, j)
+	if err != nil {
+		return failedResult(j, err)
+	}
+	return res
+}
+
+// dispatch runs the job; err is non-nil only for a cancellation unwind
+// (ordinary failures travel inside res.Err).
+func dispatch(ctx context.Context, j Job) (res Result, err error) {
+	defer solve.Catch(&err)
+	res = Result{Label: j.Label, Kind: j.Kind, Task: j.Task}
 	if err := j.Validate(); err != nil {
 		res.Err = err
-		return res
+		return res, nil
 	}
 	// Per Job.Opts: a zero bound selects the default; negative bounds
 	// pass through (disabling enumeration for that dimension).
@@ -34,41 +51,41 @@ func run(j Job) Result {
 	}
 	switch j.Kind {
 	case KindCQ:
-		runCQ(j, &res)
+		runCQ(ctx, j, &res)
 	case KindUCQ:
-		runUCQ(j, &res)
+		runUCQ(ctx, j, &res)
 	case KindTree:
-		runTree(j, &res)
+		runTree(ctx, j, &res)
 	}
-	return res
+	return res, nil
 }
 
-func runCQ(j Job, res *Result) {
+func runCQ(ctx context.Context, j Job, res *Result) {
 	e := j.Examples
 	switch j.Task {
 	case TaskExists:
-		res.Found, res.Err = fitting.Exists(e)
+		res.Found, res.Err = fitting.ExistsCtx(ctx, e)
 	case TaskConstruct, TaskMostSpecific:
-		q, ok, err := fitting.ConstructMostSpecific(e)
+		q, ok, err := fitting.ConstructMostSpecificCtx(ctx, e)
 		if fill(res, ok, err) {
-			res.Queries = []string{q.Core().String()}
+			res.Queries = []string{q.CoreCtx(ctx).String()}
 		}
 	case TaskWeaklyMostGeneral:
-		q, found, err := fitting.SearchWeaklyMostGeneral(e, j.Opts)
+		q, found, err := fitting.SearchWeaklyMostGeneralCtx(ctx, e, j.Opts)
 		if fill(res, found, err) {
 			res.Queries = []string{q.String()}
 		}
 	case TaskBasis:
-		basis, found, err := fitting.SearchBasis(e, j.Opts)
+		basis, found, err := fitting.SearchBasisCtx(ctx, e, j.Opts)
 		if fill(res, found, err) {
 			for _, b := range basis {
 				res.Queries = append(res.Queries, b.String())
 			}
 		}
 	case TaskUnique:
-		q, ok, err := fitting.ExistsUnique(e)
+		q, ok, err := fitting.ExistsUniqueCtx(ctx, e)
 		if fill(res, ok, err) {
-			res.Queries = []string{q.Core().String()}
+			res.Queries = []string{q.CoreCtx(ctx).String()}
 		}
 	case TaskVerify:
 		q, err := cq.Parse(e.Schema, j.Query)
@@ -76,27 +93,27 @@ func runCQ(j Job, res *Result) {
 			res.Err = err
 			return
 		}
-		res.Found = fitting.Verify(q, e)
+		res.Found = fitting.VerifyCtx(ctx, q, e)
 	}
 }
 
-func runUCQ(j Job, res *Result) {
+func runUCQ(ctx context.Context, j Job, res *Result) {
 	e := j.Examples
 	switch j.Task {
 	case TaskExists:
-		res.Found = ucqfit.Exists(e)
+		res.Found = ucqfit.ExistsCtx(ctx, e)
 	case TaskConstruct, TaskMostSpecific:
-		u, ok, err := ucqfit.Construct(e)
+		u, ok, err := ucqfit.ConstructCtx(ctx, e)
 		if fill(res, ok, err) {
 			res.Queries = []string{u.String()}
 		}
 	case TaskWeaklyMostGeneral, TaskBasis:
-		u, found, err := ucqfit.SearchMostGeneral(e, j.Opts)
+		u, found, err := ucqfit.SearchMostGeneralCtx(ctx, e, j.Opts)
 		if fill(res, found, err) {
 			res.Queries = []string{u.String()}
 		}
 	case TaskUnique:
-		u, ok, err := ucqfit.ExistsUnique(e)
+		u, ok, err := ucqfit.ExistsUniqueCtx(ctx, e)
 		if fill(res, ok, err) {
 			res.Queries = []string{u.String()}
 		}
@@ -106,17 +123,17 @@ func runUCQ(j Job, res *Result) {
 			res.Err = err
 			return
 		}
-		res.Found = ucqfit.Verify(u, e)
+		res.Found = ucqfit.VerifyCtx(ctx, u, e)
 	}
 }
 
-func runTree(j Job, res *Result) {
+func runTree(ctx context.Context, j Job, res *Result) {
 	e := j.Examples
 	switch j.Task {
 	case TaskExists:
-		res.Found, res.Err = tree.Exists(e)
+		res.Found, res.Err = tree.ExistsCtx(ctx, e)
 	case TaskConstruct:
-		dag, ok, err := tree.Construct(e)
+		dag, ok, err := tree.ConstructCtx(ctx, e)
 		if !fill(res, ok, err) {
 			return
 		}
@@ -126,28 +143,28 @@ func runTree(j Job, res *Result) {
 				dag.Depth, dag.NumNodes())
 			return
 		}
-		res.Queries = []string{q.Core().String()}
+		res.Queries = []string{q.CoreCtx(ctx).String()}
 	case TaskMostSpecific:
-		q, ok, err := tree.ConstructMostSpecific(e, maxTreeExpand)
+		q, ok, err := tree.ConstructMostSpecificCtx(ctx, e, maxTreeExpand)
 		if fill(res, ok, err) {
-			res.Queries = []string{q.Core().String()}
+			res.Queries = []string{q.CoreCtx(ctx).String()}
 		}
 	case TaskWeaklyMostGeneral:
-		q, found, err := tree.SearchWeaklyMostGeneral(e, j.Opts)
+		q, found, err := tree.SearchWeaklyMostGeneralCtx(ctx, e, j.Opts)
 		if fill(res, found, err) {
 			res.Queries = []string{q.String()}
 		}
 	case TaskBasis:
-		basis, found, err := tree.SearchBasis(e, j.Opts)
+		basis, found, err := tree.SearchBasisCtx(ctx, e, j.Opts)
 		if fill(res, found, err) {
 			for _, b := range basis {
 				res.Queries = append(res.Queries, b.String())
 			}
 		}
 	case TaskUnique:
-		q, ok, err := tree.ExistsUnique(e)
+		q, ok, err := tree.ExistsUniqueCtx(ctx, e)
 		if fill(res, ok, err) {
-			res.Queries = []string{q.Core().String()}
+			res.Queries = []string{q.CoreCtx(ctx).String()}
 		}
 	case TaskVerify:
 		q, err := cq.Parse(e.Schema, j.Query)
@@ -155,7 +172,7 @@ func runTree(j Job, res *Result) {
 			res.Err = err
 			return
 		}
-		res.Found, res.Err = tree.Verify(q, e)
+		res.Found, res.Err = tree.VerifyCtx(ctx, q, e)
 	}
 }
 

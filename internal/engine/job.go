@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"time"
@@ -91,6 +94,55 @@ func (j Job) Validate() error {
 		return fmt.Errorf("engine: verify task needs a query")
 	}
 	return nil
+}
+
+// fingerprint returns a canonical digest of everything that determines
+// the job's outcome — kind, task, query text, normalized search bounds,
+// timeout and the exact example contents — and nothing else (the label
+// is presentation-only). Jobs with equal fingerprints are
+// interchangeable, which is what single-flight dedup relies on; the
+// timeout participates so a job with a tight deadline never adopts the
+// fate of a twin with a loose one, or vice versa.
+func (j Job) fingerprint() string {
+	h := sha256.New()
+	ws := func(s string) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		io.WriteString(h, s)
+	}
+	wi := func(n int64) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(n))
+		h.Write(buf[:])
+	}
+	ws(string(j.Kind))
+	ws(string(j.Task))
+	ws(j.Query)
+	// The same normalization run applies before execution: zero bounds
+	// select the defaults, so Opts{} and DefaultSearch coincide.
+	opts := j.Opts
+	if opts.MaxAtoms == 0 {
+		opts.MaxAtoms = fitting.DefaultSearch.MaxAtoms
+	}
+	if opts.MaxVars == 0 {
+		opts.MaxVars = fitting.DefaultSearch.MaxVars
+	}
+	wi(int64(opts.MaxAtoms))
+	wi(int64(opts.MaxVars))
+	wi(int64(j.Timeout))
+	wi(int64(j.Examples.Arity))
+	for _, r := range j.Examples.Schema.Relations() {
+		ws(r.Name)
+		wi(int64(r.Arity))
+	}
+	for _, side := range [][]instance.Pointed{j.Examples.Pos, j.Examples.Neg} {
+		wi(int64(len(side)))
+		for _, ex := range side {
+			ws(ex.Fingerprint())
+		}
+	}
+	return string(h.Sum(nil))
 }
 
 // Result is the outcome of one Job.

@@ -16,7 +16,9 @@ const DefaultCacheSize = 4096
 // fitting algorithms: homomorphism searches, cores and direct products,
 // keyed by the canonical fingerprints of the operand pointed instances.
 // It implements hom.Cache and instance.ProductCache, so a single Memo
-// can be installed behind both hooks.
+// can be attached to a solver context for both roles (hom.WithCache and
+// instance.WithProductCache); each engine owns one Memo and attaches it
+// only to its own jobs' contexts.
 //
 // Stored instances and assignments are deep-copied on both Put and Get:
 // the cache never shares mutable state with its callers, which keeps
@@ -59,13 +61,13 @@ func NewMemo(maxEntries int) *Memo {
 
 // CacheStats is a snapshot of hit/miss counters per memo class.
 type CacheStats struct {
-	HomHits     int64 `json:"hom_hits"`
-	HomMisses   int64 `json:"hom_misses"`
-	CoreHits    int64 `json:"core_hits"`
-	CoreMisses  int64 `json:"core_misses"`
-	ProductHits int64 `json:"product_hits"`
-	ProdMisses  int64 `json:"product_misses"`
-	Entries     int   `json:"entries"`
+	HomHits       int64 `json:"hom_hits"`
+	HomMisses     int64 `json:"hom_misses"`
+	CoreHits      int64 `json:"core_hits"`
+	CoreMisses    int64 `json:"core_misses"`
+	ProductHits   int64 `json:"product_hits"`
+	ProductMisses int64 `json:"product_misses"`
+	Entries       int   `json:"entries"`
 }
 
 // Hits returns the total number of cache hits across all classes.
@@ -77,13 +79,13 @@ func (m *Memo) Stats() CacheStats {
 	entries := len(m.hom) + len(m.core) + len(m.prod)
 	m.mu.Unlock()
 	return CacheStats{
-		HomHits:     m.homHits.Load(),
-		HomMisses:   m.homMisses.Load(),
-		CoreHits:    m.coreHits.Load(),
-		CoreMisses:  m.coreMisses.Load(),
-		ProductHits: m.prodHits.Load(),
-		ProdMisses:  m.prodMisses.Load(),
-		Entries:     entries,
+		HomHits:       m.homHits.Load(),
+		HomMisses:     m.homMisses.Load(),
+		CoreHits:      m.coreHits.Load(),
+		CoreMisses:    m.coreMisses.Load(),
+		ProductHits:   m.prodHits.Load(),
+		ProductMisses: m.prodMisses.Load(),
+		Entries:       entries,
 	}
 }
 

@@ -8,6 +8,7 @@
 package fitting
 
 import (
+	"context"
 	"fmt"
 
 	"extremalcq/internal/cq"
@@ -71,16 +72,23 @@ func (e Examples) compatible(q *cq.CQ) bool {
 // does q fit E, i.e. is every positive example a positive example for q
 // and every negative example a negative one?
 func Verify(q *cq.CQ, e Examples) bool {
+	return VerifyCtx(context.Background(), q, e)
+}
+
+// VerifyCtx is Verify under a solver context: the homomorphism checks
+// are memoized through the caches carried by ctx (see hom.WithCache)
+// and stop promptly when ctx is canceled.
+func VerifyCtx(ctx context.Context, q *cq.CQ, e Examples) bool {
 	if !e.compatible(q) {
 		return false
 	}
 	for _, p := range e.Pos {
-		if !q.HomTo(p) {
+		if !q.HomToCtx(ctx, p) {
 			return false
 		}
 	}
 	for _, n := range e.Neg {
-		if q.HomTo(n) {
+		if q.HomToCtx(ctx, n) {
 			return false
 		}
 	}
@@ -93,6 +101,12 @@ func (e Examples) PositiveProduct() (instance.Pointed, error) {
 	return instance.ProductAll(e.Schema, e.Arity, e.Pos)
 }
 
+// PositiveProductCtx is PositiveProduct under a solver context (see
+// instance.ProductCtx).
+func (e Examples) PositiveProductCtx(ctx context.Context) (instance.Pointed, error) {
+	return instance.ProductAllCtx(ctx, e.Schema, e.Arity, e.Pos)
+}
+
 // Exists decides the existence problem for fitting CQs (Theorems
 // 3.2/3.3): a fitting CQ exists iff the direct product of the positive
 // examples is a data example and maps into no negative example.
@@ -101,11 +115,24 @@ func Exists(e Examples) (bool, error) {
 	return ok, err
 }
 
+// ExistsCtx is Exists under a solver context.
+func ExistsCtx(ctx context.Context, e Examples) (bool, error) {
+	_, ok, err := ConstructCtx(ctx, e)
+	return ok, err
+}
+
 // Construct returns a fitting CQ when one exists (the canonical CQ of
 // the direct product of the positive examples, per Theorem 3.3), along
 // with whether one exists.
 func Construct(e Examples) (*cq.CQ, bool, error) {
-	prod, err := e.PositiveProduct()
+	return ConstructCtx(context.Background(), e)
+}
+
+// ConstructCtx is Construct under a solver context: the product and the
+// homomorphism checks are memoized through the caches carried by ctx
+// and interrupted when ctx is canceled.
+func ConstructCtx(ctx context.Context, e Examples) (*cq.CQ, bool, error) {
+	prod, err := e.PositiveProductCtx(ctx)
 	if err != nil {
 		return nil, false, err
 	}
@@ -114,7 +141,7 @@ func Construct(e Examples) (*cq.CQ, bool, error) {
 		return nil, false, nil
 	}
 	for _, n := range e.Neg {
-		if hom.Exists(prod, n) {
+		if hom.ExistsCtx(ctx, prod, n) {
 			return nil, false, nil
 		}
 	}
@@ -134,16 +161,21 @@ func Construct(e Examples) (*cq.CQ, bool, error) {
 // canonical CQ of the product of the positive examples. The weak and
 // strong notions coincide for CQs.
 func VerifyMostSpecific(q *cq.CQ, e Examples) bool {
-	if !Verify(q, e) {
+	return VerifyMostSpecificCtx(context.Background(), q, e)
+}
+
+// VerifyMostSpecificCtx is VerifyMostSpecific under a solver context.
+func VerifyMostSpecificCtx(ctx context.Context, q *cq.CQ, e Examples) bool {
+	if !VerifyCtx(ctx, q, e) {
 		return false
 	}
-	prod, err := e.PositiveProduct()
+	prod, err := e.PositiveProductCtx(ctx)
 	if err != nil {
 		return false
 	}
 	// q fits, so prod is a data example (Theorem 3.3) and equivalence is
 	// two homomorphism checks.
-	return hom.Equivalent(q.Example(), prod)
+	return hom.EquivalentCtx(ctx, q.Example(), prod)
 }
 
 // ExistsMostSpecific decides existence of a most-specific fitting CQ,
@@ -153,6 +185,12 @@ func ExistsMostSpecific(e Examples) (bool, error) { return Exists(e) }
 // ConstructMostSpecific returns the most-specific fitting CQ when a
 // fitting exists (Prop 3.5: the canonical CQ of the positive product).
 func ConstructMostSpecific(e Examples) (*cq.CQ, bool, error) { return Construct(e) }
+
+// ConstructMostSpecificCtx is ConstructMostSpecific under a solver
+// context.
+func ConstructMostSpecificCtx(ctx context.Context, e Examples) (*cq.CQ, bool, error) {
+	return ConstructCtx(ctx, e)
+}
 
 // ---------------------------------------------------------------------
 // CQ definability (Remark 3.1)

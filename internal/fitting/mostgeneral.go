@@ -1,6 +1,7 @@
 package fitting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,16 +28,26 @@ var ErrUnsupported = errors.New("fitting: input outside the implemented exact fr
 // equality-type refinement lives in Appendix A, which is not part of the
 // provided text).
 func VerifyWeaklyMostGeneral(q *cq.CQ, e Examples) (bool, error) {
-	if !Verify(q, e) {
+	return verifyWeaklyMostGeneral(context.Background(), q, e)
+}
+
+// VerifyWeaklyMostGeneralCtx is VerifyWeaklyMostGeneral under a solver
+// context.
+func VerifyWeaklyMostGeneralCtx(ctx context.Context, q *cq.CQ, e Examples) (bool, error) {
+	return verifyWeaklyMostGeneral(ctx, q, e)
+}
+
+func verifyWeaklyMostGeneral(ctx context.Context, q *cq.CQ, e Examples) (bool, error) {
+	if !VerifyCtx(ctx, q, e) {
 		return false, nil
 	}
-	core := hom.Core(q.Example())
+	core := hom.CoreCtx(ctx, q.Example())
 	if !instance.CAcyclic(core) {
 		// No frontier exists (Thm 2.12), so by Prop 3.11 q cannot be
 		// weakly most-general.
 		return false, nil
 	}
-	members, err := frontier.ForPointed(core)
+	members, err := frontier.ForPointedCtx(ctx, core)
 	if err != nil {
 		if errors.Is(err, frontier.ErrNoUNP) {
 			return false, fmt.Errorf("%w: %v", ErrUnsupported, err)
@@ -44,7 +55,7 @@ func VerifyWeaklyMostGeneral(q *cq.CQ, e Examples) (bool, error) {
 		return false, err
 	}
 	for _, m := range members {
-		if !hom.ExistsToAny(m, e.Neg) {
+		if !hom.ExistsToAnyCtx(ctx, m, e.Neg) {
 			return false, nil
 		}
 	}
@@ -59,10 +70,15 @@ func VerifyWeaklyMostGeneral(q *cq.CQ, e Examples) (bool, error) {
 // (Prop 3.34): q is a unique fitting iff it is a most-specific and a
 // weakly most-general fitting.
 func VerifyUnique(q *cq.CQ, e Examples) (bool, error) {
-	if !VerifyMostSpecific(q, e) {
+	return VerifyUniqueCtx(context.Background(), q, e)
+}
+
+// VerifyUniqueCtx is VerifyUnique under a solver context.
+func VerifyUniqueCtx(ctx context.Context, q *cq.CQ, e Examples) (bool, error) {
+	if !VerifyMostSpecificCtx(ctx, q, e) {
 		return false, nil
 	}
-	return VerifyWeaklyMostGeneral(q, e)
+	return verifyWeaklyMostGeneral(ctx, q, e)
 }
 
 // ExistsUnique decides, exactly, the existence problem for unique
@@ -70,11 +86,16 @@ func VerifyUnique(q *cq.CQ, e Examples) (bool, error) {
 // of the product of the positive examples is weakly most-general
 // fitting. Returns the unique fitting when it exists.
 func ExistsUnique(e Examples) (*cq.CQ, bool, error) {
-	q, ok, err := Construct(e)
+	return ExistsUniqueCtx(context.Background(), e)
+}
+
+// ExistsUniqueCtx is ExistsUnique under a solver context.
+func ExistsUniqueCtx(ctx context.Context, e Examples) (*cq.CQ, bool, error) {
+	q, ok, err := ConstructCtx(ctx, e)
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	isWMG, err := VerifyWeaklyMostGeneral(q, e)
+	isWMG, err := verifyWeaklyMostGeneral(ctx, q, e)
 	if err != nil {
 		return nil, false, err
 	}
@@ -98,11 +119,20 @@ func ExistsUnique(e Examples) (*cq.CQ, bool, error) {
 //
 // Requires a binary schema for the dual construction.
 func VerifyBasis(qs []*cq.CQ, e Examples) (bool, error) {
+	return verifyBasis(context.Background(), qs, e)
+}
+
+// VerifyBasisCtx is VerifyBasis under a solver context.
+func VerifyBasisCtx(ctx context.Context, qs []*cq.CQ, e Examples) (bool, error) {
+	return verifyBasis(ctx, qs, e)
+}
+
+func verifyBasis(ctx context.Context, qs []*cq.CQ, e Examples) (bool, error) {
 	if len(qs) == 0 {
 		return false, nil
 	}
 	for _, q := range qs {
-		if !Verify(q, e) {
+		if !VerifyCtx(ctx, q, e) {
 			return false, nil
 		}
 	}
@@ -112,31 +142,31 @@ func VerifyBasis(qs []*cq.CQ, e Examples) (bool, error) {
 	for _, q := range qs {
 		exs = append(exs, q.Example())
 	}
-	exs = minimizeHom(exs)
+	exs = minimizeHom(ctx, exs)
 	// Each remaining member must be weakly most-general, hence have a
 	// c-acyclic core.
 	var cores []instance.Pointed
 	for _, ex := range exs {
-		c := hom.Core(ex)
+		c := hom.CoreCtx(ctx, ex)
 		if !instance.CAcyclic(c) {
 			return false, nil
 		}
 		cores = append(cores, c)
 	}
-	D, err := duality.DualOfSet(cores)
+	D, err := duality.DualOfSetCtx(ctx, cores)
 	if err != nil {
 		return false, fmt.Errorf("%w: %v", ErrUnsupported, err)
 	}
-	p, err := e.PositiveProduct()
+	p, err := e.PositiveProductCtx(ctx)
 	if err != nil {
 		return false, err
 	}
 	for _, d := range D {
-		dp, err := instance.Product(d, p)
+		dp, err := instance.ProductCtx(ctx, d, p)
 		if err != nil {
 			return false, err
 		}
-		if !hom.ExistsToAny(dp, e.Neg) {
+		if !hom.ExistsToAnyCtx(ctx, dp, e.Neg) {
 			return false, nil
 		}
 	}
@@ -145,7 +175,7 @@ func VerifyBasis(qs []*cq.CQ, e Examples) (bool, error) {
 
 // minimizeHom keeps hom-minimal canonical examples (the containment-
 // maximal queries).
-func minimizeHom(exs []instance.Pointed) []instance.Pointed {
+func minimizeHom(ctx context.Context, exs []instance.Pointed) []instance.Pointed {
 	var out []instance.Pointed
 	for i, f := range exs {
 		drop := false
@@ -153,8 +183,8 @@ func minimizeHom(exs []instance.Pointed) []instance.Pointed {
 			if i == j {
 				continue
 			}
-			if hom.Exists(g, f) {
-				if !hom.Exists(f, g) || j < i {
+			if hom.ExistsCtx(ctx, g, f) {
+				if !hom.ExistsCtx(ctx, f, g) || j < i {
 					drop = true
 					break
 				}

@@ -1,10 +1,13 @@
 package fitting
 
 import (
+	"context"
+
 	"extremalcq/internal/cq"
 	"extremalcq/internal/genex"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
 )
 
 // SearchOpts bounds the candidate space of the synthesis searches. The
@@ -26,8 +29,14 @@ var DefaultSearch = SearchOpts{MaxAtoms: 3, MaxVars: 4}
 // and (ii) all candidate CQs within the search bounds. The returned
 // query, if any, is verified exactly by VerifyWeaklyMostGeneral.
 func SearchWeaklyMostGeneral(e Examples, opts SearchOpts) (*cq.CQ, bool, error) {
+	return SearchWeaklyMostGeneralCtx(context.Background(), e, opts)
+}
+
+// SearchWeaklyMostGeneralCtx is SearchWeaklyMostGeneral under a solver
+// context: every candidate check runs memoized and interruptible.
+func SearchWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts SearchOpts) (*cq.CQ, bool, error) {
 	var found *cq.CQ
-	err := forEachWMG(e, opts, func(q *cq.CQ) bool {
+	err := forEachWMG(ctx, e, opts, func(q *cq.CQ) bool {
 		found = q
 		return false
 	})
@@ -37,10 +46,16 @@ func SearchWeaklyMostGeneral(e Examples, opts SearchOpts) (*cq.CQ, bool, error) 
 // AllWeaklyMostGeneral collects all weakly most-general fitting CQs
 // within the bounds, deduplicated up to equivalence.
 func AllWeaklyMostGeneral(e Examples, opts SearchOpts) ([]*cq.CQ, error) {
+	return AllWeaklyMostGeneralCtx(context.Background(), e, opts)
+}
+
+// AllWeaklyMostGeneralCtx is AllWeaklyMostGeneral under a solver
+// context.
+func AllWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts SearchOpts) ([]*cq.CQ, error) {
 	var out []*cq.CQ
-	err := forEachWMG(e, opts, func(q *cq.CQ) bool {
+	err := forEachWMG(ctx, e, opts, func(q *cq.CQ) bool {
 		for _, prev := range out {
-			if prev.EquivalentTo(q) {
+			if prev.EquivalentToCtx(ctx, q) {
 				return true
 			}
 		}
@@ -53,18 +68,20 @@ func AllWeaklyMostGeneral(e Examples, opts SearchOpts) ([]*cq.CQ, error) {
 // forEachWMG enumerates verified weakly most-general fitting CQs. The
 // candidate stream is: the core of the positive product first (this
 // decides the unique-fitting case immediately), then all bounded
-// candidates.
-func forEachWMG(e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
+// candidates. ctx is checked per candidate, so cancellation cuts the
+// enumeration short.
+func forEachWMG(ctx context.Context, e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
 	var firstErr error
 	tryCandidate := func(ex instance.Pointed) bool {
+		solve.Check(ctx)
 		q, err := cq.FromExample(ex)
 		if err != nil {
 			return true
 		}
-		if !Verify(q, e) {
+		if !VerifyCtx(ctx, q, e) {
 			return true
 		}
-		ok, err := VerifyWeaklyMostGeneral(q, e)
+		ok, err := verifyWeaklyMostGeneral(ctx, q, e)
 		if err != nil {
 			// Unsupported candidates (e.g. non-UNP) are skipped; remember
 			// the first error for reporting.
@@ -74,13 +91,13 @@ func forEachWMG(e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
 			return true
 		}
 		if ok {
-			return yield(q.Core())
+			return yield(q.CoreCtx(ctx))
 		}
 		return true
 	}
 
-	if prod, err := e.PositiveProduct(); err == nil && prod.IsDataExample() {
-		if !tryCandidate(hom.Core(prod)) {
+	if prod, err := e.PositiveProductCtx(ctx); err == nil && prod.IsDataExample() {
+		if !tryCandidate(hom.CoreCtx(ctx, prod)) {
 			return nil
 		}
 	}
@@ -104,14 +121,19 @@ func forEachWMG(e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
 // CQs. A returned basis is exact; a negative answer means no basis whose
 // members fit within the bounds exists.
 func SearchBasis(e Examples, opts SearchOpts) ([]*cq.CQ, bool, error) {
-	cands, err := AllWeaklyMostGeneral(e, opts)
+	return SearchBasisCtx(context.Background(), e, opts)
+}
+
+// SearchBasisCtx is SearchBasis under a solver context.
+func SearchBasisCtx(ctx context.Context, e Examples, opts SearchOpts) ([]*cq.CQ, bool, error) {
+	cands, err := AllWeaklyMostGeneralCtx(ctx, e, opts)
 	if err != nil {
 		return nil, false, err
 	}
 	if len(cands) == 0 {
 		return nil, false, nil
 	}
-	ok, err := VerifyBasis(cands, e)
+	ok, err := verifyBasis(ctx, cands, e)
 	if err != nil || !ok {
 		return nil, false, err
 	}

@@ -13,6 +13,7 @@
 package frontier
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -37,7 +38,14 @@ var ErrNoUNP = errors.New("frontier: input has repeated distinguished elements (
 // in the homomorphism pre-order and jointly separate it from everything
 // strictly below.
 func ForPointed(e instance.Pointed) ([]instance.Pointed, error) {
-	core := hom.Core(e)
+	return ForPointedCtx(context.Background(), e)
+}
+
+// ForPointedCtx is ForPointed under a solver context: the core
+// computation is memoized through the cache carried by ctx and checks
+// ctx for cancellation (see hom.CoreCtx).
+func ForPointedCtx(ctx context.Context, e instance.Pointed) ([]instance.Pointed, error) {
+	core := hom.CoreCtx(ctx, e)
 	if !core.HasUNP() {
 		return nil, ErrNoUNP
 	}

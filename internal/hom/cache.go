@@ -1,7 +1,7 @@
 package hom
 
 import (
-	"sync/atomic"
+	"context"
 
 	"extremalcq/internal/instance"
 )
@@ -27,26 +27,26 @@ type Cache interface {
 	PutCore(p, core instance.Pointed)
 }
 
-type cacheBox struct{ c Cache }
+// cacheKey is the context key under which a Cache travels. The cache is
+// per-context rather than process-wide, so concurrently live engines
+// (each attaching its own memo to the contexts of its jobs) never see
+// each other's entries.
+type cacheKey struct{}
 
-var activeCache atomic.Pointer[cacheBox]
-
-// Use installs c as the process-wide cache consulted by Exists, Find and
-// Core; a nil c uninstalls it. The fitting engine installs its shared
-// memo here so that the fitting, ucqfit and tree packages benefit
-// without changes to their algorithms.
-func Use(c Cache) {
+// WithCache returns a context carrying c; the FindCtx/ExistsCtx/CoreCtx
+// entry points consult it. A nil c returns ctx unchanged.
+func WithCache(ctx context.Context, c Cache) context.Context {
 	if c == nil {
-		activeCache.Store(nil)
-		return
+		return ctx
 	}
-	activeCache.Store(&cacheBox{c: c})
+	return context.WithValue(ctx, cacheKey{}, c)
 }
 
-// Active returns the installed cache, or nil.
-func Active() Cache {
-	if b := activeCache.Load(); b != nil {
-		return b.c
+// cacheFrom extracts the cache carried by ctx, or nil.
+func cacheFrom(ctx context.Context) Cache {
+	if ctx == nil {
+		return nil
 	}
-	return nil
+	c, _ := ctx.Value(cacheKey{}).(Cache)
+	return c
 }

@@ -1,6 +1,11 @@
 package hom
 
-import "extremalcq/internal/instance"
+import (
+	"context"
+
+	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
+)
 
 // Core computes the core of a pointed instance: the unique (up to
 // isomorphism) minimal induced subinstance to which it is homomorphically
@@ -8,23 +13,30 @@ import "extremalcq/internal/instance"
 //
 // The algorithm repeatedly looks for a retraction that avoids some
 // non-distinguished element and replaces the instance by the induced
-// subinstance on the remaining values. Results are memoized through the
-// installed Cache, if any (see Use).
+// subinstance on the remaining values.
 func Core(p instance.Pointed) instance.Pointed {
-	if c := Active(); c != nil {
+	return CoreCtx(context.Background(), p)
+}
+
+// CoreCtx is Core under a solver context: results are memoized through
+// the cache carried by ctx (see WithCache), and the retraction searches
+// check ctx so cancellation stops work promptly.
+func CoreCtx(ctx context.Context, p instance.Pointed) instance.Pointed {
+	if c := cacheFrom(ctx); c != nil {
 		if core, ok := c.GetCore(p); ok {
 			return core
 		}
-		core := coreUncached(p)
+		core := coreUncached(ctx, p)
 		c.PutCore(p, core)
 		return core
 	}
-	return coreUncached(p)
+	return coreUncached(ctx, p)
 }
 
-func coreUncached(p instance.Pointed) instance.Pointed {
+func coreUncached(ctx context.Context, p instance.Pointed) instance.Pointed {
 	cur := p.Clone()
 	for {
+		solve.Check(ctx)
 		dropped := false
 		distinguished := make(map[instance.Value]bool, len(cur.Tuple))
 		for _, a := range cur.Tuple {
@@ -44,7 +56,7 @@ func coreUncached(p instance.Pointed) instance.Pointed {
 			// The distinguished elements must still occur in the target if
 			// they occurred before (retraction fixes them, so facts over
 			// them must survive the restriction to be mappable).
-			if h, ok := retraction(cur, target); ok {
+			if h, ok := retraction(ctx, cur, target); ok {
 				cur = imageOf(cur, h)
 				dropped = true
 				break
@@ -62,8 +74,8 @@ func coreUncached(p instance.Pointed) instance.Pointed {
 // computation never recur, so memoizing them would only flood the
 // bounded cache with single-use entries (the overall Core result is
 // what gets memoized).
-func retraction(p, target instance.Pointed) (Assignment, bool) {
-	return findUncached(p, target)
+func retraction(ctx context.Context, p, target instance.Pointed) (Assignment, bool) {
+	return findUncached(ctx, p, target)
 }
 
 // imageOf restricts p to the image of h (induced subinstance).

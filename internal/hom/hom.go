@@ -8,9 +8,11 @@
 package hom
 
 import (
+	"context"
 	"sort"
 
 	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
 )
 
 // Assignment maps source values to target values.
@@ -18,27 +20,41 @@ type Assignment map[instance.Value]instance.Value
 
 // Exists reports whether a homomorphism from 'from' to 'to' exists.
 func Exists(from, to instance.Pointed) bool {
-	_, ok := Find(from, to)
+	return ExistsCtx(context.Background(), from, to)
+}
+
+// ExistsCtx is Exists under a solver context: results are memoized
+// through the cache carried by ctx (see WithCache), and cancellation
+// unwinds the search (see package solve).
+func ExistsCtx(ctx context.Context, from, to instance.Pointed) bool {
+	_, ok := FindCtx(ctx, from, to)
 	return ok
 }
 
 // Find returns a homomorphism from 'from' to 'to' if one exists. The
-// assignment covers adom(from) and all distinguished elements. Results
-// are memoized through the installed Cache, if any (see Use).
+// assignment covers adom(from) and all distinguished elements.
 func Find(from, to instance.Pointed) (Assignment, bool) {
-	if c := Active(); c != nil {
+	return FindCtx(context.Background(), from, to)
+}
+
+// FindCtx is Find under a solver context: results are memoized through
+// the cache carried by ctx (see WithCache), and the backtracking search
+// checks ctx at every node, so deadlines and cancellation stop work
+// promptly (the unwind is a solve sentinel; see package solve).
+func FindCtx(ctx context.Context, from, to instance.Pointed) (Assignment, bool) {
+	if c := cacheFrom(ctx); c != nil {
 		if h, exists, ok := c.GetHom(from, to); ok {
 			return h, exists
 		}
-		h, exists := findUncached(from, to)
+		h, exists := findUncached(ctx, from, to)
 		c.PutHom(from, to, h, exists)
 		return h, exists
 	}
-	return findUncached(from, to)
+	return findUncached(ctx, from, to)
 }
 
-func findUncached(from, to instance.Pointed) (Assignment, bool) {
-	s, ok := newSearch(from, to)
+func findUncached(ctx context.Context, from, to instance.Pointed) (Assignment, bool) {
+	s, ok := newSearch(ctx, from, to)
 	if !ok {
 		return nil, false
 	}
@@ -49,7 +65,7 @@ func findUncached(from, to instance.Pointed) (Assignment, bool) {
 // for each (with a copy of the assignment) until yield returns false or
 // the space is exhausted.
 func FindAll(from, to instance.Pointed, yield func(Assignment) bool) {
-	s, ok := newSearch(from, to)
+	s, ok := newSearch(context.Background(), from, to)
 	if !ok {
 		return
 	}
@@ -58,7 +74,12 @@ func FindAll(from, to instance.Pointed, yield func(Assignment) bool) {
 
 // Equivalent reports homomorphic equivalence: from → to and to → from.
 func Equivalent(a, b instance.Pointed) bool {
-	return Exists(a, b) && Exists(b, a)
+	return EquivalentCtx(context.Background(), a, b)
+}
+
+// EquivalentCtx is Equivalent under a solver context.
+func EquivalentCtx(ctx context.Context, a, b instance.Pointed) bool {
+	return ExistsCtx(ctx, a, b) && ExistsCtx(ctx, b, a)
 }
 
 // StrictlyBelow reports a → b and b ↛ a (a is strictly below b in the
@@ -74,8 +95,13 @@ func Incomparable(a, b instance.Pointed) bool {
 
 // ExistsToAny reports whether from maps into at least one element of ts.
 func ExistsToAny(from instance.Pointed, ts []instance.Pointed) bool {
+	return ExistsToAnyCtx(context.Background(), from, ts)
+}
+
+// ExistsToAnyCtx is ExistsToAny under a solver context.
+func ExistsToAnyCtx(ctx context.Context, from instance.Pointed, ts []instance.Pointed) bool {
 	for _, t := range ts {
-		if Exists(from, t) {
+		if ExistsCtx(ctx, from, t) {
 			return true
 		}
 	}
@@ -84,8 +110,13 @@ func ExistsToAny(from instance.Pointed, ts []instance.Pointed) bool {
 
 // ExistsToAll reports whether from maps into every element of ts.
 func ExistsToAll(from instance.Pointed, ts []instance.Pointed) bool {
+	return ExistsToAllCtx(context.Background(), from, ts)
+}
+
+// ExistsToAllCtx is ExistsToAll under a solver context.
+func ExistsToAllCtx(ctx context.Context, from instance.Pointed, ts []instance.Pointed) bool {
 	for _, t := range ts {
-		if !Exists(from, t) {
+		if !ExistsCtx(ctx, from, t) {
 			return false
 		}
 	}
@@ -97,6 +128,7 @@ func ExistsToAll(from instance.Pointed, ts []instance.Pointed) bool {
 // ---------------------------------------------------------------------
 
 type search struct {
+	ctx      context.Context
 	from, to instance.Pointed
 	vars     []instance.Value                    // adom(from), sorted
 	domains  map[instance.Value][]instance.Value // candidate targets
@@ -105,11 +137,12 @@ type search struct {
 
 // newSearch validates schemas/arities/equality types and seeds domains
 // with the distinguished tuple. ok=false means no homomorphism can exist.
-func newSearch(from, to instance.Pointed) (*search, bool) {
+func newSearch(ctx context.Context, from, to instance.Pointed) (*search, bool) {
 	if !from.I.Schema().Equal(to.I.Schema()) || from.Arity() != to.Arity() {
 		return nil, false
 	}
 	s := &search{
+		ctx:     ctx,
 		from:    from,
 		to:      to,
 		domains: make(map[instance.Value][]instance.Value),
@@ -148,7 +181,7 @@ func newSearch(from, to instance.Pointed) (*search, bool) {
 }
 
 func (s *search) solve() (Assignment, bool) {
-	dom, ok := propagate(s.from.I, s.to.I, s.domains)
+	dom, ok := s.propagate(s.from.I, s.to.I, s.domains)
 	if !ok {
 		return nil, false
 	}
@@ -163,7 +196,10 @@ func (s *search) solve() (Assignment, bool) {
 }
 
 // backtrack runs GAC-based search and returns a full assignment or nil.
+// Every node checks the solver context, so a deadline stops the search
+// within one propagation round.
 func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
+	solve.Check(s.ctx)
 	v, ok := pickVar(s.vars, dom)
 	if !ok {
 		// All singleton: extract and verify.
@@ -179,7 +215,7 @@ func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
 	for _, w := range dom[v] {
 		trial := copyDomains(dom)
 		trial[v] = []instance.Value{w}
-		next, ok := propagate(s.from.I, s.to.I, trial)
+		next, ok := s.propagate(s.from.I, s.to.I, trial)
 		if !ok {
 			continue
 		}
@@ -192,7 +228,7 @@ func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
 
 // enumerate yields every homomorphism.
 func (s *search) enumerate(yield func(Assignment) bool) {
-	dom, ok := propagate(s.from.I, s.to.I, s.domains)
+	dom, ok := s.propagate(s.from.I, s.to.I, s.domains)
 	if !ok {
 		return
 	}
@@ -201,6 +237,7 @@ func (s *search) enumerate(yield func(Assignment) bool) {
 
 // enumRec returns false if enumeration should stop.
 func (s *search) enumRec(dom map[instance.Value][]instance.Value, yield func(Assignment) bool) bool {
+	solve.Check(s.ctx)
 	v, ok := pickVar(s.vars, dom)
 	if !ok {
 		a := make(Assignment, len(dom))
@@ -218,7 +255,7 @@ func (s *search) enumRec(dom map[instance.Value][]instance.Value, yield func(Ass
 	for _, w := range dom[v] {
 		trial := copyDomains(dom)
 		trial[v] = []instance.Value{w}
-		next, ok := propagate(s.from.I, s.to.I, trial)
+		next, ok := s.propagate(s.from.I, s.to.I, trial)
 		if !ok {
 			continue
 		}
@@ -261,12 +298,14 @@ func validHom(from, to *instance.Instance, a Assignment) bool {
 
 // propagate enforces generalized arc consistency fact-by-fact until a
 // fixpoint. Returns the narrowed domains, or ok=false if some domain
-// became empty.
-func propagate(from, to *instance.Instance, dom map[instance.Value][]instance.Value) (map[instance.Value][]instance.Value, bool) {
+// became empty. The fixpoint loop checks the solver context so large
+// instances cannot delay cancellation by a whole propagation pass.
+func (s *search) propagate(from, to *instance.Instance, dom map[instance.Value][]instance.Value) (map[instance.Value][]instance.Value, bool) {
 	dom = copyDomains(dom)
 	facts := from.Facts()
 	changed := true
 	for changed {
+		solve.Check(s.ctx)
 		changed = false
 		for _, f := range facts {
 			for i, v := range f.Args {
@@ -337,11 +376,11 @@ func contains(ws []instance.Value, w instance.Value) bool {
 // consistency from e' to e succeeds iff every c-acyclic t with t → e'
 // satisfies t → e.
 func ArcConsistent(from, to instance.Pointed) bool {
-	s, ok := newSearch(from, to)
+	s, ok := newSearch(context.Background(), from, to)
 	if !ok {
 		return false
 	}
-	_, ok = propagate(s.from.I, s.to.I, s.domains)
+	_, ok = s.propagate(s.from.I, s.to.I, s.domains)
 	return ok
 }
 

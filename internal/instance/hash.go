@@ -1,16 +1,16 @@
 package instance
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"io"
 	"sort"
-	"sync/atomic"
 )
 
 // This file adds canonical hashing of (pointed) instances, used as cache
-// keys by the memoization layer of the fitting engine, and the injectable
-// product-cache hook consulted by Product.
+// keys by the memoization layer of the fitting engine, and the
+// context-carried product cache consulted by ProductCtx.
 
 // Fingerprint returns a canonical digest of the pointed instance: two
 // pointed instances with equal schemas, equal fact sets and equal
@@ -88,39 +88,38 @@ func writeString(w io.Writer, s string) {
 }
 
 // ---------------------------------------------------------------------
-// Product-cache hook
+// Context-carried product cache
 // ---------------------------------------------------------------------
 
 // ProductCache memoizes direct products of pointed instances. The cache
-// is consulted by Product with the two (validated) operands; both hooks
-// may be called concurrently, so implementations must be safe for
-// concurrent use, and GetProduct must return an instance the caller may
-// freely use (i.e. one not shared with other callers).
+// is consulted by ProductCtx with the two (validated) operands; the
+// methods may be called concurrently, so implementations must be safe
+// for concurrent use, and GetProduct must return an instance the caller
+// may freely use (i.e. one not shared with other callers).
 type ProductCache interface {
 	GetProduct(a, b Pointed) (Pointed, bool)
 	PutProduct(a, b, prod Pointed)
 }
 
-type productCacheBox struct{ c ProductCache }
+// productCacheKey is the context key under which a ProductCache travels.
+// The cache is per-context rather than process-wide, so concurrently
+// live engines never see each other's entries.
+type productCacheKey struct{}
 
-var activeProductCache atomic.Pointer[productCacheBox]
-
-// UseProductCache installs c as the process-wide product cache consulted
-// by Product; a nil c uninstalls it. The fitting engine installs its
-// shared memo here so that PositiveProduct and friends benefit without
-// changing their call sites.
-func UseProductCache(c ProductCache) {
+// WithProductCache returns a context carrying c; ProductCtx and
+// ProductAllCtx consult it. A nil c returns ctx unchanged.
+func WithProductCache(ctx context.Context, c ProductCache) context.Context {
 	if c == nil {
-		activeProductCache.Store(nil)
-		return
+		return ctx
 	}
-	activeProductCache.Store(&productCacheBox{c: c})
+	return context.WithValue(ctx, productCacheKey{}, c)
 }
 
-// ActiveProductCache returns the installed product cache, or nil.
-func ActiveProductCache() ProductCache {
-	if b := activeProductCache.Load(); b != nil {
-		return b.c
+// productCacheFrom extracts the product cache carried by ctx, or nil.
+func productCacheFrom(ctx context.Context) ProductCache {
+	if ctx == nil {
+		return nil
 	}
-	return nil
+	c, _ := ctx.Value(productCacheKey{}).(ProductCache)
+	return c
 }

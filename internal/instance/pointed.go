@@ -1,10 +1,12 @@
 package instance
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"extremalcq/internal/schema"
+	"extremalcq/internal/solve"
 )
 
 // Pointed is a pointed instance (I, a): an instance together with a tuple
@@ -220,32 +222,41 @@ func TupleValue(vals ...Value) Value {
 // pointed instance; it is a data example only under the conditions of
 // Prop 2.7.
 func Product(e1, e2 Pointed) (Pointed, error) {
+	return ProductCtx(context.Background(), e1, e2)
+}
+
+// ProductCtx is Product under a solver context: results are memoized
+// through the product cache carried by ctx (see WithProductCache), and
+// the construction loop checks ctx so cancellation stops a large
+// product mid-build.
+func ProductCtx(ctx context.Context, e1, e2 Pointed) (Pointed, error) {
 	if !e1.I.Schema().Equal(e2.I.Schema()) {
 		return Pointed{}, fmt.Errorf("instance: product over different schemas")
 	}
 	if e1.Arity() != e2.Arity() {
 		return Pointed{}, fmt.Errorf("instance: product of arities %d and %d", e1.Arity(), e2.Arity())
 	}
-	if c := ActiveProductCache(); c != nil {
+	if c := productCacheFrom(ctx); c != nil {
 		if prod, ok := c.GetProduct(e1, e2); ok {
 			return prod, nil
 		}
-		prod, err := productUncached(e1, e2)
+		prod, err := productUncached(ctx, e1, e2)
 		if err == nil {
 			c.PutProduct(e1, e2, prod)
 		}
 		return prod, err
 	}
-	return productUncached(e1, e2)
+	return productUncached(ctx, e1, e2)
 }
 
-func productUncached(e1, e2 Pointed) (Pointed, error) {
+func productUncached(ctx context.Context, e1, e2 Pointed) (Pointed, error) {
 	out := New(e1.I.Schema())
 	e1.I.buildByRel()
 	e2.I.buildByRel()
 	for rel, fs1 := range e1.I.byRel {
 		fs2 := e2.I.byRel[rel]
 		for _, f1 := range fs1 {
+			solve.Check(ctx)
 			for _, f2 := range fs2 {
 				args := make([]Value, len(f1.Args))
 				for i := range args {
@@ -287,13 +298,18 @@ func AllFactsInstance(sch *schema.Schema, k int) Pointed {
 // over the given schema and arity. The empty product is AllFactsInstance.
 // For a singleton list the input itself is returned.
 func ProductAll(sch *schema.Schema, k int, es []Pointed) (Pointed, error) {
+	return ProductAllCtx(context.Background(), sch, k, es)
+}
+
+// ProductAllCtx is ProductAll under a solver context (see ProductCtx).
+func ProductAllCtx(ctx context.Context, sch *schema.Schema, k int, es []Pointed) (Pointed, error) {
 	if len(es) == 0 {
 		return AllFactsInstance(sch, k), nil
 	}
 	acc := es[0]
 	var err error
 	for _, e := range es[1:] {
-		acc, err = Product(acc, e)
+		acc, err = ProductCtx(ctx, acc, e)
 		if err != nil {
 			return Pointed{}, err
 		}

@@ -1,0 +1,52 @@
+// Package solve carries cancellation through the exponential search
+// loops of the fitting algorithms.
+//
+// The homomorphism backtracking search, core computation, product
+// construction, simulation fixpoints and dismantling loops are deeply
+// recursive and frequently run inside enumeration callbacks, so
+// threading an error return through every frame would distort every
+// algorithm in the repository. Instead, cancellation unwinds the stack
+// as a typed panic: the inner loops call Check at iteration heads, and
+// the designated entry layer — the engine's job dispatcher, the sole
+// place that hands cancelable contexts to the solvers — converts the
+// unwind back into the context's error with Catch.
+//
+// Consequently the XxxCtx functions of the algorithm packages are
+// engine-facing plumbing: they propagate the unwind rather than catch
+// it, and any other caller that passes them a cancelable context must
+// itself `defer solve.Catch(&err)` around the call. Code that passes
+// context.Background() (all the ctx-less convenience wrappers) can
+// never observe an unwind, because Background is never done.
+package solve
+
+import "context"
+
+// canceled is the sentinel carried by a cancellation unwind.
+type canceled struct{ err error }
+
+// Check panics with a cancellation sentinel when ctx is done. It is
+// called at the iteration heads of the solver inner loops; a nil ctx is
+// treated as background.
+func Check(ctx context.Context) {
+	if ctx == nil {
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		panic(canceled{err: err})
+	}
+}
+
+// Catch, used as `defer solve.Catch(&err)`, converts a cancellation
+// unwind into the context's error, stored in *errp. Any other panic is
+// re-raised untouched.
+func Catch(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	c, ok := r.(canceled)
+	if !ok {
+		panic(r)
+	}
+	*errp = c.err
+}

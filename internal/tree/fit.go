@@ -1,12 +1,14 @@
 package tree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"extremalcq/internal/cq"
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
 )
 
 // Examples re-exports the labeled example collection; tree-CQ fitting
@@ -30,6 +32,11 @@ func checkExamples(e Examples) error {
 // (Thm 5.9, PTime): by Lemma 5.3, q fits iff q simulates into every
 // positive example and into no negative example.
 func Verify(q *cq.CQ, e Examples) (bool, error) {
+	return VerifyCtx(context.Background(), q, e)
+}
+
+// VerifyCtx is Verify under a solver context.
+func VerifyCtx(ctx context.Context, q *cq.CQ, e Examples) (bool, error) {
 	if err := checkExamples(e); err != nil {
 		return false, err
 	}
@@ -41,12 +48,12 @@ func Verify(q *cq.CQ, e Examples) (bool, error) {
 	}
 	qe := q.Example()
 	for _, p := range e.Pos {
-		if !Simulates(qe, p) {
+		if !SimulatesCtx(ctx, qe, p) {
 			return false, nil
 		}
 	}
 	for _, n := range e.Neg {
-		if Simulates(qe, n) {
+		if SimulatesCtx(ctx, qe, n) {
 			return false, nil
 		}
 	}
@@ -60,10 +67,16 @@ func Verify(q *cq.CQ, e Examples) (bool, error) {
 // with q ⪯ P composes into the negative; conversely deep unravelings of
 // P fit, by Lemma 5.5.)
 func Exists(e Examples) (bool, error) {
+	return ExistsCtx(context.Background(), e)
+}
+
+// ExistsCtx is Exists under a solver context: the positive product and
+// simulation fixpoints are memoized/interrupted through ctx.
+func ExistsCtx(ctx context.Context, e Examples) (bool, error) {
 	if err := checkExamples(e); err != nil {
 		return false, err
 	}
-	prod, err := e.PositiveProduct()
+	prod, err := e.PositiveProductCtx(ctx)
 	if err != nil {
 		return false, err
 	}
@@ -72,7 +85,7 @@ func Exists(e Examples) (bool, error) {
 		return false, nil
 	}
 	for _, n := range e.Neg {
-		if Simulates(prod, n) {
+		if SimulatesCtx(ctx, prod, n) {
 			return false, nil
 		}
 	}
@@ -84,17 +97,22 @@ func Exists(e Examples) (bool, error) {
 // computed by the decreasing fixpoint H_m(p, b) = "the depth-m
 // unraveling of P at p maps into the negative at b".
 func Construct(e Examples) (*DAG, bool, error) {
-	ok, err := Exists(e)
+	return ConstructCtx(context.Background(), e)
+}
+
+// ConstructCtx is Construct under a solver context.
+func ConstructCtx(ctx context.Context, e Examples) (*DAG, bool, error) {
+	ok, err := ExistsCtx(ctx, e)
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	prod, err := e.PositiveProduct()
+	prod, err := e.PositiveProductCtx(ctx)
 	if err != nil {
 		return nil, false, err
 	}
 	depth := 0
 	for _, n := range e.Neg {
-		m, ok := separationDepth(prod, n)
+		m, ok := separationDepth(ctx, prod, n)
 		if !ok {
 			return nil, false, fmt.Errorf("tree: internal: product simulates into a negative after Exists check")
 		}
@@ -107,8 +125,9 @@ func Construct(e Examples) (*DAG, bool, error) {
 
 // separationDepth returns the least m such that the m-unraveling of
 // src at its root does NOT map into neg (root to root), via the
-// decreasing fixpoint H_m. ok=false if no such m exists (src ⪯ neg).
-func separationDepth(src, neg instance.Pointed) (int, bool) {
+// decreasing fixpoint H_m; each fixpoint round checks ctx. ok=false if
+// no such m exists (src ⪯ neg).
+func separationDepth(ctx context.Context, src, neg instance.Pointed) (int, bool) {
 	type key struct {
 		p, b instance.Value
 	}
@@ -138,6 +157,7 @@ func separationDepth(src, neg instance.Pointed) (int, bool) {
 	}
 	maxIter := src.I.DomSize()*neg.I.DomSize() + 1
 	for m := 1; m <= maxIter; m++ {
+		solve.Check(ctx)
 		next := map[key]bool{}
 		changed := false
 		for k, v := range h {

@@ -1,6 +1,7 @@
 package tree
 
 import (
+	"context"
 	"fmt"
 
 	"extremalcq/internal/cq"
@@ -10,6 +11,7 @@ import (
 	"extremalcq/internal/genex"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
 )
 
 // VerifyWeaklyMostGeneral decides, exactly and in polynomial time
@@ -28,12 +30,18 @@ import (
 // only constrains the part reachable from its root, so members with
 // isolated roots yield no tree generalization and are skipped).
 func VerifyWeaklyMostGeneral(q *cq.CQ, e Examples) (bool, error) {
-	ok, err := Verify(q, e)
+	return VerifyWeaklyMostGeneralCtx(context.Background(), q, e)
+}
+
+// VerifyWeaklyMostGeneralCtx is VerifyWeaklyMostGeneral under a solver
+// context.
+func VerifyWeaklyMostGeneralCtx(ctx context.Context, q *cq.CQ, e Examples) (bool, error) {
+	ok, err := VerifyCtx(ctx, q, e)
 	if err != nil || !ok {
 		return false, err
 	}
-	core := hom.Core(q.Example())
-	members, err := frontier.ForPointed(core)
+	core := hom.CoreCtx(ctx, q.Example())
+	members, err := frontier.ForPointedCtx(ctx, core)
 	if err != nil {
 		return false, err
 	}
@@ -41,7 +49,7 @@ func VerifyWeaklyMostGeneral(q *cq.CQ, e Examples) (bool, error) {
 		if !m.I.InDom(m.Tuple[0]) {
 			continue // isolated root: no tree CQ lives under this member
 		}
-		if !SimulatesToAny(m, e.Neg) {
+		if !SimulatesToAnyCtx(ctx, m, e.Neg) {
 			return false, nil
 		}
 	}
@@ -94,17 +102,24 @@ func StrictGeneralization(q *cq.CQ, e Examples, maxDepth int) (*cq.CQ, bool, err
 // (the paper decides existence with TWAPA emptiness, Thm 5.24; see
 // DESIGN.md substitution 2).
 func SearchWeaklyMostGeneral(e Examples, opts fitting.SearchOpts) (*cq.CQ, bool, error) {
+	return SearchWeaklyMostGeneralCtx(context.Background(), e, opts)
+}
+
+// SearchWeaklyMostGeneralCtx is SearchWeaklyMostGeneral under a solver
+// context: ctx is checked per candidate.
+func SearchWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts fitting.SearchOpts) (*cq.CQ, bool, error) {
 	if err := checkExamples(e); err != nil {
 		return nil, false, err
 	}
 	var found *cq.CQ
 	var firstErr error
 	genex.EnumerateDataExamples(e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+		solve.Check(ctx)
 		q, err := cq.FromExample(ex)
 		if err != nil || !IsTreeCQ(q) {
 			return true
 		}
-		ok, err := VerifyWeaklyMostGeneral(q, e)
+		ok, err := VerifyWeaklyMostGeneralCtx(ctx, q, e)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -126,17 +141,22 @@ func SearchWeaklyMostGeneral(e Examples, opts fitting.SearchOpts) (*cq.CQ, bool,
 // AllWeaklyMostGeneral collects the weakly most-general fitting tree CQs
 // within the bounds, up to equivalence.
 func AllWeaklyMostGeneral(e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error) {
+	return allWeaklyMostGeneral(context.Background(), e, opts)
+}
+
+func allWeaklyMostGeneral(ctx context.Context, e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error) {
 	if err := checkExamples(e); err != nil {
 		return nil, err
 	}
 	var out []*cq.CQ
 	var firstErr error
 	genex.EnumerateDataExamples(e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+		solve.Check(ctx)
 		q, err := cq.FromExample(ex)
 		if err != nil || !IsTreeCQ(q) {
 			return true
 		}
-		ok, err := VerifyWeaklyMostGeneral(q, e)
+		ok, err := VerifyWeaklyMostGeneralCtx(ctx, q, e)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -145,7 +165,7 @@ func AllWeaklyMostGeneral(e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error)
 		}
 		if ok {
 			for _, prev := range out {
-				if SimEquivalent(prev.Example(), q.Example()) {
+				if SimEquivalentCtx(ctx, prev.Example(), q.Example()) {
 					return true
 				}
 			}
@@ -159,22 +179,32 @@ func AllWeaklyMostGeneral(e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error)
 // VerifyUnique decides unique-fitting verification for tree CQs
 // (Thm 5.25): most-specific and weakly most-general.
 func VerifyUnique(q *cq.CQ, e Examples) (bool, error) {
-	ok, err := VerifyMostSpecific(q, e)
+	return VerifyUniqueCtx(context.Background(), q, e)
+}
+
+// VerifyUniqueCtx is VerifyUnique under a solver context.
+func VerifyUniqueCtx(ctx context.Context, q *cq.CQ, e Examples) (bool, error) {
+	ok, err := VerifyMostSpecificCtx(ctx, q, e)
 	if err != nil || !ok {
 		return false, err
 	}
-	return VerifyWeaklyMostGeneral(q, e)
+	return VerifyWeaklyMostGeneralCtx(ctx, q, e)
 }
 
 // ExistsUnique decides existence of a unique fitting tree CQ, exactly:
 // a unique fitting must be the most-specific fitting, so it exists iff
 // the most-specific fitting exists and is weakly most-general.
 func ExistsUnique(e Examples) (*cq.CQ, bool, error) {
-	q, ok, err := ConstructMostSpecific(e, 1<<20)
+	return ExistsUniqueCtx(context.Background(), e)
+}
+
+// ExistsUniqueCtx is ExistsUnique under a solver context.
+func ExistsUniqueCtx(ctx context.Context, e Examples) (*cq.CQ, bool, error) {
+	q, ok, err := ConstructMostSpecificCtx(ctx, e, 1<<20)
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	isWMG, err := VerifyWeaklyMostGeneral(q, e)
+	isWMG, err := VerifyWeaklyMostGeneralCtx(ctx, q, e)
 	if err != nil {
 		return nil, false, err
 	}
@@ -194,33 +224,38 @@ func ExistsUnique(e Examples) (*cq.CQ, bool, error) {
 // satisfies d × p ⪯ some negative, where p is the positive product
 // (relativized simulation duality, Prop 5.27).
 func VerifyBasis(qs []*cq.CQ, e Examples) (bool, error) {
+	return VerifyBasisCtx(context.Background(), qs, e)
+}
+
+// VerifyBasisCtx is VerifyBasis under a solver context.
+func VerifyBasisCtx(ctx context.Context, qs []*cq.CQ, e Examples) (bool, error) {
 	if len(qs) == 0 {
 		return false, nil
 	}
 	for _, q := range qs {
-		ok, err := Verify(q, e)
+		ok, err := VerifyCtx(ctx, q, e)
 		if err != nil || !ok {
 			return false, err
 		}
 	}
 	var exs []instance.Pointed
 	for _, q := range qs {
-		exs = append(exs, hom.Core(q.Example()))
+		exs = append(exs, hom.CoreCtx(ctx, q.Example()))
 	}
-	D, err := duality.DualOfSet(exs)
+	D, err := duality.DualOfSetCtx(ctx, exs)
 	if err != nil {
 		return false, err
 	}
-	p, err := e.PositiveProduct()
+	p, err := e.PositiveProductCtx(ctx)
 	if err != nil {
 		return false, err
 	}
 	for _, d := range D {
-		dp, err := instance.Product(d, p)
+		dp, err := instance.ProductCtx(ctx, d, p)
 		if err != nil {
 			return false, err
 		}
-		if !SimulatesToAny(dp, e.Neg) {
+		if !SimulatesToAnyCtx(ctx, dp, e.Neg) {
 			return false, nil
 		}
 	}
@@ -231,14 +266,19 @@ func VerifyBasis(qs []*cq.CQ, e Examples) (bool, error) {
 // the bounds: the weakly most-general fittings found are checked exactly
 // with VerifyBasis.
 func SearchBasis(e Examples, opts fitting.SearchOpts) ([]*cq.CQ, bool, error) {
-	cands, err := AllWeaklyMostGeneral(e, opts)
+	return SearchBasisCtx(context.Background(), e, opts)
+}
+
+// SearchBasisCtx is SearchBasis under a solver context.
+func SearchBasisCtx(ctx context.Context, e Examples, opts fitting.SearchOpts) ([]*cq.CQ, bool, error) {
+	cands, err := allWeaklyMostGeneral(ctx, e, opts)
 	if err != nil {
 		return nil, false, err
 	}
 	if len(cands) == 0 {
 		return nil, false, nil
 	}
-	ok, err := VerifyBasis(cands, e)
+	ok, err := VerifyBasisCtx(ctx, cands, e)
 	if err != nil || !ok {
 		return nil, false, err
 	}

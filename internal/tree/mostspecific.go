@@ -1,25 +1,32 @@
 package tree
 
 import (
+	"context"
 	"fmt"
 
 	"extremalcq/internal/cq"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
 )
 
 // VerifyMostSpecific decides verification of most-specific fitting tree
 // CQs (Prop 5.14): q fits E and the product of the positive examples
 // simulates into q. The weak and strong notions coincide.
 func VerifyMostSpecific(q *cq.CQ, e Examples) (bool, error) {
-	ok, err := Verify(q, e)
+	return VerifyMostSpecificCtx(context.Background(), q, e)
+}
+
+// VerifyMostSpecificCtx is VerifyMostSpecific under a solver context.
+func VerifyMostSpecificCtx(ctx context.Context, q *cq.CQ, e Examples) (bool, error) {
+	ok, err := VerifyCtx(ctx, q, e)
 	if err != nil || !ok {
 		return false, err
 	}
-	prod, err := e.PositiveProduct()
+	prod, err := e.PositiveProductCtx(ctx)
 	if err != nil {
 		return false, err
 	}
-	return Simulates(prod, q.Example()), nil
+	return SimulatesCtx(ctx, prod, q.Example()), nil
 }
 
 // ExistsMostSpecific decides existence of a most-specific fitting tree
@@ -37,15 +44,21 @@ func ExistsMostSpecific(e Examples) (bool, error) {
 // complete initial piece of the unraveling of the positive product,
 // Thm 5.18) with at most maxNodes nodes, when one exists.
 func ConstructMostSpecific(e Examples, maxNodes uint64) (*cq.CQ, bool, error) {
-	ok, err := Exists(e)
+	return ConstructMostSpecificCtx(context.Background(), e, maxNodes)
+}
+
+// ConstructMostSpecificCtx is ConstructMostSpecific under a solver
+// context.
+func ConstructMostSpecificCtx(ctx context.Context, e Examples, maxNodes uint64) (*cq.CQ, bool, error) {
+	ok, err := ExistsCtx(ctx, e)
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	prod, err := e.PositiveProduct()
+	prod, err := e.PositiveProductCtx(ctx)
 	if err != nil {
 		return nil, false, err
 	}
-	piece, finite := greedyCompletePiece(prod, maxNodes)
+	piece, finite := greedyCompletePiece(ctx, prod, maxNodes)
 	if !finite {
 		return nil, false, nil
 	}
@@ -57,7 +70,7 @@ func ConstructMostSpecific(e Examples, maxNodes uint64) (*cq.CQ, bool, error) {
 		return nil, false, fmt.Errorf("tree: internal: greedy piece is not a tree CQ")
 	}
 	// Defensive exact re-verification (Prop 5.14).
-	isMS, err := VerifyMostSpecific(q, e)
+	isMS, err := VerifyMostSpecificCtx(ctx, q, e)
 	if err != nil {
 		return nil, false, err
 	}
@@ -81,14 +94,15 @@ type pieceState struct {
 // is dropped when the parent covers it (conditions (4) of the NTA in the
 // proof of Thm 5.18). The construction is finite iff no state repeats
 // along a root path.
-func greedyCompletePiece(src instance.Pointed, maxNodes uint64) (instance.Pointed, bool) {
-	auto := AutoSimulation(src.I)
+func greedyCompletePiece(ctx context.Context, src instance.Pointed, maxNodes uint64) (instance.Pointed, bool) {
+	auto := autoSimulation(ctx, src.I)
 	out := instance.New(src.I.Schema())
 	counter := 0
 	var nodes uint64
 
 	var build func(st pieceState, name instance.Value, onPath map[pieceState]bool) bool
 	build = func(st pieceState, name instance.Value, onPath map[pieceState]bool) bool {
+		solve.Check(ctx)
 		if onPath[st] {
 			return false // cycle: infinite requirement closure
 		}

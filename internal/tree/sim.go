@@ -13,7 +13,10 @@
 package tree
 
 import (
+	"context"
+
 	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
 )
 
 // simKey identifies a pair (a, b) in a simulation relation.
@@ -38,6 +41,13 @@ func (s *Simulation) Has(a, b instance.Value, src *instance.Instance) bool {
 // (Section 5's three conditions) by fixpoint refinement. Runs in
 // polynomial time.
 func GreatestSimulation(src, dst *instance.Instance) *Simulation {
+	return greatestSimulation(context.Background(), src, dst)
+}
+
+// greatestSimulation is GreatestSimulation under a solver context: each
+// refinement round checks ctx, so cancellation stops the fixpoint on
+// large products promptly.
+func greatestSimulation(ctx context.Context, src, dst *instance.Instance) *Simulation {
 	s := &Simulation{pairs: make(map[simKey]bool)}
 	srcDom, dstDom := src.Dom(), dst.Dom()
 
@@ -63,6 +73,7 @@ func GreatestSimulation(src, dst *instance.Instance) *Simulation {
 	// witness at b.
 	changed := true
 	for changed {
+		solve.Check(ctx)
 		changed = false
 		for k := range s.pairs {
 			if !s.supported(k, src, dst) {
@@ -111,13 +122,18 @@ func (s *Simulation) hasWitness(facts []instance.Fact, pos int, c instance.Value
 // distinguished tuples pointwise. Schemas must match and be binary;
 // arities must match.
 func Simulates(e1, e2 instance.Pointed) bool {
+	return SimulatesCtx(context.Background(), e1, e2)
+}
+
+// SimulatesCtx is Simulates under a solver context.
+func SimulatesCtx(ctx context.Context, e1, e2 instance.Pointed) bool {
 	if !e1.I.Schema().Equal(e2.I.Schema()) || e1.Arity() != e2.Arity() {
 		return false
 	}
 	if !e1.I.Schema().Binary() {
 		return false
 	}
-	gs := GreatestSimulation(e1.I, e2.I)
+	gs := greatestSimulation(ctx, e1.I, e2.I)
 	for i, a := range e1.Tuple {
 		b := e2.Tuple[i]
 		if !e1.I.InDom(a) {
@@ -135,8 +151,13 @@ func Simulates(e1, e2 instance.Pointed) bool {
 
 // SimulatesToAny reports e ⪯ d for some d in ds.
 func SimulatesToAny(e instance.Pointed, ds []instance.Pointed) bool {
+	return SimulatesToAnyCtx(context.Background(), e, ds)
+}
+
+// SimulatesToAnyCtx is SimulatesToAny under a solver context.
+func SimulatesToAnyCtx(ctx context.Context, e instance.Pointed, ds []instance.Pointed) bool {
 	for _, d := range ds {
-		if Simulates(e, d) {
+		if SimulatesCtx(ctx, e, d) {
 			return true
 		}
 	}
@@ -145,13 +166,23 @@ func SimulatesToAny(e instance.Pointed, ds []instance.Pointed) bool {
 
 // SimEquivalent reports mutual simulation.
 func SimEquivalent(e1, e2 instance.Pointed) bool {
-	return Simulates(e1, e2) && Simulates(e2, e1)
+	return SimEquivalentCtx(context.Background(), e1, e2)
+}
+
+// SimEquivalentCtx is SimEquivalent under a solver context.
+func SimEquivalentCtx(ctx context.Context, e1, e2 instance.Pointed) bool {
+	return SimulatesCtx(ctx, e1, e2) && SimulatesCtx(ctx, e2, e1)
 }
 
 // AutoSimulation computes the greatest simulation of an instance in
 // itself; used for the complete-initial-piece conditions (Section 5.2).
 func AutoSimulation(in *instance.Instance) *Simulation {
-	return GreatestSimulation(in, in)
+	return autoSimulation(context.Background(), in)
+}
+
+// autoSimulation is AutoSimulation under a solver context.
+func autoSimulation(ctx context.Context, in *instance.Instance) *Simulation {
+	return greatestSimulation(ctx, in, in)
 }
 
 // SimulatedBy reports (in, a) ⪯ (in, b) on a precomputed

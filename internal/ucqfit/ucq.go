@@ -6,6 +6,7 @@
 package ucqfit
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
 	"extremalcq/internal/schema"
+	"extremalcq/internal/solve"
 )
 
 // UCQ is a non-empty union q1 ∪ ... ∪ qn of CQs over the same schema and
@@ -77,8 +79,13 @@ func (u *UCQ) Arity() int { return u.disjuncts[0].Arity() }
 // HomTo reports whether some disjunct maps homomorphically into e, i.e.
 // e's tuple is an answer on e's instance.
 func (u *UCQ) HomTo(e instance.Pointed) bool {
+	return u.HomToCtx(context.Background(), e)
+}
+
+// HomToCtx is HomTo under a solver context.
+func (u *UCQ) HomToCtx(ctx context.Context, e instance.Pointed) bool {
 	for _, q := range u.disjuncts {
-		if q.HomTo(e) {
+		if q.HomToCtx(ctx, e) {
 			return true
 		}
 	}
@@ -88,10 +95,15 @@ func (u *UCQ) HomTo(e instance.Pointed) bool {
 // ContainedIn reports u ⊆ v: every disjunct of u is contained in some
 // disjunct of v (Section 4's homomorphism order on UCQs).
 func (u *UCQ) ContainedIn(v *UCQ) bool {
+	return u.ContainedInCtx(context.Background(), v)
+}
+
+// ContainedInCtx is ContainedIn under a solver context.
+func (u *UCQ) ContainedInCtx(ctx context.Context, v *UCQ) bool {
 	for _, qi := range u.disjuncts {
 		ok := false
 		for _, pj := range v.disjuncts {
-			if qi.ContainedIn(pj) {
+			if qi.ContainedInCtx(ctx, pj) {
 				ok = true
 				break
 			}
@@ -106,6 +118,11 @@ func (u *UCQ) ContainedIn(v *UCQ) bool {
 // EquivalentTo reports u ≡ v.
 func (u *UCQ) EquivalentTo(v *UCQ) bool {
 	return u.ContainedIn(v) && v.ContainedIn(u)
+}
+
+// EquivalentToCtx is EquivalentTo under a solver context.
+func (u *UCQ) EquivalentToCtx(ctx context.Context, v *UCQ) bool {
+	return u.ContainedInCtx(ctx, v) && v.ContainedInCtx(ctx, u)
 }
 
 // Evaluate returns the union of the disjuncts' answers, sorted.
@@ -152,17 +169,22 @@ type Examples = fitting.Examples
 // some disjunct maps into each positive, no disjunct maps into any
 // negative.
 func Verify(u *UCQ, e Examples) bool {
+	return VerifyCtx(context.Background(), u, e)
+}
+
+// VerifyCtx is Verify under a solver context.
+func VerifyCtx(ctx context.Context, u *UCQ, e Examples) bool {
 	if !u.Schema().Equal(e.Schema) || u.Arity() != e.Arity {
 		return false
 	}
 	for _, p := range e.Pos {
-		if !u.HomTo(p) {
+		if !u.HomToCtx(ctx, p) {
 			return false
 		}
 	}
 	for _, n := range e.Neg {
 		for _, q := range u.disjuncts {
-			if q.HomTo(n) {
+			if q.HomToCtx(ctx, n) {
 				return false
 			}
 		}
@@ -175,12 +197,17 @@ func Verify(u *UCQ, e Examples) bool {
 // canonical candidate is the all-facts query, which fits iff it avoids
 // all negatives.
 func Exists(e Examples) bool {
+	return ExistsCtx(context.Background(), e)
+}
+
+// ExistsCtx is Exists under a solver context.
+func ExistsCtx(ctx context.Context, e Examples) bool {
 	if len(e.Pos) == 0 {
 		top := instance.AllFactsInstance(e.Schema, e.Arity)
-		return !hom.ExistsToAny(top, e.Neg)
+		return !hom.ExistsToAnyCtx(ctx, top, e.Neg)
 	}
 	for _, p := range e.Pos {
-		if hom.ExistsToAny(p, e.Neg) {
+		if hom.ExistsToAnyCtx(ctx, p, e.Neg) {
 			return false
 		}
 	}
@@ -191,7 +218,12 @@ func Exists(e Examples) bool {
 // canonical CQs of the positive examples (Prop 4.2(3)) — when a fitting
 // exists. This is also the most-specific fitting UCQ (Prop 4.3).
 func Construct(e Examples) (*UCQ, bool, error) {
-	if !Exists(e) {
+	return ConstructCtx(context.Background(), e)
+}
+
+// ConstructCtx is Construct under a solver context.
+func ConstructCtx(ctx context.Context, e Examples) (*UCQ, bool, error) {
+	if !ExistsCtx(ctx, e) {
 		return nil, false, nil
 	}
 	if len(e.Pos) == 0 {
@@ -221,14 +253,19 @@ func Construct(e Examples) (*UCQ, bool, error) {
 // (Prop 4.3, Thm 4.6(4)): u fits and is equivalent to the union of the
 // canonical CQs of the positives. The weak and strong notions coincide.
 func VerifyMostSpecific(u *UCQ, e Examples) bool {
-	if !Verify(u, e) {
+	return VerifyMostSpecificCtx(context.Background(), u, e)
+}
+
+// VerifyMostSpecificCtx is VerifyMostSpecific under a solver context.
+func VerifyMostSpecificCtx(ctx context.Context, u *UCQ, e Examples) bool {
+	if !VerifyCtx(ctx, u, e) {
 		return false
 	}
-	canon, ok, err := Construct(e)
+	canon, ok, err := ConstructCtx(ctx, e)
 	if err != nil || !ok {
 		return false
 	}
-	return u.EquivalentTo(canon)
+	return u.EquivalentToCtx(ctx, canon)
 }
 
 // VerifyMostGeneral decides most-general fitting verification
@@ -236,21 +273,31 @@ func VerifyMostSpecific(u *UCQ, e Examples) bool {
 // duality. The weak and strong notions coincide for UCQs. Exact over
 // binary schemas (ErrUnsupported otherwise), via the HomDual machinery.
 func VerifyMostGeneral(u *UCQ, e Examples) (bool, error) {
-	if !Verify(u, e) {
+	return VerifyMostGeneralCtx(context.Background(), u, e)
+}
+
+// VerifyMostGeneralCtx is VerifyMostGeneral under a solver context.
+func VerifyMostGeneralCtx(ctx context.Context, u *UCQ, e Examples) (bool, error) {
+	if !VerifyCtx(ctx, u, e) {
 		return false, nil
 	}
 	var F []instance.Pointed
 	for _, q := range u.disjuncts {
 		F = append(F, q.Example())
 	}
-	return duality.IsHomDuality(F, e.Neg)
+	return duality.IsHomDualityCtx(ctx, F, e.Neg)
 }
 
 // ExistsMostGeneral decides existence of a most-general fitting UCQ
 // (Thm 4.6(2)): a fitting must exist and E- must admit a finite
 // obstruction set, decided by the dismantling test.
 func ExistsMostGeneral(e Examples) bool {
-	if !Exists(e) {
+	return ExistsMostGeneralCtx(context.Background(), e)
+}
+
+// ExistsMostGeneralCtx is ExistsMostGeneral under a solver context.
+func ExistsMostGeneralCtx(ctx context.Context, e Examples) bool {
+	if !ExistsCtx(ctx, e) {
 		return false
 	}
 	if len(e.Neg) == 0 {
@@ -260,7 +307,7 @@ func ExistsMostGeneral(e Examples) bool {
 		// E- is empty.
 		return true
 	}
-	return duality.DualityExistsForSet(e.Neg)
+	return duality.DualityExistsForSetCtx(ctx, e.Neg)
 }
 
 // SearchMostGeneral searches for a most-general fitting UCQ within the
@@ -268,15 +315,23 @@ func ExistsMostGeneral(e Examples) bool {
 // bounded data examples that fit all negatives, reduced to
 // containment-maximal representatives.
 func SearchMostGeneral(e Examples, opts fitting.SearchOpts) (*UCQ, bool, error) {
-	if !Exists(e) {
+	return SearchMostGeneralCtx(context.Background(), e, opts)
+}
+
+// SearchMostGeneralCtx is SearchMostGeneral under a solver context: the
+// candidate enumeration checks ctx per candidate, so cancellation cuts
+// the bounded search short.
+func SearchMostGeneralCtx(ctx context.Context, e Examples, opts fitting.SearchOpts) (*UCQ, bool, error) {
+	if !ExistsCtx(ctx, e) {
 		return nil, false, nil
 	}
 	var cands []instance.Pointed
 	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
-		if !hom.ExistsToAny(ex, e.Neg) {
-			core := hom.Core(ex)
+		solve.Check(ctx)
+		if !hom.ExistsToAnyCtx(ctx, ex, e.Neg) {
+			core := hom.CoreCtx(ctx, ex)
 			for _, prev := range cands {
-				if hom.Equivalent(prev, core) {
+				if hom.EquivalentCtx(ctx, prev, core) {
 					return true
 				}
 			}
@@ -284,7 +339,7 @@ func SearchMostGeneral(e Examples, opts fitting.SearchOpts) (*UCQ, bool, error) 
 		}
 		return true
 	})
-	cands = minimizeHom(cands)
+	cands = minimizeHom(ctx, cands)
 	if len(cands) == 0 {
 		return nil, false, nil
 	}
@@ -300,7 +355,7 @@ func SearchMostGeneral(e Examples, opts fitting.SearchOpts) (*UCQ, bool, error) 
 	if err != nil {
 		return nil, false, err
 	}
-	ok, err := VerifyMostGeneral(u, e)
+	ok, err := VerifyMostGeneralCtx(ctx, u, e)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -309,7 +364,7 @@ func SearchMostGeneral(e Examples, opts fitting.SearchOpts) (*UCQ, bool, error) 
 
 // minimizeHom keeps hom-minimal representatives (containment-maximal
 // queries).
-func minimizeHom(exs []instance.Pointed) []instance.Pointed {
+func minimizeHom(ctx context.Context, exs []instance.Pointed) []instance.Pointed {
 	var out []instance.Pointed
 	for i, f := range exs {
 		drop := false
@@ -317,8 +372,8 @@ func minimizeHom(exs []instance.Pointed) []instance.Pointed {
 			if i == j {
 				continue
 			}
-			if hom.Exists(g, f) {
-				if !hom.Exists(f, g) || j < i {
+			if hom.ExistsCtx(ctx, g, f) {
+				if !hom.ExistsCtx(ctx, f, g) || j < i {
 					drop = true
 					break
 				}
@@ -334,27 +389,37 @@ func minimizeHom(exs []instance.Pointed) []instance.Pointed {
 // VerifyUnique decides unique fitting verification (Prop 4.5): u fits
 // and (E+, E-) is a homomorphism duality.
 func VerifyUnique(u *UCQ, e Examples) (bool, error) {
-	if !Verify(u, e) {
+	return VerifyUniqueCtx(context.Background(), u, e)
+}
+
+// VerifyUniqueCtx is VerifyUnique under a solver context.
+func VerifyUniqueCtx(ctx context.Context, u *UCQ, e Examples) (bool, error) {
+	if !VerifyCtx(ctx, u, e) {
 		return false, nil
 	}
 	if len(e.Pos) == 0 {
 		return false, fmt.Errorf("ucqfit: unique fitting with empty E+ is outside Prop 4.5's scope")
 	}
-	return duality.IsHomDuality(e.Pos, e.Neg)
+	return duality.IsHomDualityCtx(ctx, e.Pos, e.Neg)
 }
 
 // ExistsUnique decides existence of a unique fitting UCQ (Prop 4.5,
 // Thm 4.8): the canonical fitting exists and (E+, E-) is a duality; the
 // witness is the canonical fitting.
 func ExistsUnique(e Examples) (*UCQ, bool, error) {
-	u, ok, err := Construct(e)
+	return ExistsUniqueCtx(context.Background(), e)
+}
+
+// ExistsUniqueCtx is ExistsUnique under a solver context.
+func ExistsUniqueCtx(ctx context.Context, e Examples) (*UCQ, bool, error) {
+	u, ok, err := ConstructCtx(ctx, e)
 	if err != nil || !ok {
 		return nil, false, err
 	}
 	if len(e.Pos) == 0 {
 		return nil, false, nil
 	}
-	isDual, err := duality.IsHomDuality(e.Pos, e.Neg)
+	isDual, err := duality.IsHomDualityCtx(ctx, e.Pos, e.Neg)
 	if err != nil || !isDual {
 		return nil, false, err
 	}
