@@ -21,6 +21,14 @@
 //	-atoms     search bound: max atoms for synthesis tasks (default 3)
 //	-vars      search bound: max variables for synthesis tasks (default 4)
 //	-timeout   per-job deadline, e.g. 30s (default none)
+//	-store     persistent result store directory: answers computed in
+//	           earlier runs (or by a cqfitd sharing the directory while
+//	           not running) are served from disk, and this run's answer
+//	           is persisted for the next. On platforms with flock the
+//	           directory is owned by one process at a time and a
+//	           directory currently held by a running cqfitd is refused
+//	           with a clear error; elsewhere single ownership is the
+//	           operator's responsibility
 package main
 
 import (
@@ -52,7 +60,7 @@ func main() {
 // realMain parses args into a JobSpec, runs it through a single-worker
 // engine and renders the result; split from main for testability.
 func realMain(args []string, out, errw io.Writer) int {
-	spec, timeout, err := specFromArgs(args, errw)
+	spec, timeout, storeDir, err := specFromArgs(args, errw)
 	if err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -67,7 +75,19 @@ func realMain(args []string, out, errw io.Writer) int {
 	}
 	job.Timeout = timeout
 
-	eng := extremalcq.NewEngine(extremalcq.EngineOptions{Workers: 1})
+	// Closed after the engine (defers run LIFO): Engine.Close drains the
+	// write-behind queue, so this run's answer is on disk for the next.
+	var st *extremalcq.Store
+	if storeDir != "" {
+		st, err = extremalcq.OpenStore(storeDir, extremalcq.StoreOptions{})
+		if err != nil {
+			fmt.Fprintln(errw, "cqfit:", err)
+			return 1
+		}
+		defer st.Close()
+	}
+
+	eng := extremalcq.NewEngine(extremalcq.EngineOptions{Workers: 1, Store: st})
 	defer eng.Close()
 	// The solvers are interruptible, so Ctrl-C (like -timeout) stops the
 	// search mid-flight instead of waiting out the computation.
@@ -84,7 +104,7 @@ func realMain(args []string, out, errw io.Writer) int {
 
 // specFromArgs wires the flag set into the engine's text-level job
 // specification.
-func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, time.Duration, error) {
+func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, time.Duration, string, error) {
 	fs := flag.NewFlagSet("cqfit", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
@@ -96,12 +116,13 @@ func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, time.Durat
 		maxAtoms  = fs.Int("atoms", 0, "search bound: max atoms (0 = default, <0 = no enumeration)")
 		maxVars   = fs.Int("vars", 0, "search bound: max variables (0 = default, <0 = no enumeration)")
 		timeout   = fs.Duration("timeout", 0, "per-job deadline (0 = none)")
+		storeDir  = fs.String("store", "", "persistent result store directory (empty = none)")
 	)
 	var posFlags, negFlags multiFlag
 	fs.Var(&posFlags, "pos", "positive example (repeatable)")
 	fs.Var(&negFlags, "neg", "negative example (repeatable)")
 	if err := fs.Parse(args); err != nil {
-		return extremalcq.JobSpec{}, 0, err
+		return extremalcq.JobSpec{}, 0, "", err
 	}
 	return extremalcq.JobSpec{
 		Schema:   *schemaStr,
@@ -113,7 +134,7 @@ func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, time.Durat
 		Query:    *queryStr,
 		MaxAtoms: *maxAtoms,
 		MaxVars:  *maxVars,
-	}, *timeout, nil
+	}, *timeout, *storeDir, nil
 }
 
 // kindName renders the query language for human-facing messages.

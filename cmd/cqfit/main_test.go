@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"extremalcq"
 )
 
 // TestRealMain drives the flag→job wiring end-to-end through the engine
@@ -214,5 +216,58 @@ func TestRealMainErrors(t *testing.T) {
 				t.Errorf("stderr %q does not mention %q", errw.String(), tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestRealMainStore runs the same construction twice against a -store
+// directory: the second run is served from disk (observable as a
+// populated store that gained no new records) and prints the same
+// answer.
+func TestRealMainStore(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-schema", "R/2,P/1", "-task", "construct",
+		"-pos", "R(a,b)", "-neg", "P(u)",
+		"-store", dir,
+	}
+	run := func() string {
+		t.Helper()
+		var out, errw bytes.Buffer
+		if code := realMain(args, &out, &errw); code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+		}
+		return out.String()
+	}
+	first := run()
+
+	// The run persisted its answer: the directory holds a segment log
+	// with exactly one record.
+	st, err := extremalcq.OpenStore(dir, extremalcq.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d entries after first run, want 1", st.Len())
+	}
+	st.Close()
+
+	second := run()
+	if second != first {
+		t.Errorf("warm run printed %q, cold run printed %q", second, first)
+	}
+	st2, err := extremalcq.OpenStore(dir, extremalcq.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 1 {
+		t.Errorf("warm run grew the store to %d entries; it should have hit", st2.Len())
+	}
+
+	// A bad store path is a hard error, not silent cache-less operation.
+	var out, errw bytes.Buffer
+	bad := append(args[:len(args)-1:len(args)-1], string([]byte{0}))
+	if code := realMain(bad, &out, &errw); code != 1 {
+		t.Errorf("invalid -store dir: exit code %d, want 1 (stderr: %s)", code, errw.String())
 	}
 }

@@ -3,12 +3,20 @@
 // Usage:
 //
 //	cqfitd [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 30s]
+//	       [-store-dir DIR] [-store-max-bytes N]
 //
 // Endpoints:
 //
 //	POST /v1/jobs   run one fitting job
 //	POST /v1/batch  run a batch of fitting jobs
-//	GET  /v1/stats  cache hit rates, queue depth, per-task latency
+//	GET  /v1/stats  cache hit rates, queue depth, queue wait, store
+//	                activity, per-task latency
+//	GET  /metrics   the same counters in Prometheus text format
+//
+// With -store-dir, completed results are persisted to an append-only
+// fingerprint-keyed log (see internal/store); a restarted daemon
+// reopens it and serves previously-computed jobs from disk without
+// running any solver.
 //
 // A job is a JSON object using the same text formats as the cqfit CLI:
 //
@@ -34,23 +42,42 @@ import (
 	"time"
 
 	"extremalcq/internal/engine"
+	"extremalcq/internal/store"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 256, "job queue size")
-		cache   = flag.Int("cache", 0, "memo entries per class (0 = default, <0 = disable)")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-job deadline (0 = none)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 256, "job queue size")
+		cache    = flag.Int("cache", 0, "memo entries per class (0 = default, <0 = disable)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-job deadline (0 = none)")
+		storeDir = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
+		storeMax = flag.Int64("store-max-bytes", 256<<20, "store size budget; oldest segments evicted past it (<= 0 = unbounded)")
 	)
 	flag.Parse()
+
+	// The store is opened before and closed after the engine (defers run
+	// LIFO): Engine.Close drains the write-behind queue first.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
+		if err != nil {
+			log.Fatalf("cqfitd: %v", err)
+		}
+		defer st.Close()
+		sst := st.Stats()
+		log.Printf("cqfitd: store %s: %d entries, %d bytes in %d segments (%d truncation(s) recovered)",
+			*storeDir, sst.Entries, sst.Bytes, sst.Segments, sst.RecoveredTruncations)
+	}
 
 	eng := engine.New(engine.Options{
 		Workers:        *workers,
 		QueueSize:      *queue,
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
+		Store:          st,
 	})
 	defer eng.Close()
 

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Prometheus text exposition (version 0.0.4) of the engine's counters.
+// Everything exported here is a snapshot of engine.Stats plus the
+// server-level 429 counter, so /metrics and /v1/stats never disagree.
+
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// metricWriter accumulates one exposition body; it keeps the # HELP /
+// # TYPE boilerplate next to each family.
+type metricWriter struct {
+	w io.Writer
+}
+
+func (m metricWriter) family(name, help, typ string) {
+	fmt.Fprintf(m.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (m metricWriter) value(name, labels string, v float64) {
+	fmt.Fprintf(m.w, "%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (m metricWriter) single(name, help, typ string, v float64) {
+	m.family(name, help, typ)
+	m.value(name, "", v)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", metricsContentType)
+	m := metricWriter{w: w}
+
+	m.single("cqfitd_uptime_seconds", "Time since the server started.", "gauge",
+		time.Since(s.start).Seconds())
+	m.single("cqfitd_jobs_done_total", "Jobs completed (including failures).", "counter",
+		float64(st.JobsDone))
+	m.single("cqfitd_jobs_failed_total", "Jobs completed with an error.", "counter",
+		float64(st.JobsFailed))
+	m.single("cqfitd_rejected_total", "Requests shed with HTTP 429 (full job queue).", "counter",
+		float64(s.rejected.Load()))
+	m.single("cqfitd_workers", "Worker pool size.", "gauge", float64(st.Workers))
+	m.single("cqfitd_queue_depth", "Jobs currently queued.", "gauge", float64(st.QueueDepth))
+	m.single("cqfitd_active_solvers", "Solver goroutines currently running.", "gauge",
+		float64(st.ActiveSolvers))
+	m.single("cqfitd_solver_runs_total", "Solver goroutines ever launched (warm paths launch none).", "counter",
+		float64(st.SolverRuns))
+	m.single("cqfitd_dedup_leaders_total", "Single-flight computations actually performed.", "counter",
+		float64(st.DedupLeaders))
+	m.single("cqfitd_dedup_shared_total", "Jobs that adopted an identical in-flight job's result.", "counter",
+		float64(st.DedupShared))
+
+	// Queue wait (submit→dispatch latency) aggregates.
+	m.family("cqfitd_queue_wait_ms", "Queue wait (submit to dispatch latency) aggregates.", "gauge")
+	m.value("cqfitd_queue_wait_ms", `{stat="min"}`, st.Wait.MinMS)
+	m.value("cqfitd_queue_wait_ms", `{stat="avg"}`, st.Wait.AvgMS)
+	m.value("cqfitd_queue_wait_ms", `{stat="max"}`, st.Wait.MaxMS)
+	m.single("cqfitd_queue_wait_jobs_total", "Jobs folded into the queue wait aggregates.", "counter",
+		float64(st.Wait.Count))
+
+	// Memo (hom/core/product) classes.
+	m.family("cqfitd_cache_hits_total", "Memo hits per class.", "counter")
+	m.value("cqfitd_cache_hits_total", `{class="hom"}`, float64(st.Cache.HomHits))
+	m.value("cqfitd_cache_hits_total", `{class="core"}`, float64(st.Cache.CoreHits))
+	m.value("cqfitd_cache_hits_total", `{class="product"}`, float64(st.Cache.ProductHits))
+	m.family("cqfitd_cache_misses_total", "Memo misses per class.", "counter")
+	m.value("cqfitd_cache_misses_total", `{class="hom"}`, float64(st.Cache.HomMisses))
+	m.value("cqfitd_cache_misses_total", `{class="core"}`, float64(st.Cache.CoreMisses))
+	m.value("cqfitd_cache_misses_total", `{class="product"}`, float64(st.Cache.ProductMisses))
+	m.single("cqfitd_cache_entries", "Memo entries across all classes and shards.", "gauge",
+		float64(st.Cache.Entries))
+	m.single("cqfitd_cache_shards", "Memo lock stripes.", "gauge", float64(st.Cache.Shards))
+
+	// Persistent result store (exported only when one is attached, so
+	// dashboards can alert on the family's absence).
+	if st.Store != nil {
+		m.single("cqfitd_store_hits_total", "Jobs answered from the persistent store.", "counter",
+			float64(st.Store.Hits))
+		m.single("cqfitd_store_misses_total", "Store lookups that missed.", "counter",
+			float64(st.Store.Misses))
+		m.single("cqfitd_store_puts_total", "Results persisted.", "counter",
+			float64(st.Store.Puts))
+		m.single("cqfitd_store_bytes", "Total segment-file bytes on disk.", "gauge",
+			float64(st.Store.Bytes))
+		m.single("cqfitd_store_dead_bytes", "On-disk bytes holding overwritten records.", "gauge",
+			float64(st.Store.DeadBytes))
+		m.single("cqfitd_store_entries", "Live keys in the store.", "gauge",
+			float64(st.Store.Entries))
+		m.single("cqfitd_store_segments", "Segment files on disk.", "gauge",
+			float64(st.Store.Segments))
+		m.single("cqfitd_store_evicted_segments_total", "Whole segments dropped by the byte budget.", "counter",
+			float64(st.Store.EvictedSegments))
+		m.single("cqfitd_store_compactions_total", "Live-record rewrites.", "counter",
+			float64(st.Store.Compactions))
+		m.single("cqfitd_store_dropped_writes_total", "Completions not persisted (write-behind queue full).", "counter",
+			float64(st.Store.DroppedWrites))
+		m.single("cqfitd_store_write_queue", "Write-behind queue depth.", "gauge",
+			float64(st.Store.WriteQueue))
+		m.single("cqfitd_store_put_errors_total", "Persist attempts that failed (e.g. disk full).", "counter",
+			float64(st.Store.PutErrors))
+		m.single("cqfitd_store_compact_errors_total", "Auto-compactions that failed and left the log as-is.", "counter",
+			float64(st.Store.CompactErrors))
+		m.single("cqfitd_store_bad_records_total", "Persisted records that failed to decode and were served as misses.", "counter",
+			float64(st.Store.BadRecords))
+		m.single("cqfitd_store_recovered_truncations_total", "Segments cut back at open due to torn or corrupt records.", "counter",
+			float64(st.Store.RecoveredTruncations))
+	}
+
+	// Per kind/task latency aggregates, sorted for stable scrapes.
+	keys := make([]string, 0, len(st.Tasks))
+	for k := range st.Tasks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	m.family("cqfitd_task_jobs_total", "Jobs completed per kind/task.", "counter")
+	for _, k := range keys {
+		m.value("cqfitd_task_jobs_total", fmt.Sprintf("{task=%q}", k), float64(st.Tasks[k].Count))
+	}
+	m.family("cqfitd_task_errors_total", "Failed jobs per kind/task.", "counter")
+	for _, k := range keys {
+		m.value("cqfitd_task_errors_total", fmt.Sprintf("{task=%q}", k), float64(st.Tasks[k].Errors))
+	}
+	m.family("cqfitd_task_latency_ms", "Latency aggregates per kind/task.", "gauge")
+	for _, k := range keys {
+		m.value("cqfitd_task_latency_ms", fmt.Sprintf("{task=%q,stat=%q}", k, "avg"), st.Tasks[k].AvgMS)
+		m.value("cqfitd_task_latency_ms", fmt.Sprintf("{task=%q,stat=%q}", k, "max"), st.Tasks[k].MaxMS)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"extremalcq/internal/engine"
@@ -14,11 +15,14 @@ import (
 //	POST /v1/jobs   — run a single job (body: JobSpec)
 //	POST /v1/batch  — run a batch     (body: {"jobs": [JobSpec, ...]})
 //	GET  /v1/stats  — engine statistics (cache hit rates, queue depth,
-//	                  per-task latency)
+//	                  queue wait, store activity, per-task latency)
+//	GET  /metrics   — the same counters in Prometheus text format
 type server struct {
 	eng   *engine.Engine
 	mux   *http.ServeMux
 	start time.Time
+	// rejected counts requests shed with 429 (full job queue).
+	rejected atomic.Int64
 }
 
 func newServer(eng *engine.Engine) *server {
@@ -26,6 +30,7 @@ func newServer(eng *engine.Engine) *server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -83,6 +88,7 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	// shed load and tell the client when to come back.
 	p, ok := s.eng.TrySubmit(r.Context(), job)
 	if !ok {
+		s.rejected.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		httpError(w, http.StatusTooManyRequests, "job queue full; retry later")
 		return
@@ -137,6 +143,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		idx = append(idx, i)
 	}
 	if refused > 0 && admitted == 0 {
+		s.rejected.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		httpError(w, http.StatusTooManyRequests, "job queue full; retry later")
 		return
@@ -151,14 +158,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	UptimeMS float64      `json:"uptime_ms"`
-	Engine   engine.Stats `json:"engine"`
+	UptimeMS    float64      `json:"uptime_ms"`
+	Rejected429 int64        `json:"rejected_429"`
+	Engine      engine.Stats `json:"engine"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
-		Engine:   s.eng.Stats(),
+		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
+		Rejected429: s.rejected.Load(),
+		Engine:      s.eng.Stats(),
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"extremalcq/internal/engine"
+	"extremalcq/internal/store"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -187,5 +189,175 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty batch: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus text exposition: after one
+// job, the counter families exist with the expected values, and the
+// store families appear when (and only when) a store is attached.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+
+	spec := engine.JobSpec{
+		Schema: "R/2", Arity: 0, Kind: "cq", Task: "exists",
+		Pos: []string{"R(a,b)"},
+	}
+	postJSON(t, ts.URL+"/v1/jobs", spec).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"cqfitd_jobs_done_total 1",
+		"cqfitd_jobs_failed_total 0",
+		"cqfitd_rejected_total 0",
+		"cqfitd_dedup_leaders_total 1",
+		"cqfitd_active_solvers 0",
+		"cqfitd_solver_runs_total 1",
+		`cqfitd_cache_misses_total{class="hom"}`,
+		`cqfitd_queue_wait_ms{stat="max"}`,
+		"cqfitd_queue_wait_jobs_total 1",
+		`cqfitd_task_jobs_total{task="cq/exists"} 1`,
+		"# TYPE cqfitd_jobs_done_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// No store attached: the store families must be absent.
+	if strings.Contains(text, "cqfitd_store_") {
+		t.Errorf("/metrics exports store families without a store:\n%s", text)
+	}
+}
+
+// TestMetricsWithStore checks that the store gauges are exported and
+// that a warm hit moves them.
+func TestMetricsWithStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Workers: 2, Store: st})
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		st.Close()
+	})
+
+	spec := engine.JobSpec{
+		Schema: "R/2", Arity: 0, Kind: "cq", Task: "construct",
+		Pos: []string{"R(a,b)"},
+	}
+	postJSON(t, ts.URL+"/v1/jobs", spec).Body.Close()
+	// The result is persisted by the asynchronous write-behind; wait for
+	// the drain so the repeat is deterministically a store hit.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().Puts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("write-behind never persisted the first result")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	postJSON(t, ts.URL+"/v1/jobs", spec).Body.Close() // warm repeat
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"cqfitd_store_hits_total 1",
+		"cqfitd_store_misses_total 1",
+		"cqfitd_store_bytes",
+		"cqfitd_store_entries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// /v1/stats agrees.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.Store == nil || stats.Engine.Store.Hits != 1 {
+		t.Errorf("/v1/stats store block: %+v", stats.Engine.Store)
+	}
+	if stats.Engine.StoreHits != 1 {
+		t.Errorf("/v1/stats store_hits = %d, want 1", stats.Engine.StoreHits)
+	}
+}
+
+// TestRejected429Counter checks that load shedding is counted and
+// exported.
+func TestRejected429Counter(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1, QueueSize: 1})
+	srv := newServer(eng)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	slow := engine.JobSpec{
+		Schema: "R/2", Arity: 0, Kind: "cq", Task: "construct",
+		Pos: []string{
+			"R(a0,a1). R(a1,a0)",
+			"R(b0,b1). R(b1,b2). R(b2,b0)",
+			"R(c0,c1). R(c1,c2). R(c2,c3). R(c3,c4). R(c4,c0)",
+			"R(d0,d1). R(d1,d2). R(d2,d3). R(d3,d4). R(d4,d5). R(d5,d6). R(d6,d0)",
+		},
+		TimeoutMS: 30000,
+	}
+	job, err := slow.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Submit(context.Background(), job)
+	time.Sleep(50 * time.Millisecond)
+	eng.Submit(context.Background(), job)
+
+	quick := engine.JobSpec{Schema: "R/2", Arity: 0, Kind: "cq", Task: "exists", Pos: []string{"R(a,b)"}}
+	resp := postJSON(t, ts.URL+"/v1/jobs", quick)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := srv.rejected.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(body), "cqfitd_rejected_total 1") {
+		t.Error("/metrics missing the 429 counter")
 	}
 }

@@ -34,6 +34,7 @@
 //	ucqfit    — UCQ fitting problems (Section 4)
 //	tree      — tree-CQ fitting problems (Section 5)
 //	engine    — concurrent fitting engine (batching, caching, deadlines)
+//	store     — persistent fingerprint-keyed result store (segment log)
 //
 // The engine layer runs any kind × task combination above as a Job on a
 // bounded worker pool, memoizing homomorphism checks, cores and direct
@@ -49,6 +50,10 @@
 //	defer eng.Close()
 //	results := eng.DoBatch(ctx, jobs)  // jobs built via Job or JobSpec
 //	fmt.Println(eng.Stats().Cache)     // hit rates per memo class
+//
+// Attaching a persistent store (OpenStore + EngineOptions.Store) makes
+// completed results durable: a restarted engine answers
+// previously-computed fingerprints from disk without running a solver.
 //
 // The cqfit CLI and the cqfitd HTTP/JSON service are thin wrappers over
 // this same execution path.
@@ -72,6 +77,7 @@ import (
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
 	"extremalcq/internal/schema"
+	"extremalcq/internal/store"
 	"extremalcq/internal/tree"
 	"extremalcq/internal/ucqfit"
 )
@@ -260,6 +266,30 @@ var (
 	// ErrQueueFull is reported by Engine.TrySubmit-based admission
 	// control when the job queue has no room.
 	ErrQueueFull = engine.ErrQueueFull
+)
+
+// The persistent result store: an append-only, CRC-checked segment log
+// of completed results keyed by job fingerprint. Attach one via
+// EngineOptions.Store and answers survive process restarts — a cold
+// engine serves previously-computed fingerprints from disk without
+// running a solver.
+type (
+	// Store is a persistent fingerprint-keyed result store; open with
+	// OpenStore, attach via EngineOptions.Store, Close only after the
+	// engine using it has been closed.
+	Store = store.Store
+	// StoreOptions configures OpenStore (size budget, segment size).
+	StoreOptions = store.Options
+	// StoreStats is a snapshot of store activity and on-disk size.
+	StoreStats = store.Stats
+)
+
+var (
+	// OpenStore opens (creating if needed) a result store directory,
+	// recovering torn or corrupt segment tails by truncation.
+	OpenStore = store.Open
+	// ErrStoreClosed is reported by operations on a closed store.
+	ErrStoreClosed = store.ErrClosed
 )
 
 // Tree-CQ fitting (Section 5).

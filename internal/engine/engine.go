@@ -30,6 +30,7 @@ import (
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/store"
 )
 
 // ErrClosed is reported by jobs submitted to, or still queued in, a
@@ -55,6 +56,12 @@ type Options struct {
 	// DefaultTimeout applies to jobs that do not set their own Timeout;
 	// zero means no default deadline.
 	DefaultTimeout time.Duration
+	// Store attaches a persistent result store: completed results are
+	// written behind keyed by job fingerprint, and lookups run before
+	// dedup and the solvers, so answers survive restarts. The engine
+	// does not close the store; the caller owns it and must close it
+	// only after Close returns (Close drains the write-behind queue).
+	Store *store.Store
 }
 
 // Engine is a concurrent fitting-job scheduler. Create with New, release
@@ -95,19 +102,39 @@ type Engine struct {
 	flights  map[string]*flight
 
 	solvers      atomic.Int64 // solver goroutines currently running
+	solverRuns   atomic.Int64 // solver goroutines ever launched
 	dedupLeaders atomic.Int64 // flights that performed the computation
 	dedupShared  atomic.Int64 // jobs that adopted an in-flight twin's result
+
+	// Write-behind persistence (nil/zero when no store is attached):
+	// leaders enqueue completed results on storeCh; the storeWriter
+	// goroutine drains it and signals storeWriterDone on exit.
+	storeCh         chan storeWrite
+	storeWriterDone chan struct{}
+	storeHits       atomic.Int64
+	storeDropped    atomic.Int64
+	storeBadRecords atomic.Int64
 
 	jobsDone   atomic.Int64
 	jobsFailed atomic.Int64
 	statsMu    sync.Mutex
 	tasks      map[string]*taskAgg
+
+	// Queue wait accounting (submit→dispatch latency), guarded by
+	// statsMu.
+	waitCount int64
+	waitTotal time.Duration
+	waitMin   time.Duration
+	waitMax   time.Duration
 }
 
 type envelope struct {
 	ctx context.Context
 	job Job
 	out chan Result
+	// enqueued is the submission time; the gap to dispatch is the job's
+	// queue wait.
+	enqueued time.Time
 }
 
 // flight is one in-flight computation shared by identical jobs: res is
@@ -156,6 +183,11 @@ func New(opts Options) *Engine {
 	if opts.CacheSize >= 0 {
 		e.memo = NewMemo(opts.CacheSize)
 	}
+	if opts.Store != nil {
+		e.storeCh = make(chan storeWrite, storeWriteQueueSize)
+		e.storeWriterDone = make(chan struct{})
+		go e.storeWriter()
+	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -185,6 +217,13 @@ func (e *Engine) Close() {
 		// quiescent; the drain below is then final.
 		e.subWG.Wait()
 		e.waiters.Wait()
+		// Every leader has finished, so no more write-behind enqueues:
+		// flush the store queue before declaring the engine quiescent
+		// (the caller may close the store right after Close returns).
+		if e.storeCh != nil {
+			close(e.storeCh)
+			<-e.storeWriterDone
+		}
 		for {
 			select {
 			case env := <-e.jobs:
@@ -261,7 +300,7 @@ func (e *Engine) prepare(ctx context.Context, j Job) (*Pending, *envelope, bool)
 		return p, nil, false
 	}
 	j.Examples = cloneExamples(j.Examples)
-	env := &envelope{ctx: ctx, job: j, out: p.out}
+	env := &envelope{ctx: ctx, job: j, out: p.out, enqueued: time.Now()}
 	// Register with subWG under the read lock, but do the (possibly
 	// blocking) enqueue outside it: Close waits for registered Submits
 	// before its final drain, and closing done wakes a Submit blocked on
@@ -326,13 +365,21 @@ func (e *Engine) execute(env *envelope) {
 		env.out <- failedResult(j, err)
 		return
 	}
+	e.recordWait(time.Since(env.enqueued))
+	start := time.Now()
+
+	// Persistent store first: a previously-computed answer (possibly
+	// from an earlier process) bypasses dedup and the solvers entirely.
+	if res, ok := e.storeLookup(j); ok {
+		e.deliver(env, j, start, res)
+		return
+	}
+	key := j.fingerprint()
 	ctx, cancel := e.jobContext(env.ctx, j)
 
 	// Single-flight: identical jobs already in flight are joined, not
 	// recomputed. Followers park in a goroutine so the worker stays free
 	// for distinct work.
-	key := j.fingerprint()
-	start := time.Now()
 	if res, led := e.tryLead(ctx, key, j); led {
 		cancel()
 		e.deliver(env, j, start, res)
@@ -375,6 +422,7 @@ func (e *Engine) tryLead(ctx context.Context, key string, j Job) (Result, bool) 
 func (e *Engine) lead(ctx context.Context, key string, f *flight, j Job) Result {
 	e.dedupLeaders.Add(1)
 	res := e.runSolver(ctx, j)
+	e.storePut(j, res)
 	f.res = res
 	e.flightMu.Lock()
 	delete(e.flights, key)
@@ -461,6 +509,7 @@ func (e *Engine) runSolver(ctx context.Context, j Job) Result {
 	}
 	ch := make(chan Result, 1)
 	e.solvers.Add(1)
+	e.solverRuns.Add(1)
 	go func() {
 		defer e.solvers.Add(-1)
 		ch <- run(solveCtx, j)
@@ -522,6 +571,15 @@ type TaskStats struct {
 	MaxMS   float64 `json:"max_ms"`
 }
 
+// WaitStats aggregates queue wait (submit→dispatch latency) over every
+// job that reached execution.
+type WaitStats struct {
+	Count int64   `json:"count"`
+	MinMS float64 `json:"min_ms"`
+	AvgMS float64 `json:"avg_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
 // Stats is a point-in-time snapshot of engine activity.
 type Stats struct {
 	Workers    int   `json:"workers"`
@@ -532,6 +590,10 @@ type Stats struct {
 	// deadlines or Close it settles back to zero promptly because the
 	// searches are interruptible.
 	ActiveSolvers int64 `json:"active_solvers"`
+	// SolverRuns counts solver goroutines ever launched; a warm store
+	// or memo path leaves it untouched, so the zero-recompute claim of
+	// the persistence layer is directly observable.
+	SolverRuns int64 `json:"solver_runs"`
 	// DedupLeaders counts computations actually performed; DedupShared
 	// counts jobs that adopted the result of an identical in-flight job
 	// (followers that had to recompute count as leaders instead).
@@ -539,6 +601,13 @@ type Stats struct {
 	DedupShared  int64                `json:"dedup_shared"`
 	Cache        CacheStats           `json:"cache"`
 	Tasks        map[string]TaskStats `json:"tasks"`
+	// Wait aggregates submit→dispatch queue latency.
+	Wait WaitStats `json:"queue_wait"`
+	// Store reports persistent-store activity; nil when no store is
+	// attached. StoreHits counts jobs answered from the store without
+	// any solver work.
+	Store     *StoreStats `json:"store,omitempty"`
+	StoreHits int64       `json:"store_hits"`
 }
 
 func (e *Engine) record(j Job, res Result) {
@@ -564,8 +633,27 @@ func (e *Engine) record(j Job, res Result) {
 	e.statsMu.Unlock()
 }
 
+// recordWait folds one job's submit→dispatch latency into the queue
+// wait aggregates.
+func (e *Engine) recordWait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.statsMu.Lock()
+	e.waitCount++
+	e.waitTotal += d
+	if e.waitCount == 1 || d < e.waitMin {
+		e.waitMin = d
+	}
+	if d > e.waitMax {
+		e.waitMax = d
+	}
+	e.statsMu.Unlock()
+}
+
 // Stats returns a snapshot of queue depth, job counters, single-flight
-// dedup counters, cache hit rates and per-task latency aggregates.
+// dedup counters, cache hit rates, queue wait aggregates, persistent
+// store activity and per-task latency aggregates.
 func (e *Engine) Stats() Stats {
 	s := Stats{
 		Workers:       e.opts.Workers,
@@ -573,14 +661,30 @@ func (e *Engine) Stats() Stats {
 		JobsDone:      e.jobsDone.Load(),
 		JobsFailed:    e.jobsFailed.Load(),
 		ActiveSolvers: e.solvers.Load(),
+		SolverRuns:    e.solverRuns.Load(),
 		DedupLeaders:  e.dedupLeaders.Load(),
 		DedupShared:   e.dedupShared.Load(),
 		Tasks:         make(map[string]TaskStats),
+		StoreHits:     e.storeHits.Load(),
 	}
 	if e.memo != nil {
 		s.Cache = e.memo.Stats()
 	}
+	if e.opts.Store != nil {
+		s.Store = &StoreStats{
+			Stats:         e.opts.Store.Stats(),
+			WriteQueue:    len(e.storeCh),
+			DroppedWrites: e.storeDropped.Load(),
+			BadRecords:    e.storeBadRecords.Load(),
+		}
+	}
 	e.statsMu.Lock()
+	s.Wait.Count = e.waitCount
+	if e.waitCount > 0 {
+		s.Wait.MinMS = float64(e.waitMin) / float64(time.Millisecond)
+		s.Wait.AvgMS = float64(e.waitTotal) / float64(e.waitCount) / float64(time.Millisecond)
+		s.Wait.MaxMS = float64(e.waitMax) / float64(time.Millisecond)
+	}
 	for k, a := range e.tasks {
 		ts := TaskStats{
 			Count:   a.count,

@@ -103,7 +103,17 @@ func (j Job) Validate() error {
 // interchangeable, which is what single-flight dedup relies on; the
 // timeout participates so a job with a tight deadline never adopts the
 // fate of a twin with a loose one, or vice versa.
-func (j Job) fingerprint() string {
+func (j Job) fingerprint() string { return j.digest(true) }
+
+// storeKey is the fingerprint without the timeout. Only successful
+// results reach the persistent store, and a success is
+// timeout-independent (the deadline decides whether an answer is
+// computed, never which), so keying the store on the timeout would
+// only fragment it: a job solved under -timeout 30s should warm-serve
+// the same problem resubmitted under 60s.
+func (j Job) storeKey() string { return j.digest(false) }
+
+func (j Job) digest(withTimeout bool) string {
 	h := sha256.New()
 	ws := func(s string) {
 		var buf [8]byte
@@ -130,7 +140,9 @@ func (j Job) fingerprint() string {
 	}
 	wi(int64(opts.MaxAtoms))
 	wi(int64(opts.MaxVars))
-	wi(int64(j.Timeout))
+	if withTimeout {
+		wi(int64(j.Timeout))
+	}
 	wi(int64(j.Examples.Arity))
 	for _, r := range j.Examples.Schema.Relations() {
 		ws(r.Name)

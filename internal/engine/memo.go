@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"hash/fnv"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -12,6 +14,10 @@ import (
 // CacheSize at zero.
 const DefaultCacheSize = 4096
 
+// maxMemoShards bounds the stripe count; past a few hundred stripes the
+// maps are so sparse that more stripes only waste memory.
+const maxMemoShards = 256
+
 // Memo is a thread-safe memoization cache for the hot paths of the
 // fitting algorithms: homomorphism searches, cores and direct products,
 // keyed by the canonical fingerprints of the operand pointed instances.
@@ -20,16 +26,23 @@ const DefaultCacheSize = 4096
 // instance.WithProductCache); each engine owns one Memo and attaches it
 // only to its own jobs' contexts.
 //
+// The cache is lock-striped: entries are spread across power-of-two
+// many shards (sized to GOMAXPROCS by default), each with its own
+// mutex, so concurrent workers hitting different keys do not serialize
+// on one lock. Keys are SHA-256 fingerprints, so their leading bytes
+// already distribute uniformly across shards.
+//
 // Stored instances and assignments are deep-copied on both Put and Get:
 // the cache never shares mutable state with its callers, which keeps
 // concurrent workers race-free even though Instance builds its lookup
 // indexes lazily.
 type Memo struct {
-	mu   sync.Mutex
-	max  int // per-class entry bound
-	hom  map[string]homEntry
-	core map[string]instance.Pointed
-	prod map[string]instance.Pointed
+	shards []memoShard
+	mask   uint32
+	// perShard bounds each class within each shard; the whole-memo
+	// per-class bound is perShard * len(shards), rounded up from the
+	// requested maxEntries.
+	perShard int
 
 	homHits    atomic.Int64
 	homMisses  atomic.Int64
@@ -39,24 +52,78 @@ type Memo struct {
 	prodMisses atomic.Int64
 }
 
+// memoShard is one lock stripe: a mutex and the three class maps it
+// guards.
+type memoShard struct {
+	mu   sync.Mutex
+	hom  map[string]homEntry
+	core map[string]instance.Pointed
+	prod map[string]instance.Pointed
+}
+
 type homEntry struct {
 	h      hom.Assignment
 	exists bool
 }
 
 // NewMemo returns a Memo bounding each class (hom, core, product) to
-// maxEntries entries; maxEntries <= 0 selects DefaultCacheSize. When a
-// class is full an arbitrary entry is evicted.
+// roughly maxEntries entries, striped across one shard per GOMAXPROCS
+// (rounded up to a power of two); maxEntries <= 0 selects
+// DefaultCacheSize. When a shard's class is full an arbitrary entry is
+// evicted.
 func NewMemo(maxEntries int) *Memo {
+	return NewMemoShards(maxEntries, 0)
+}
+
+// NewMemoShards is NewMemo with an explicit stripe count (rounded up to
+// a power of two, clamped to [1, 256]); shards <= 0 selects one per
+// GOMAXPROCS. It exists so contention benchmarks can pit a single
+// stripe against many.
+func NewMemoShards(maxEntries, shards int) *Memo {
 	if maxEntries <= 0 {
 		maxEntries = DefaultCacheSize
 	}
-	return &Memo{
-		max:  maxEntries,
-		hom:  make(map[string]homEntry),
-		core: make(map[string]instance.Pointed),
-		prod: make(map[string]instance.Pointed),
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
 	}
+	n := 1
+	for n < shards && n < maxMemoShards {
+		n <<= 1
+	}
+	perShard := (maxEntries + n - 1) / n
+	m := &Memo{
+		shards:   make([]memoShard, n),
+		mask:     uint32(n - 1),
+		perShard: perShard,
+	}
+	for i := range m.shards {
+		m.shards[i] = memoShard{
+			hom:  make(map[string]homEntry),
+			core: make(map[string]instance.Pointed),
+			prod: make(map[string]instance.Pointed),
+		}
+	}
+	return m
+}
+
+// shard picks the stripe for a key. Keys are SHA-256 digests or
+// concatenations of two of them (pairKey), so both the leading and the
+// trailing four bytes are uniformly distributed — and mixing both ends
+// matters: a pair key's head depends only on the *first* operand, so a
+// head-only hash would collapse the one-to-many hom-check pattern
+// (one product instance checked against many candidates) onto a single
+// stripe. Short keys fall back to FNV.
+func (m *Memo) shard(key string) *memoShard {
+	var h uint32
+	if n := len(key); n >= 8 {
+		h = uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24
+		h ^= uint32(key[n-4]) | uint32(key[n-3])<<8 | uint32(key[n-2])<<16 | uint32(key[n-1])<<24
+	} else {
+		f := fnv.New32a()
+		f.Write([]byte(key))
+		h = f.Sum32()
+	}
+	return &m.shards[h&m.mask]
 }
 
 // CacheStats is a snapshot of hit/miss counters per memo class.
@@ -68,6 +135,7 @@ type CacheStats struct {
 	ProductHits   int64 `json:"product_hits"`
 	ProductMisses int64 `json:"product_misses"`
 	Entries       int   `json:"entries"`
+	Shards        int   `json:"shards"`
 }
 
 // Hits returns the total number of cache hits across all classes.
@@ -75,9 +143,13 @@ func (s CacheStats) Hits() int64 { return s.HomHits + s.CoreHits + s.ProductHits
 
 // Stats returns a snapshot of the counters and current size.
 func (m *Memo) Stats() CacheStats {
-	m.mu.Lock()
-	entries := len(m.hom) + len(m.core) + len(m.prod)
-	m.mu.Unlock()
+	entries := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		entries += len(sh.hom) + len(sh.core) + len(sh.prod)
+		sh.mu.Unlock()
+	}
 	return CacheStats{
 		HomHits:       m.homHits.Load(),
 		HomMisses:     m.homMisses.Load(),
@@ -86,6 +158,7 @@ func (m *Memo) Stats() CacheStats {
 		ProductHits:   m.prodHits.Load(),
 		ProductMisses: m.prodMisses.Load(),
 		Entries:       entries,
+		Shards:        len(m.shards),
 	}
 }
 
@@ -96,9 +169,10 @@ func pairKey(a, b instance.Pointed) string {
 // GetHom implements hom.Cache.
 func (m *Memo) GetHom(from, to instance.Pointed) (hom.Assignment, bool, bool) {
 	k := pairKey(from, to)
-	m.mu.Lock()
-	e, ok := m.hom[k]
-	m.mu.Unlock()
+	sh := m.shard(k)
+	sh.mu.Lock()
+	e, ok := sh.hom[k]
+	sh.mu.Unlock()
 	if !ok {
 		m.homMisses.Add(1)
 		return nil, false, false
@@ -111,18 +185,20 @@ func (m *Memo) GetHom(from, to instance.Pointed) (hom.Assignment, bool, bool) {
 func (m *Memo) PutHom(from, to instance.Pointed, h hom.Assignment, exists bool) {
 	k := pairKey(from, to)
 	e := homEntry{h: copyAssignment(h), exists: exists}
-	m.mu.Lock()
-	evictIfFull(m.hom, k, m.max)
-	m.hom[k] = e
-	m.mu.Unlock()
+	sh := m.shard(k)
+	sh.mu.Lock()
+	evictIfFull(sh.hom, k, m.perShard)
+	sh.hom[k] = e
+	sh.mu.Unlock()
 }
 
 // GetCore implements hom.Cache.
 func (m *Memo) GetCore(p instance.Pointed) (instance.Pointed, bool) {
 	k := p.Fingerprint()
-	m.mu.Lock()
-	c, ok := m.core[k]
-	m.mu.Unlock()
+	sh := m.shard(k)
+	sh.mu.Lock()
+	c, ok := sh.core[k]
+	sh.mu.Unlock()
 	if !ok {
 		m.coreMisses.Add(1)
 		return instance.Pointed{}, false
@@ -135,18 +211,20 @@ func (m *Memo) GetCore(p instance.Pointed) (instance.Pointed, bool) {
 func (m *Memo) PutCore(p, core instance.Pointed) {
 	k := p.Fingerprint()
 	c := core.Clone()
-	m.mu.Lock()
-	evictIfFull(m.core, k, m.max)
-	m.core[k] = c
-	m.mu.Unlock()
+	sh := m.shard(k)
+	sh.mu.Lock()
+	evictIfFull(sh.core, k, m.perShard)
+	sh.core[k] = c
+	sh.mu.Unlock()
 }
 
 // GetProduct implements instance.ProductCache.
 func (m *Memo) GetProduct(a, b instance.Pointed) (instance.Pointed, bool) {
 	k := pairKey(a, b)
-	m.mu.Lock()
-	p, ok := m.prod[k]
-	m.mu.Unlock()
+	sh := m.shard(k)
+	sh.mu.Lock()
+	p, ok := sh.prod[k]
+	sh.mu.Unlock()
 	if !ok {
 		m.prodMisses.Add(1)
 		return instance.Pointed{}, false
@@ -159,10 +237,11 @@ func (m *Memo) GetProduct(a, b instance.Pointed) (instance.Pointed, bool) {
 func (m *Memo) PutProduct(a, b, prod instance.Pointed) {
 	k := pairKey(a, b)
 	p := prod.Clone()
-	m.mu.Lock()
-	evictIfFull(m.prod, k, m.max)
-	m.prod[k] = p
-	m.mu.Unlock()
+	sh := m.shard(k)
+	sh.mu.Lock()
+	evictIfFull(sh.prod, k, m.perShard)
+	sh.prod[k] = p
+	sh.mu.Unlock()
 }
 
 // evictIfFull removes one arbitrary entry when the map has reached the

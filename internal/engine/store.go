@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"encoding/json"
+
+	"extremalcq/internal/store"
+)
+
+// This file threads the persistent result store (internal/store)
+// through the engine: completed results are written behind
+// asynchronously keyed by job fingerprint, and lookups run before
+// single-flight dedup and the solvers, so a persisted hit bypasses
+// computation entirely — including across process restarts.
+
+// storedResultVersion versions the persisted encoding; records with a
+// different version are ignored (treated as misses) rather than
+// misdecoded.
+const storedResultVersion = 1
+
+// storedResult is the durable form of a successful Result. Submission
+// metadata (label, elapsed) and errors are deliberately absent: labels
+// are presentation-only, and failures are either per-submission fates
+// (deadlines, cancellation) that must not outlive the submission, or
+// cheap to rediscover.
+type storedResult struct {
+	V       int      `json:"v"`
+	Found   bool     `json:"found"`
+	Queries []string `json:"queries,omitempty"`
+	Note    string   `json:"note,omitempty"`
+}
+
+// storeWriteQueueSize bounds the write-behind queue; a full queue drops
+// writes (counted) rather than stalling result delivery.
+const storeWriteQueueSize = 256
+
+type storeWrite struct {
+	key string
+	res Result
+}
+
+// storeWriter drains the write-behind queue onto the store. It runs as
+// a single goroutine per engine, started by New when a store is
+// attached, and exits when Close closes the channel after all leaders
+// have finished.
+func (e *Engine) storeWriter() {
+	defer close(e.storeWriterDone)
+	for w := range e.storeCh {
+		val, err := json.Marshal(storedResult{
+			V:       storedResultVersion,
+			Found:   w.res.Found,
+			Queries: w.res.Queries,
+			Note:    w.res.Note,
+		})
+		if err != nil {
+			continue
+		}
+		e.opts.Store.Put(w.key, val) // Put counts its own errors
+	}
+}
+
+// storePut enqueues a completed result for write-behind persistence,
+// keyed by the job's timeout-free storeKey. Only leaders call it
+// (followers adopted a result the leader already persisted), and only
+// with res.Err == nil: errors are never durable.
+func (e *Engine) storePut(j Job, res Result) {
+	if e.opts.Store == nil || res.Err != nil {
+		return
+	}
+	select {
+	case e.storeCh <- storeWrite{key: j.storeKey(), res: res}:
+	default:
+		e.storeDropped.Add(1)
+	}
+}
+
+// storeLookup consults the persistent store for a completed answer to
+// this job (keyed timeout-free, see Job.storeKey). A hit reconstructs
+// the Result (re-labeled for this submission) without any solver work;
+// undecodable or version-skewed records degrade to misses.
+func (e *Engine) storeLookup(j Job) (Result, bool) {
+	if e.opts.Store == nil {
+		return Result{}, false
+	}
+	val, ok := e.opts.Store.Get(j.storeKey())
+	if !ok {
+		return Result{}, false
+	}
+	var sr storedResult
+	if err := json.Unmarshal(val, &sr); err != nil || sr.V != storedResultVersion {
+		e.storeBadRecords.Add(1)
+		return Result{}, false
+	}
+	e.storeHits.Add(1)
+	return Result{
+		Label:   j.Label,
+		Kind:    j.Kind,
+		Task:    j.Task,
+		Found:   sr.Found,
+		Queries: sr.Queries,
+		Note:    sr.Note,
+	}, true
+}
+
+// StoreStats reports persistent-store activity as seen by this engine,
+// embedding the store's own counters (hits/misses/puts/bytes/...).
+type StoreStats struct {
+	store.Stats
+	// WriteQueue is the current depth of the write-behind queue;
+	// DroppedWrites counts completions not persisted because the queue
+	// was full; BadRecords counts persisted records that failed to
+	// decode (version skew) and were served as misses.
+	WriteQueue    int   `json:"write_queue"`
+	DroppedWrites int64 `json:"dropped_writes"`
+	BadRecords    int64 `json:"bad_records"`
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock creates the LOCK file but cannot
+// enforce exclusivity; single-process ownership of a store directory
+// is then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir's LOCK file for the
+// lifetime of the returned handle (released by closing it, including
+// implicitly on process death — a crashed owner never wedges the
+// directory). Two stores sharing a directory would interleave appends
+// into the same active segment and corrupt each other's records, so a
+// held lock is a hard Open error.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, fmt.Errorf("store: %s is locked by another process", dir)
+		}
+		return nil, fmt.Errorf("store: locking %s: %w", dir, err)
+	}
+	return f, nil
+}

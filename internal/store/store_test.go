@@ -1,0 +1,411 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// openT opens a store and registers its Close with the test.
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func put(t *testing.T, s *Store, key, val string) {
+	t.Helper()
+	if err := s.Put(key, []byte(val)); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func wantGet(t *testing.T, s *Store, key, val string) {
+	t.Helper()
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatalf("Get(%q): miss, want %q", key, val)
+	}
+	if string(got) != val {
+		t.Fatalf("Get(%q) = %q, want %q", key, got, val)
+	}
+}
+
+func wantMiss(t *testing.T, s *Store, key string) {
+	t.Helper()
+	if got, ok := s.Get(key); ok {
+		t.Fatalf("Get(%q) = %q, want a miss", key, got)
+	}
+}
+
+// segFiles returns the store directory's segment files in name order.
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == segSuffix {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+
+	// Binary-safe keys: raw digests contain zero bytes.
+	key := string([]byte{0, 1, 2, 0xff, 0, 7})
+	put(t, s, key, "binary")
+	put(t, s, "k1", "v1")
+	put(t, s, "k2", "v2")
+	put(t, s, "k1", "v1b") // overwrite: newest wins
+	wantGet(t, s, "k1", "v1b")
+	wantGet(t, s, "k2", "v2")
+	wantGet(t, s, key, "binary")
+	wantMiss(t, s, "absent")
+
+	st := s.Stats()
+	if st.Entries != 3 || st.Puts != 4 || st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.DeadBytes == 0 {
+		t.Error("overwrite recorded no dead bytes")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open replays the log; the overwrite stays resolved.
+	s2 := openT(t, dir, Options{})
+	wantGet(t, s2, "k1", "v1b")
+	wantGet(t, s2, "k2", "v2")
+	wantGet(t, s2, key, "binary")
+	if st := s2.Stats(); st.Entries != 3 || st.RecoveredTruncations != 0 {
+		t.Errorf("reopen stats: %+v", st)
+	}
+}
+
+func TestOpenMissingAndEmptyDir(t *testing.T) {
+	// A nested directory that does not exist yet is created.
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	s := openT(t, dir, Options{})
+	wantMiss(t, s, "anything")
+	put(t, s, "k", "v")
+	wantGet(t, s, "k", "v")
+	s.Close()
+
+	// An existing empty directory is fine too.
+	empty := t.TempDir()
+	s2 := openT(t, empty, Options{})
+	wantMiss(t, s2, "k")
+	if st := s2.Stats(); st.Entries != 0 || st.Segments != 1 {
+		t.Errorf("empty-dir stats: %+v", st)
+	}
+}
+
+func TestRotationAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation; the budget forces FIFO eviction.
+	s := openT(t, dir, Options{SegmentBytes: 512, MaxBytes: 2048, NoAutoCompact: true})
+	val := string(bytes.Repeat([]byte("x"), 100))
+	const n = 64
+	for i := 0; i < n; i++ {
+		put(t, s, fmt.Sprintf("key-%03d", i), val)
+	}
+	st := s.Stats()
+	if st.Bytes > 2048+512+int64(len(val)) {
+		t.Errorf("store grew past its budget: %+v", st)
+	}
+	if st.EvictedSegments == 0 || st.Segments < 2 {
+		t.Errorf("expected rotation and eviction: %+v", st)
+	}
+	// Oldest keys were evicted with their segments; the newest survive.
+	wantMiss(t, s, "key-000")
+	wantGet(t, s, fmt.Sprintf("key-%03d", n-1), val)
+
+	// Reopen: the evicted segments are gone from disk too.
+	s.Close()
+	s2 := openT(t, dir, Options{SegmentBytes: 512, MaxBytes: 2048, NoAutoCompact: true})
+	wantMiss(t, s2, "key-000")
+	wantGet(t, s2, fmt.Sprintf("key-%03d", n-1), val)
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SegmentBytes: 1 << 20, NoAutoCompact: true})
+	// Overwrite a small key set many times: almost everything is dead.
+	for round := 0; round < 50; round++ {
+		for k := 0; k < 4; k++ {
+			put(t, s, fmt.Sprintf("k%d", k), fmt.Sprintf("round-%d", round))
+		}
+	}
+	before := s.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatalf("no dead bytes after overwrites: %+v", before)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.DeadBytes != 0 || after.Bytes >= before.Bytes || after.Compactions != 1 {
+		t.Errorf("compaction did not reclaim: before %+v after %+v", before, after)
+	}
+	for k := 0; k < 4; k++ {
+		wantGet(t, s, fmt.Sprintf("k%d", k), "round-49")
+	}
+	// Compaction leaves the compacted segment plus the fresh active one
+	// started at snapshot time, and both replay.
+	if files := segFiles(t, dir); len(files) != 2 {
+		t.Errorf("segments on disk after compact: %v", files)
+	}
+	s.Close()
+	s2 := openT(t, dir, Options{})
+	for k := 0; k < 4; k++ {
+		wantGet(t, s2, fmt.Sprintf("k%d", k), "round-49")
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes doubles as the auto-compaction floor, so keep it
+	// small; every Put after the dead ratio passes 1/2 compacts.
+	s := openT(t, dir, Options{SegmentBytes: 256})
+	for round := 0; round < 200; round++ {
+		put(t, s, "hot", fmt.Sprintf("v%d", round))
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Errorf("hot-key overwrites never triggered auto-compaction: %+v", st)
+	}
+	wantGet(t, s, "hot", "v199")
+}
+
+// corrupt opens the named segment file and flips one byte at off.
+func corrupt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		put(t, s, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a half-written record at the tail.
+	files := segFiles(t, dir)
+	path := filepath.Join(dir, files[len(files)-1])
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := encodeRecord("victim", []byte("never fully written"))
+	if _, err := f.Write(torn[:len(torn)-7]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openT(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		wantGet(t, s2, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	wantMiss(t, s2, "victim")
+	if st := s2.Stats(); st.RecoveredTruncations != 1 || st.Entries != 10 {
+		t.Errorf("recovery stats: %+v", st)
+	}
+	// The store is writable again, and the next open is clean.
+	put(t, s2, "after", "recovery")
+	s2.Close()
+	s3 := openT(t, dir, Options{})
+	wantGet(t, s3, "after", "recovery")
+	if st := s3.Stats(); st.RecoveredTruncations != 0 {
+		t.Errorf("second recovery not clean: %+v", st)
+	}
+}
+
+func TestRecoveryCorruptMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	recLen := int64(len(encodeRecord("k0", []byte("v0"))))
+	for i := 0; i < 10; i++ {
+		put(t, s, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	s.Close()
+
+	// Flip a payload byte inside the 6th record (all records in this
+	// test have identical length).
+	files := segFiles(t, dir)
+	corrupt(t, filepath.Join(dir, files[0]), 5*recLen+headerSize+1)
+
+	s2 := openT(t, dir, Options{})
+	st := s2.Stats()
+	if st.RecoveredTruncations != 1 {
+		t.Errorf("corrupt record not detected: %+v", st)
+	}
+	// Everything before the damage survives; the corrupt record and the
+	// suffix behind it (whose boundaries are no longer trustworthy) are
+	// dropped and will be recomputed.
+	for i := 0; i < 5; i++ {
+		wantGet(t, s2, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	for i := 5; i < 10; i++ {
+		wantMiss(t, s2, fmt.Sprintf("k%d", i))
+	}
+	// Re-put of a dropped key works and persists.
+	put(t, s2, "k7", "v7-again")
+	s2.Close()
+	s3 := openT(t, dir, Options{})
+	wantGet(t, s3, "k7", "v7-again")
+}
+
+func TestCorruptMiddleSegmentLeavesLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SegmentBytes: 256, NoAutoCompact: true})
+	val := string(bytes.Repeat([]byte("y"), 64))
+	for i := 0; i < 24; i++ {
+		put(t, s, fmt.Sprintf("k%02d", i), val)
+	}
+	files := segFiles(t, dir)
+	if len(files) < 3 {
+		t.Fatalf("test needs >= 3 segments, got %v", files)
+	}
+	s.Close()
+
+	// Damage the first record of a middle segment: only that segment's
+	// records are lost; earlier and later segments replay fully.
+	corrupt(t, filepath.Join(dir, files[1]), headerSize+3)
+	s2 := openT(t, dir, Options{SegmentBytes: 256, NoAutoCompact: true})
+	st := s2.Stats()
+	if st.RecoveredTruncations != 1 {
+		t.Errorf("middle-segment corruption not detected: %+v", st)
+	}
+	wantGet(t, s2, "k00", val)
+	wantGet(t, s2, "k23", val)
+	if st.Entries >= 24 || st.Entries == 0 {
+		t.Errorf("entries = %d: the damaged segment's records must be dropped, the rest kept", st.Entries)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	put(t, s, "k", "v")
+	s.Close()
+	if err := s.Put("k2", []byte("v2")); err != ErrClosed {
+		t.Errorf("Put on closed store: %v, want ErrClosed", err)
+	}
+	wantMiss(t, s, "k") // Get degrades to a miss
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+// TestConcurrentAccess exercises the store under the race detector:
+// concurrent writers, readers and a compaction.
+func TestConcurrentAccess(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{SegmentBytes: 4096})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i%20)
+				if err := s.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				s.Get(key)
+				s.Get(fmt.Sprintf("g%d-k%d", (g+1)%4, i%20))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := s.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for g := 0; g < 4; g++ {
+		wantGet(t, s, fmt.Sprintf("g%d-k%d", g, 19), "v199")
+	}
+}
+
+// TestOpenLockedDir checks single-owner enforcement: while one store
+// holds the directory, a second Open must fail cleanly, and closing
+// the first releases the lock.
+func TestOpenLockedDir(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("directory locking is advisory-flock based; not enforced on this platform")
+	}
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a held directory must fail")
+	} else if !strings.Contains(err.Error(), "locked") {
+		t.Errorf("second Open error %q does not mention the lock", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after the owner closed: %v", err)
+	}
+	s2.Close()
+}
+
+// TestOpenIgnoresForeignFiles checks that non-canonical file names in
+// the directory (including the LOCK file and a stray "1.seg") are left
+// alone rather than misparsed as segments.
+func TestOpenIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	put(t, s, "k", "v")
+	s.Close()
+	for _, name := range []string{"1.seg", "notes.txt", "0000000x.seg"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := openT(t, dir, Options{})
+	wantGet(t, s2, "k", "v")
+	if st := s2.Stats(); st.Segments != 1 || st.RecoveredTruncations != 0 {
+		t.Errorf("foreign files disturbed the open: %+v", st)
+	}
+}
