@@ -571,6 +571,66 @@ func BenchmarkEngineBatchVsSequential(b *testing.B) {
 	})
 }
 
+// streamWMGJob is an enumeration workload with two weakly most-general
+// answers inside a candidate space big enough that the first answer
+// arrives long before the search ends — the shape streaming exists for.
+func streamWMGJob(maxAtoms, maxVars int) engine.Job {
+	e := fitting.MustExamples(rpqSchema, 0, nil, []Example{
+		mustPointed(rpqSchema, "P(a)"),
+		mustPointed(rpqSchema, "Q(a)"),
+	})
+	return engine.Job{
+		Kind: engine.KindCQ, Task: engine.TaskWeaklyMostGeneral,
+		Examples: e,
+		Opts:     fitting.SearchOpts{MaxAtoms: maxAtoms, MaxVars: maxVars},
+	}
+}
+
+// BenchmarkStreamTimeToFirstResult compares what a streaming client
+// waits for against what a one-shot client waits for on the same
+// enumeration: the first flushed answer frame versus the fully buffered
+// search. Caching is disabled so every iteration measures a real search.
+func BenchmarkStreamTimeToFirstResult(b *testing.B) {
+	job := streamWMGJob(4, 5)
+
+	b.Run("first-frame", func(b *testing.B) {
+		eng := engine.New(engine.Options{CacheSize: -1})
+		defer eng.Close()
+		for i := 0; i < b.N; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			s := eng.SubmitStream(ctx, job)
+			if _, ok := <-s.Answers(); !ok {
+				b.Fatal("stream ended without a first answer")
+			}
+			// First answer in hand: a real client could act on it now.
+			// Detach so the rest of the search is not billed to this op.
+			cancel()
+			s.Wait()
+		}
+	})
+
+	b.Run("full-stream", func(b *testing.B) {
+		eng := engine.New(engine.Options{CacheSize: -1})
+		defer eng.Close()
+		for i := 0; i < b.N; i++ {
+			res := eng.DoStream(context.Background(), job, nil)
+			if res.Err != nil || !res.Found {
+				b.Fatalf("stream must find answers: %+v", res)
+			}
+		}
+	})
+
+	b.Run("one-shot", func(b *testing.B) {
+		eng := engine.New(engine.Options{CacheSize: -1})
+		defer eng.Close()
+		for i := 0; i < b.N; i++ {
+			if res := eng.Do(context.Background(), job); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+}
+
 // ---------------------------------------------------------------------
 // Figures 2–4 and supporting constructions
 // ---------------------------------------------------------------------

@@ -1,15 +1,24 @@
 // Command benchtab regenerates the experiment tables recorded in
 // EXPERIMENTS.md: for each row of the paper's Tables 1–3 and each
 // size-theorem family it runs the corresponding decision/construction
-// procedure and prints the observed outcome next to the paper's claim.
+// procedure and prints the observed outcome next to the paper's claim,
+// plus a streaming time-to-first-result measurement for the
+// enumeration pipeline. With -json the full record is also written as a
+// machine-readable file (the CI bench-trajectory artifact).
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"extremalcq"
 	"extremalcq/internal/cq"
+	"extremalcq/internal/engine"
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/genex"
 	"extremalcq/internal/instance"
@@ -17,17 +26,134 @@ import (
 	"extremalcq/internal/ucqfit"
 )
 
+// benchRow is one table row of the experiment record.
+type benchRow struct {
+	ID       string `json:"id"`
+	Claim    string `json:"claim"`
+	Measured string `json:"measured"`
+}
+
+// streamingRecord captures the streaming-enumeration latency story:
+// how long until the first answer frame versus the full search.
+type streamingRecord struct {
+	Workload         string  `json:"workload"`
+	FirstResultMS    float64 `json:"first_result_ms"`
+	FullStreamMS     float64 `json:"full_stream_ms"`
+	OneShotFirstMS   float64 `json:"one_shot_first_ms"`
+	ResultsStreamed  int     `json:"results_streamed"`
+	FirstResultShare float64 `json:"first_result_share"` // first / full
+}
+
+// benchReport is the -json output shape.
+type benchReport struct {
+	Title     string          `json:"title"`
+	Rows      []benchRow      `json:"rows"`
+	Streaming streamingRecord `json:"streaming"`
+}
+
+var report benchReport
+
 func main() {
-	fmt.Println("Extremal Fitting Problems for Conjunctive Queries — experiment tables")
+	jsonPath := flag.String("json", "", "also write the record as JSON to this path")
+	flag.Parse()
+
+	report.Title = "Extremal Fitting Problems for Conjunctive Queries — experiment tables"
+	fmt.Println(report.Title)
 	fmt.Println()
 	table1()
 	table2()
 	table3()
 	sizeTheorems()
+	streamingTable()
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }
 
 func row(id, claim, measured string) {
+	report.Rows = append(report.Rows, benchRow{ID: id, Claim: claim, Measured: measured})
 	fmt.Printf("  %-28s paper: %-38s measured: %s\n", id, claim, measured)
+}
+
+// streamingTable measures the streaming enumeration pipeline on the
+// Example 3.10(2) workload with widened bounds: the time a streaming
+// client waits for its first answer versus the wall time of the full
+// enumeration (what a one-shot AllWeaklyMostGeneral client waits for).
+func streamingTable() {
+	fmt.Println("Streaming enumeration (time to first result)")
+	sch := extremalcq.MustSchema(
+		extremalcq.Rel{Name: "R", Arity: 2},
+		extremalcq.Rel{Name: "P", Arity: 1},
+		extremalcq.Rel{Name: "Q", Arity: 1})
+	e := fitting.MustExamples(sch, 0, nil, []extremalcq.Example{
+		mustParsePointed(sch, "P(a)"), mustParsePointed(sch, "Q(a)"),
+	})
+	job := engine.Job{
+		Kind: engine.KindCQ, Task: engine.TaskWeaklyMostGeneral,
+		Examples: e,
+		Opts:     fitting.SearchOpts{MaxAtoms: 4, MaxVars: 5},
+	}
+	eng := engine.New(engine.Options{CacheSize: -1})
+	defer eng.Close()
+
+	// First frame latency.
+	start := time.Now()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := eng.SubmitStream(ctx, job)
+	if _, ok := <-s.Answers(); !ok {
+		log.Fatalf("streaming workload found no answers: %+v", s.Wait())
+	}
+	firstMS := float64(time.Since(start)) / float64(time.Millisecond)
+	cancel()
+	s.Wait()
+
+	// Full enumeration wall time (= what one-shot buffering delivers).
+	start = time.Now()
+	frames := 0
+	res := eng.DoStream(context.Background(), job, func(extremalcq.StreamAnswer) bool {
+		frames++
+		return true
+	})
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	fullMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+	// One-shot first-answer search for reference.
+	start = time.Now()
+	if res := eng.Do(context.Background(), job); res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	oneShotMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+	report.Streaming = streamingRecord{
+		Workload:         "cq/weakly-most-general, neg={P(a),Q(a)}, atoms<=4, vars<=5",
+		FirstResultMS:    firstMS,
+		FullStreamMS:     fullMS,
+		OneShotFirstMS:   oneShotMS,
+		ResultsStreamed:  frames,
+		FirstResultShare: firstMS / fullMS,
+	}
+	row("Stream/TTFR", "first answer before search ends",
+		fmt.Sprintf("first=%.2fms full=%.2fms (%d answers, first at %.1f%% of full)",
+			firstMS, fullMS, frames, 100*firstMS/fullMS))
+	fmt.Println()
+}
+
+func mustParsePointed(sch *extremalcq.Schema, s string) extremalcq.Example {
+	p, err := instance.ParsePointed(sch, s)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 func table1() {

@@ -21,6 +21,11 @@
 //	-atoms     search bound: max atoms for synthesis tasks (default 3)
 //	-vars      search bound: max variables for synthesis tasks (default 4)
 //	-timeout   per-job deadline, e.g. 30s (default none)
+//	-stream    stream each enumerated answer as it is found: the
+//	           weakly-most-general and basis searches print every
+//	           verified answer immediately instead of buffering the
+//	           full enumeration; other tasks print their result as a
+//	           one-frame stream
 //	-store     persistent result store directory: answers computed in
 //	           earlier runs (or by a cqfitd sharing the directory while
 //	           not running) are served from disk, and this run's answer
@@ -38,6 +43,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"slices"
 	"strings"
 	"time"
 
@@ -60,7 +66,7 @@ func main() {
 // realMain parses args into a JobSpec, runs it through a single-worker
 // engine and renders the result; split from main for testability.
 func realMain(args []string, out, errw io.Writer) int {
-	spec, timeout, storeDir, err := specFromArgs(args, errw)
+	spec, opts, err := specFromArgs(args, errw)
 	if err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -73,13 +79,13 @@ func realMain(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "cqfit:", err)
 		return 1
 	}
-	job.Timeout = timeout
+	job.Timeout = opts.timeout
 
 	// Closed after the engine (defers run LIFO): Engine.Close drains the
 	// write-behind queue, so this run's answer is on disk for the next.
 	var st *extremalcq.Store
-	if storeDir != "" {
-		st, err = extremalcq.OpenStore(storeDir, extremalcq.StoreOptions{})
+	if opts.storeDir != "" {
+		st, err = extremalcq.OpenStore(opts.storeDir, extremalcq.StoreOptions{})
 		if err != nil {
 			fmt.Fprintln(errw, "cqfit:", err)
 			return 1
@@ -93,6 +99,40 @@ func realMain(args []string, out, errw io.Writer) int {
 	// search mid-flight instead of waiting out the computation.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if opts.stream {
+		// Streaming mode: print each enumerated answer the moment the
+		// solver verifies it, instead of buffering the full search.
+		var frames []string
+		res := eng.DoStream(ctx, job, func(a extremalcq.StreamAnswer) bool {
+			fmt.Fprintln(out, a.Query)
+			frames = append(frames, a.Query)
+			return true
+		})
+		if res.Err != nil {
+			fmt.Fprintln(errw, "cqfit:", res.Err)
+			return 1
+		}
+		switch {
+		case !res.Found:
+			// Streamed frames can be progress, not answers (a UCQ search
+			// streams candidates whose union then failed verification);
+			// the outcome must still be reported.
+			fmt.Fprintln(out, render(res))
+		case len(frames) == 0:
+			// Query-less outcomes (exists, verify, a too-large tree note)
+			// produce no frames; render them as the one-shot path would.
+			fmt.Fprintln(out, render(res))
+		case !slices.Equal(frames, res.Queries):
+			// The terminal answer differs from the frames (the verified
+			// union of a UCQ search): print it.
+			for _, q := range res.Queries {
+				fmt.Fprintln(out, q)
+			}
+		}
+		return 0
+	}
+
 	res := eng.Do(ctx, job)
 	if res.Err != nil {
 		fmt.Fprintln(errw, "cqfit:", res.Err)
@@ -102,9 +142,16 @@ func realMain(args []string, out, errw io.Writer) int {
 	return 0
 }
 
+// cliOpts carries the flags that configure the run rather than the job.
+type cliOpts struct {
+	timeout  time.Duration
+	storeDir string
+	stream   bool
+}
+
 // specFromArgs wires the flag set into the engine's text-level job
 // specification.
-func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, time.Duration, string, error) {
+func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, cliOpts, error) {
 	fs := flag.NewFlagSet("cqfit", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	var (
@@ -117,12 +164,13 @@ func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, time.Durat
 		maxVars   = fs.Int("vars", 0, "search bound: max variables (0 = default, <0 = no enumeration)")
 		timeout   = fs.Duration("timeout", 0, "per-job deadline (0 = none)")
 		storeDir  = fs.String("store", "", "persistent result store directory (empty = none)")
+		stream    = fs.Bool("stream", false, "stream each enumerated answer as it is found")
 	)
 	var posFlags, negFlags multiFlag
 	fs.Var(&posFlags, "pos", "positive example (repeatable)")
 	fs.Var(&negFlags, "neg", "negative example (repeatable)")
 	if err := fs.Parse(args); err != nil {
-		return extremalcq.JobSpec{}, 0, "", err
+		return extremalcq.JobSpec{}, cliOpts{}, err
 	}
 	return extremalcq.JobSpec{
 		Schema:   *schemaStr,
@@ -134,7 +182,7 @@ func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, time.Durat
 		Query:    *queryStr,
 		MaxAtoms: *maxAtoms,
 		MaxVars:  *maxVars,
-	}, *timeout, *storeDir, nil
+	}, cliOpts{timeout: *timeout, storeDir: *storeDir, stream: *stream}, nil
 }
 
 // kindName renders the query language for human-facing messages.

@@ -160,6 +160,101 @@ func TestRealMain(t *testing.T) {
 	}
 }
 
+// TestRealMainStream drives -stream: enumeration tasks print every
+// answer (not just the first), single-answer tasks print their result,
+// and a no-answer search still reports its outcome.
+func TestRealMainStream(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "wmg streams all answers",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-task", "weakly-most-general", "-stream",
+				"-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- R(v0,v1)\nq() :- P(v0) ∧ Q(v1)",
+		},
+		{
+			name: "basis streams members",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-task", "basis", "-stream",
+				"-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- R(v0,v1)\nq() :- P(v0) ∧ Q(v1)",
+		},
+		{
+			name: "construct is a one-frame stream",
+			args: []string{"-schema", "R/2,P/1", "-task", "construct", "-stream",
+				"-pos", "R(a,b)", "-neg", "P(u)"},
+			want: "q() :- R(a,b)",
+		},
+		{
+			name: "no answers reports the outcome",
+			args: []string{"-schema", "R/2", "-task", "construct", "-stream",
+				"-pos", "R(a,b)", "-neg", "R(a,b)"},
+			want: "no fitting CQ exists",
+		},
+		{
+			// Query-less outcomes still render in stream mode.
+			name: "exists streams its outcome",
+			args: []string{"-schema", "R/2", "-task", "exists", "-stream", "-pos", "R(a,b)"},
+			want: "fitting CQ exists: true",
+		},
+		{
+			name: "verify streams its outcome",
+			args: []string{"-schema", "R/2", "-arity", "1", "-task", "verify", "-stream",
+				"-pos", "R(a,b). R(b,c) @ a", "-q", "q(x) :- R(x,y)"},
+			want: "fits: true",
+		},
+		{
+			// The UCQ search streams candidate disjuncts; when their union
+			// fails exact verification the outcome is still reported.
+			name: "ucq candidates without a verified union",
+			args: []string{"-schema", "R/2,P/1,Q/1", "-kind", "ucq", "-task", "weakly-most-general",
+				"-stream", "-atoms", "1", "-vars", "2", "-neg", "P(a)", "-neg", "Q(a)"},
+			want: "q() :- R(v0,v1)\nq() :- R(v0,v0)\nnone found within bounds",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errw bytes.Buffer
+			code := realMain(tc.args, &out, &errw)
+			if code != 0 {
+				t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+			}
+			got := strings.TrimRight(out.String(), "\n")
+			if got != tc.want {
+				t.Errorf("output:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRealMainStreamUCQUnion: when the stream's terminal answer differs
+// from its frames (the verified union of a UCQ search), the answer is
+// printed after the candidate frames.
+func TestRealMainStreamUCQUnion(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := realMain([]string{
+		"-schema", "R/2,P/1,Q/1", "-kind", "ucq", "-task", "weakly-most-general",
+		"-stream", "-neg", "P(a)", "-neg", "Q(a)",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected candidate frames plus the union, got:\n%s", out.String())
+	}
+	if got, want := lines[len(lines)-1], "q() :- R(v0,v1) ∪ q() :- P(v0) ∧ Q(v1)"; got != want {
+		t.Errorf("final line %q, want the verified union %q", got, want)
+	}
+	for _, l := range lines[:len(lines)-1] {
+		if !strings.HasPrefix(l, "q(") {
+			t.Errorf("candidate frame %q is not a query", l)
+		}
+	}
+}
+
 // TestRealMainErrors checks the error paths of the flag wiring.
 func TestRealMainErrors(t *testing.T) {
 	tests := []struct {

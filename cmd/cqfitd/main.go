@@ -3,15 +3,19 @@
 // Usage:
 //
 //	cqfitd [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 30s]
-//	       [-store-dir DIR] [-store-max-bytes N]
+//	       [-max-streams N] [-store-dir DIR] [-store-max-bytes N]
 //
 // Endpoints:
 //
-//	POST /v1/jobs   run one fitting job
-//	POST /v1/batch  run a batch of fitting jobs
-//	GET  /v1/stats  cache hit rates, queue depth, queue wait, store
-//	                activity, per-task latency
-//	GET  /metrics   the same counters in Prometheus text format
+//	POST /v1/jobs         run one fitting job
+//	POST /v1/jobs/stream  run one job in streaming mode (NDJSON: one
+//	                      flushed frame per enumerated answer, then a
+//	                      terminal {"done":true,...} frame; closing the
+//	                      connection cancels the search)
+//	POST /v1/batch        run a batch of fitting jobs
+//	GET  /v1/stats        cache hit rates, queue depth, queue wait,
+//	                      streams, store activity, per-task latency
+//	GET  /metrics         the same counters in Prometheus text format
 //
 // With -store-dir, completed results are persisted to an append-only
 // fingerprint-keyed log (see internal/store); a restarted daemon
@@ -52,6 +56,7 @@ func main() {
 		queue    = flag.Int("queue", 256, "job queue size")
 		cache    = flag.Int("cache", 0, "memo entries per class (0 = default, <0 = disable)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "default per-job deadline (0 = none)")
+		streams  = flag.Int("max-streams", 0, "concurrent stream bound; excess requests get 429 (0 = 4x workers)")
 		storeDir = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
 		storeMax = flag.Int64("store-max-bytes", 256<<20, "store size budget; oldest segments evicted past it (<= 0 = unbounded)")
 	)
@@ -77,6 +82,7 @@ func main() {
 		QueueSize:      *queue,
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
+		MaxStreams:     *streams,
 		Store:          st,
 	})
 	defer eng.Close()
@@ -86,7 +92,9 @@ func main() {
 		Handler:           newServer(eng),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
-		WriteTimeout:      5 * time.Minute,
+		// No WriteTimeout: /v1/jobs/stream responses live as long as
+		// their enumeration. One-shot handlers are bounded by the
+		// engine's per-job deadline instead.
 	}
 	go func() {
 		log.Printf("cqfitd: listening on %s", *addr)

@@ -35,6 +35,10 @@ func (m metricWriter) single(name, help, typ string, v float64) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Like writeJSON, bound the response write: the server has no global
+	// WriteTimeout (streams must outlive any fixed bound), so every
+	// non-streaming handler sets its own deadline.
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(oneShotWriteTimeout))
 	st := s.eng.Stats()
 	w.Header().Set("Content-Type", metricsContentType)
 	m := metricWriter{w: w}
@@ -45,7 +49,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		float64(st.JobsDone))
 	m.single("cqfitd_jobs_failed_total", "Jobs completed with an error.", "counter",
 		float64(st.JobsFailed))
-	m.single("cqfitd_rejected_total", "Requests shed with HTTP 429 (full job queue).", "counter",
+	m.single("cqfitd_rejected_total", "Jobs refused on a full queue (429 responses and in-batch refusals).", "counter",
 		float64(s.rejected.Load()))
 	m.single("cqfitd_workers", "Worker pool size.", "gauge", float64(st.Workers))
 	m.single("cqfitd_queue_depth", "Jobs currently queued.", "gauge", float64(st.QueueDepth))
@@ -57,6 +61,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		float64(st.DedupLeaders))
 	m.single("cqfitd_dedup_shared_total", "Jobs that adopted an identical in-flight job's result.", "counter",
 		float64(st.DedupShared))
+
+	// Streaming enumeration (POST /v1/jobs/stream).
+	m.single("cqfitd_streams_started_total", "Streaming submissions accepted.", "counter",
+		float64(st.Streams.Started))
+	m.single("cqfitd_streams_active", "Streams currently open.", "gauge",
+		float64(st.Streams.Active))
+	m.single("cqfitd_stream_results_total", "Answer frames delivered across all streams.", "counter",
+		float64(st.Streams.Results))
+	m.family("cqfitd_stream_first_result_ms", "Submit to first answer latency aggregates.", "gauge")
+	m.value("cqfitd_stream_first_result_ms", `{stat="min"}`, st.Streams.FirstResult.MinMS)
+	m.value("cqfitd_stream_first_result_ms", `{stat="avg"}`, st.Streams.FirstResult.AvgMS)
+	m.value("cqfitd_stream_first_result_ms", `{stat="max"}`, st.Streams.FirstResult.MaxMS)
+	m.single("cqfitd_stream_first_results_total", "Streams that emitted at least one answer.", "counter",
+		float64(st.Streams.FirstResult.Count))
 
 	// Queue wait (submit→dispatch latency) aggregates.
 	m.family("cqfitd_queue_wait_ms", "Queue wait (submit to dispatch latency) aggregates.", "gauge")

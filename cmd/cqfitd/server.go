@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,22 +13,30 @@ import (
 
 // server exposes a fitting engine over HTTP/JSON:
 //
-//	POST /v1/jobs   — run a single job (body: JobSpec)
-//	POST /v1/batch  — run a batch     (body: {"jobs": [JobSpec, ...]})
-//	GET  /v1/stats  — engine statistics (cache hit rates, queue depth,
-//	                  queue wait, store activity, per-task latency)
-//	GET  /metrics   — the same counters in Prometheus text format
+//	POST /v1/jobs         — run a single job (body: JobSpec)
+//	POST /v1/batch        — run a batch     (body: {"jobs": [JobSpec, ...]})
+//	POST /v1/jobs/stream  — run a job in streaming mode: each enumerated
+//	                        answer is its own flushed NDJSON frame,
+//	                        followed by a terminal frame; disconnecting
+//	                        cancels the underlying search
+//	GET  /v1/stats        — engine statistics (cache hit rates, queue
+//	                        depth, queue wait, streams, store activity,
+//	                        per-task latency)
+//	GET  /metrics         — the same counters in Prometheus text format
 type server struct {
 	eng   *engine.Engine
 	mux   *http.ServeMux
 	start time.Time
-	// rejected counts requests shed with 429 (full job queue).
+	// rejected counts jobs refused with 429 / in-batch queue-full
+	// errors: every refused job counts, including jobs refused out of a
+	// partially admitted batch.
 	rejected atomic.Int64
 }
 
 func newServer(eng *engine.Engine) *server {
 	s := &server{eng: eng, mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	s.mux.HandleFunc("POST /v1/jobs/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -96,6 +105,97 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, toJSON(p.Wait()))
 }
 
+// streamAnswerFrame is one NDJSON answer line of POST /v1/jobs/stream.
+type streamAnswerFrame struct {
+	Index int    `json:"index"`
+	Query string `json:"query"`
+}
+
+// streamFinalFrame is the terminal NDJSON line of POST /v1/jobs/stream.
+// Queries is the task's final answer list — for enumeration searches it
+// repeats the streamed frames, but for the most-general UCQ search it
+// carries the verified union the candidate frames only led up to.
+type streamFinalFrame struct {
+	Done      bool     `json:"done"`
+	Found     bool     `json:"found"`
+	Results   int      `json:"results"`
+	Queries   []string `json:"queries,omitempty"`
+	Note      string   `json:"note,omitempty"`
+	Error     string   `json:"error,omitempty"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+}
+
+// handleStream runs a job in streaming mode: every enumerated answer is
+// written — and flushed — as its own NDJSON frame the moment the solver
+// verifies it, so clients of an exponentially large enumeration see the
+// first answers while the search is still running. The request context
+// is the subscription: a client that disconnects detaches from the
+// stream, and the underlying solver is canceled once nobody listens.
+// Admission control mirrors the one-shot endpoints: past the engine's
+// concurrent-stream bound the request is shed with 429.
+func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var spec engine.JobSpec
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, err := spec.Build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad job: %v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	st, ok := s.eng.TrySubmitStream(ctx, job)
+	if !ok {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		httpError(w, http.StatusTooManyRequests, "too many open streams; retry later")
+		return
+	}
+	// Streams outlive any fixed bound: clear the connection write
+	// deadline a previous one-shot response on this keep-alive
+	// connection may have left behind (writeJSON sets an absolute one).
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	// Commit the status and flush before the first answer: a slow
+	// enumeration must look like an admitted stream, not a hung request.
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	frames := 0
+	for a := range st.Answers() {
+		if err := enc.Encode(streamAnswerFrame{Index: a.Index, Query: a.Query}); err != nil {
+			cancel() // client gone; detaching cancels the search
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		frames++
+	}
+	res := st.Wait()
+	final := streamFinalFrame{
+		Done:      true,
+		Found:     res.Found,
+		Results:   frames,
+		Queries:   res.Queries,
+		Note:      res.Note,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	if res.Err != nil {
+		final.Error = res.Err.Error()
+	}
+	enc.Encode(final)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
 type batchRequest struct {
 	Jobs []engine.JobSpec `json:"jobs"`
 }
@@ -142,8 +242,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		pendings = append(pendings, p)
 		idx = append(idx, i)
 	}
+	// Every refused job counts, not just fully refused batches —
+	// otherwise partially refused batches silently undercount and
+	// /metrics disagrees with what clients experienced.
+	if refused > 0 {
+		s.rejected.Add(int64(refused))
+	}
 	if refused > 0 && admitted == 0 {
-		s.rejected.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		httpError(w, http.StatusTooManyRequests, "job queue full; retry later")
 		return
@@ -171,12 +276,29 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// oneShotWriteTimeout bounds writing a one-shot JSON response. The
+// http.Server carries no global WriteTimeout (streams must outlive any
+// fixed bound), so non-streaming responses set their own deadline: a
+// client that stops reading cannot pin the connection forever.
+const oneShotWriteTimeout = 5 * time.Minute
+
+// writeJSON encodes v to a buffer before touching the response: a value
+// that fails to marshal becomes a proper 500, never a truncated body
+// under an already-committed 200 status.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Best effort: recorders and exotic writers may not support write
+	// deadlines, which is fine for tests.
+	http.NewResponseController(w).SetWriteDeadline(time.Now().Add(oneShotWriteTimeout))
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", "response encoding failed: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(append(buf, '\n'))
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -192,6 +193,233 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// wmgStreamSpec is an enumeration workload with two weakly most-general
+// answers within the default bounds.
+func wmgStreamSpec() engine.JobSpec {
+	return engine.JobSpec{
+		Schema: "R/2,P/1,Q/1", Arity: 0, Kind: "cq", Task: "weakly-most-general",
+		Neg: []string{"P(a)", "Q(a)"},
+	}
+}
+
+// TestStreamNDJSON posts a streaming job and checks the wire format:
+// every line is a well-formed JSON frame, answer frames carry in-order
+// indexes and queries, and the last line is the terminal frame with the
+// result count.
+func TestStreamNDJSON(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/jobs/stream", wmgStreamSpec())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Errorf("content type %q, want NDJSON", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d NDJSON lines, want 2 answers + terminal:\n%s", len(lines), body)
+	}
+	for i, line := range lines[:2] {
+		var frame streamAnswerFrame
+		if err := json.Unmarshal([]byte(line), &frame); err != nil {
+			t.Fatalf("frame %d is not valid JSON: %v (%q)", i, err, line)
+		}
+		if frame.Index != i || !strings.Contains(frame.Query, ":-") {
+			t.Errorf("frame %d: %+v", i, frame)
+		}
+	}
+	var final streamFinalFrame
+	if err := json.Unmarshal([]byte(lines[2]), &final); err != nil {
+		t.Fatalf("terminal frame: %v (%q)", err, lines[2])
+	}
+	if !final.Done || !final.Found || final.Results != 2 || final.Error != "" {
+		t.Errorf("terminal frame: %+v", final)
+	}
+	if len(final.Queries) != 2 {
+		t.Errorf("terminal frame must carry the final answer list: %+v", final)
+	}
+}
+
+// TestStreamUCQFinalFrameCarriesUnion: the most-general UCQ search
+// streams candidate disjuncts, so the actual answer — the verified
+// union — must travel in the terminal frame's queries.
+func TestStreamUCQFinalFrameCarriesUnion(t *testing.T) {
+	ts := newTestServer(t)
+
+	spec := engine.JobSpec{
+		Schema: "R/2,P/1,Q/1", Arity: 0, Kind: "ucq", Task: "weakly-most-general",
+		Neg: []string{"P(a)", "Q(a)"},
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs/stream", spec)
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	var final streamFinalFrame
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &final); err != nil {
+		t.Fatalf("terminal frame: %v (%q)", err, lines[len(lines)-1])
+	}
+	if !final.Found || len(final.Queries) != 1 || !strings.Contains(final.Queries[0], "∪") {
+		t.Errorf("terminal frame must carry the verified union: %+v", final)
+	}
+}
+
+// TestStreamAdmissionControl: past the engine's concurrent-stream bound
+// the streaming endpoint sheds load with 429 + Retry-After, and the
+// refusal is counted.
+func TestStreamAdmissionControl(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1, MaxStreams: 1})
+	srv := newServer(eng)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	slow := wmgStreamSpec()
+	slow.MaxAtoms, slow.MaxVars = 6, 8
+	slow.TimeoutMS = 60000
+	buf, err := json.Marshal(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/stream", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// First frame received: the one stream slot is demonstrably held.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("reading first frame: %v", err)
+	}
+
+	second := postJSON(t, ts.URL+"/v1/jobs/stream", wmgStreamSpec())
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second stream: status = %d, want 429", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Error("429 stream refusal missing Retry-After")
+	}
+	if srv.rejected.Load() != 1 {
+		t.Errorf("rejected counter = %d, want 1", srv.rejected.Load())
+	}
+}
+
+// TestStreamFlushesBeforeCompletion reads the stream incrementally on a
+// workload whose enumeration takes far longer than its first answer:
+// receiving a parseable first frame while the search is still running
+// proves each frame is flushed as it is produced, and closing the
+// response mid-stream must cancel the underlying solver promptly
+// (ActiveSolvers probe).
+func TestStreamFlushesBeforeCompletion(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	spec := wmgStreamSpec()
+	spec.MaxAtoms, spec.MaxVars = 6, 8 // huge candidate space; first answer is near-instant
+	spec.TimeoutMS = 60000
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/stream", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(resp.Body).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first frame: %v", err)
+	}
+	var frame streamAnswerFrame
+	if err := json.Unmarshal([]byte(line), &frame); err != nil {
+		t.Fatalf("first frame not valid JSON: %v (%q)", err, line)
+	}
+	if frame.Query == "" {
+		t.Fatalf("first frame carries no query: %q", line)
+	}
+	// The enumeration is still running: the frame was flushed mid-search.
+	if got := eng.Stats().ActiveSolvers; got != 1 {
+		t.Fatalf("active solvers = %d while mid-stream, want 1", got)
+	}
+
+	// Disconnect. The server observes r.Context() being canceled and the
+	// engine cancels the enumeration: ActiveSolvers returns to zero long
+	// before the candidate space could be exhausted.
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for eng.Stats().ActiveSolvers != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("solver still running 5s after client disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStreamWarmReplayFromStore re-posts a completed stream against a
+// store-backed engine: the warm run must replay the identical frames
+// with SolverRuns unchanged.
+func TestStreamWarmReplayFromStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Store: st})
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		st.Close()
+	})
+
+	read := func() string {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/jobs/stream", wmgStreamSpec())
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	cold := read()
+	runs := eng.Stats().SolverRuns
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().Puts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("write-behind never persisted the stream")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	warm := read()
+	if got := eng.Stats().SolverRuns; got != runs {
+		t.Errorf("warm stream launched solvers: SolverRuns %d -> %d", runs, got)
+	}
+	// Identical frames modulo the elapsed_ms of the terminal line.
+	coldLines, warmLines := strings.Split(cold, "\n"), strings.Split(warm, "\n")
+	if len(coldLines) != len(warmLines) {
+		t.Fatalf("warm replay has %d lines, cold %d", len(warmLines), len(coldLines))
+	}
+	for i := range coldLines[:len(coldLines)-2] {
+		if coldLines[i] != warmLines[i] {
+			t.Errorf("line %d differs:\ncold %s\nwarm %s", i, coldLines[i], warmLines[i])
+		}
+	}
+}
+
 // TestMetricsEndpoint checks the Prometheus text exposition: after one
 // job, the counter families exist with the expected values, and the
 // store families appear when (and only when) a store is attached.
@@ -310,6 +538,89 @@ func TestMetricsWithStore(t *testing.T) {
 	}
 	if stats.Engine.StoreHits != 1 {
 		t.Errorf("/v1/stats store_hits = %d, want 1", stats.Engine.StoreHits)
+	}
+}
+
+// TestWriteJSONEncodeFailure checks the buffered encoding path: a value
+// that cannot marshal yields a clean 500 with a JSON error body, never
+// a truncated 200.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("500 body is not JSON: %v (%q)", err, rec.Body.String())
+	}
+	if out["error"] == "" {
+		t.Errorf("500 body carries no error: %q", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]string{"ok": "yes"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy value: status = %d, want 200", rec.Code)
+	}
+}
+
+// TestBatchPartialRefusalCounts fills the queue so a batch is only
+// partially admitted, and checks that every refused job lands in the
+// rejected counter — not just fully refused batches.
+func TestBatchPartialRefusalCounts(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1, QueueSize: 2})
+	srv := newServer(eng)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	slow := engine.JobSpec{
+		Schema: "R/2", Arity: 0, Kind: "cq", Task: "construct",
+		Pos: []string{
+			"R(a0,a1). R(a1,a0)",
+			"R(b0,b1). R(b1,b2). R(b2,b0)",
+			"R(c0,c1). R(c1,c2). R(c2,c3). R(c3,c4). R(c4,c0)",
+			"R(d0,d1). R(d1,d2). R(d2,d3). R(d3,d4). R(d4,d5). R(d5,d6). R(d6,d0)",
+		},
+		// Short deadline: the admitted batch job below waits behind both
+		// slow jobs, so their timeout bounds this test's runtime. 2s is
+		// still orders of magnitude beyond the 50ms pinning window.
+		TimeoutMS: 2000,
+	}
+	job, err := slow.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the worker, then occupy one of the two queue slots: the batch
+	// below gets exactly one job in before the queue refuses the rest.
+	eng.Submit(context.Background(), job)
+	time.Sleep(50 * time.Millisecond)
+	eng.Submit(context.Background(), job)
+
+	quick := engine.JobSpec{Schema: "R/2", Arity: 0, Kind: "cq", Task: "exists", Pos: []string{"R(a,b)"}, TimeoutMS: 30000}
+	resp := postJSON(t, ts.URL+"/v1/batch", map[string]any{"jobs": []engine.JobSpec{quick, quick, quick}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partially admitted batch: status = %d, want 200", resp.StatusCode)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	refused := 0
+	for _, r := range out.Results {
+		if r.Error == engine.ErrQueueFull.Error() {
+			refused++
+		}
+	}
+	if refused != 2 {
+		t.Fatalf("refused %d of 3 jobs in place, want 2: %+v", refused, out.Results)
+	}
+	if got := srv.rejected.Load(); got != int64(refused) {
+		t.Errorf("rejected counter = %d, want %d (every refused job counts)", got, refused)
 	}
 }
 

@@ -141,6 +141,9 @@ var (
 var (
 	// HomExists tests for a homomorphism between pointed instances.
 	HomExists = hom.Exists
+	// HomFindAll enumerates all homomorphisms between pointed instances,
+	// yielding each as the search reaches it.
+	HomFindAll = hom.FindAll
 	// HomEquivalent tests homomorphic equivalence.
 	HomEquivalent = hom.Equivalent
 	// Core computes the core of a pointed instance.
@@ -196,11 +199,15 @@ var (
 	ConstructMostSpecific   = fitting.ConstructMostSpecific
 	VerifyWeaklyMostGeneral = fitting.VerifyWeaklyMostGeneral
 	SearchWeaklyMostGeneral = fitting.SearchWeaklyMostGeneral
-	VerifyBasis             = fitting.VerifyBasis
-	SearchBasis             = fitting.SearchBasis
-	VerifyUnique            = fitting.VerifyUnique
-	UniqueFittingExists     = fitting.ExistsUnique
-	DefaultSearch           = fitting.DefaultSearch
+	// ForEachWeaklyMostGeneral streams every weakly most-general fitting
+	// CQ within the bounds as it is found, deduplicated incrementally.
+	ForEachWeaklyMostGeneral = fitting.ForEachWeaklyMostGeneral
+	AllWeaklyMostGeneral     = fitting.AllWeaklyMostGeneral
+	VerifyBasis              = fitting.VerifyBasis
+	SearchBasis              = fitting.SearchBasis
+	VerifyUnique             = fitting.VerifyUnique
+	UniqueFittingExists      = fitting.ExistsUnique
+	DefaultSearch            = fitting.DefaultSearch
 )
 
 // UCQ fitting (Section 4).
@@ -212,8 +219,14 @@ var (
 	VerifyMostGeneralUCQ  = ucqfit.VerifyMostGeneral
 	MostGeneralUCQExists  = ucqfit.ExistsMostGeneral
 	SearchMostGeneralUCQ  = ucqfit.SearchMostGeneral
-	VerifyUniqueUCQ       = ucqfit.VerifyUnique
-	UniqueUCQExists       = ucqfit.ExistsUnique
+	// ForEachMostGeneralUCQCandidate streams the candidate disjuncts of
+	// the bounded most-general UCQ search as the enumeration reaches
+	// them; CombineMostGeneralUCQ finishes the search over the collected
+	// candidates.
+	ForEachMostGeneralUCQCandidate = ucqfit.ForEachMostGeneralCandidate
+	CombineMostGeneralUCQ          = ucqfit.CombineMostGeneral
+	VerifyUniqueUCQ                = ucqfit.VerifyUnique
+	UniqueUCQExists                = ucqfit.ExistsUnique
 )
 
 // The fitting engine: batched, concurrent, memoized execution of all of
@@ -238,6 +251,13 @@ type (
 	JobKind = engine.Kind
 	// JobTask selects the fitting problem of a Job.
 	JobTask = engine.Task
+	// Stream is a handle to a streaming job submission
+	// (Engine.SubmitStream / Engine.DoStream): each enumerated answer is
+	// delivered on Stream.Answers the moment the solver verifies it, and
+	// Stream.Wait returns the terminal summary.
+	Stream = engine.Stream
+	// StreamAnswer is one enumerated answer frame of a Stream.
+	StreamAnswer = engine.Answer
 )
 
 // Job kinds and tasks.
@@ -302,8 +322,12 @@ var (
 	ConstructMostSpecificTree   = tree.ConstructMostSpecific
 	VerifyWeaklyMostGeneralTree = tree.VerifyWeaklyMostGeneral
 	SearchWeaklyMostGeneralTree = tree.SearchWeaklyMostGeneral
-	VerifyUniqueTree            = tree.VerifyUnique
-	UniqueTreeExists            = tree.ExistsUnique
-	VerifyBasisTree             = tree.VerifyBasis
-	SearchBasisTree             = tree.SearchBasis
+	// ForEachWeaklyMostGeneralTree streams every weakly most-general
+	// fitting tree CQ within the bounds as it is found.
+	ForEachWeaklyMostGeneralTree = tree.ForEachWeaklyMostGeneral
+	AllWeaklyMostGeneralTree     = tree.AllWeaklyMostGeneral
+	VerifyUniqueTree             = tree.VerifyUnique
+	UniqueTreeExists             = tree.ExistsUnique
+	VerifyBasisTree              = tree.VerifyBasis
+	SearchBasisTree              = tree.SearchBasis
 )

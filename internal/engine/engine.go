@@ -56,6 +56,14 @@ type Options struct {
 	// DefaultTimeout applies to jobs that do not set their own Timeout;
 	// zero means no default deadline.
 	DefaultTimeout time.Duration
+	// MaxStreams bounds the open streams (subscriptions, not flights)
+	// TrySubmitStream admits concurrently. Stream leaders run off-pool,
+	// and every distinct streaming job adds a solver, so the bound
+	// conservatively caps concurrent enumerations — dedup followers of
+	// a shared flight count against it too, even though they add no
+	// solver load. <= 0 selects 4 × Workers. SubmitStream is not
+	// bounded.
+	MaxStreams int
 	// Store attaches a persistent result store: completed results are
 	// written behind keyed by job fingerprint, and lookups run before
 	// dedup and the solvers, so answers survive restarts. The engine
@@ -101,6 +109,15 @@ type Engine struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
+	// streams coalesces identical in-flight streaming jobs (see
+	// stream.go): followers replay the leader's prefix and tail live.
+	streamMu sync.Mutex
+	streams  map[string]*streamFlight
+
+	streamsStarted atomic.Int64 // streaming submissions accepted
+	streamsActive  atomic.Int64 // streams currently open
+	streamResults  atomic.Int64 // answer frames delivered to subscribers
+
 	solvers      atomic.Int64 // solver goroutines currently running
 	solverRuns   atomic.Int64 // solver goroutines ever launched
 	dedupLeaders atomic.Int64 // flights that performed the computation
@@ -126,6 +143,13 @@ type Engine struct {
 	waitTotal time.Duration
 	waitMin   time.Duration
 	waitMax   time.Duration
+
+	// Stream time-to-first-result accounting (submit→first answer
+	// latency), guarded by statsMu.
+	ttfrCount int64
+	ttfrTotal time.Duration
+	ttfrMin   time.Duration
+	ttfrMax   time.Duration
 }
 
 type envelope struct {
@@ -169,6 +193,9 @@ func New(opts Options) *Engine {
 	if opts.QueueSize <= 0 {
 		opts.QueueSize = 64
 	}
+	if opts.MaxStreams <= 0 {
+		opts.MaxStreams = 4 * opts.Workers
+	}
 	rootCtx, rootCancel := context.WithCancel(context.Background())
 	e := &Engine{
 		opts:       opts,
@@ -178,6 +205,7 @@ func New(opts Options) *Engine {
 		rootCtx:    rootCtx,
 		rootCancel: rootCancel,
 		flights:    make(map[string]*flight),
+		streams:    make(map[string]*streamFlight),
 		tasks:      make(map[string]*taskAgg),
 	}
 	if opts.CacheSize >= 0 {
@@ -504,8 +532,7 @@ func (e *Engine) jobContext(parent context.Context, j Job) (context.Context, con
 func (e *Engine) runSolver(ctx context.Context, j Job) Result {
 	solveCtx := ctx
 	if e.memo != nil {
-		solveCtx = hom.WithCache(solveCtx, e.memo)
-		solveCtx = instance.WithProductCache(solveCtx, e.memo)
+		solveCtx = withEngineCaches(solveCtx, e.memo)
 	}
 	ch := make(chan Result, 1)
 	e.solvers.Add(1)
@@ -522,6 +549,13 @@ func (e *Engine) runSolver(ctx context.Context, j Job) Result {
 	case <-e.done:
 		return failedResult(j, ErrClosed)
 	}
+}
+
+// withEngineCaches attaches the engine memo to a solver context (hom,
+// core and product lookups all route through it).
+func withEngineCaches(ctx context.Context, m *Memo) context.Context {
+	ctx = hom.WithCache(ctx, m)
+	return instance.WithProductCache(ctx, m)
 }
 
 // closeErr maps a context failure observed during Close to ErrClosed
@@ -580,6 +614,20 @@ type WaitStats struct {
 	MaxMS float64 `json:"max_ms"`
 }
 
+// StreamStats is a snapshot of streaming-job activity.
+type StreamStats struct {
+	// Started counts streaming submissions accepted; Active counts
+	// streams currently open; Results counts answer frames delivered to
+	// subscribers across all streams.
+	Started int64 `json:"started"`
+	Active  int64 `json:"active"`
+	Results int64 `json:"results"`
+	// FirstResult aggregates submit→first-answer latency over streams
+	// that emitted at least one answer — the latency one-shot buffering
+	// would have hidden behind the full search.
+	FirstResult WaitStats `json:"first_result"`
+}
+
 // Stats is a point-in-time snapshot of engine activity.
 type Stats struct {
 	Workers    int   `json:"workers"`
@@ -603,6 +651,8 @@ type Stats struct {
 	Tasks        map[string]TaskStats `json:"tasks"`
 	// Wait aggregates submit→dispatch queue latency.
 	Wait WaitStats `json:"queue_wait"`
+	// Streams reports streaming-job activity (SubmitStream).
+	Streams StreamStats `json:"streams"`
 	// Store reports persistent-store activity; nil when no store is
 	// attached. StoreHits counts jobs answered from the store without
 	// any solver work.
@@ -678,12 +728,23 @@ func (e *Engine) Stats() Stats {
 			BadRecords:    e.storeBadRecords.Load(),
 		}
 	}
+	s.Streams = StreamStats{
+		Started: e.streamsStarted.Load(),
+		Active:  e.streamsActive.Load(),
+		Results: e.streamResults.Load(),
+	}
 	e.statsMu.Lock()
 	s.Wait.Count = e.waitCount
 	if e.waitCount > 0 {
 		s.Wait.MinMS = float64(e.waitMin) / float64(time.Millisecond)
 		s.Wait.AvgMS = float64(e.waitTotal) / float64(e.waitCount) / float64(time.Millisecond)
 		s.Wait.MaxMS = float64(e.waitMax) / float64(time.Millisecond)
+	}
+	s.Streams.FirstResult.Count = e.ttfrCount
+	if e.ttfrCount > 0 {
+		s.Streams.FirstResult.MinMS = float64(e.ttfrMin) / float64(time.Millisecond)
+		s.Streams.FirstResult.AvgMS = float64(e.ttfrTotal) / float64(e.ttfrCount) / float64(time.Millisecond)
+		s.Streams.FirstResult.MaxMS = float64(e.ttfrMax) / float64(time.Millisecond)
 	}
 	for k, a := range e.tasks {
 		ts := TaskStats{

@@ -182,3 +182,148 @@ func fill(res *Result, found bool, err error) bool {
 	res.Found, res.Err = found, err
 	return err == nil && found
 }
+
+// ---------------------------------------------------------------------
+// Streaming dispatch
+// ---------------------------------------------------------------------
+
+// runStream executes a validated job in streaming mode: enumeration
+// tasks pass each verified answer to emit as soon as it is found;
+// single-answer tasks degrade to a one-frame stream of their result's
+// queries. The returned Result is the terminal summary (for enumeration
+// tasks, Queries holds the task's final answer list). As in run, a
+// cancellation unwinding out of the solvers yields a clean failed
+// Result.
+func runStream(ctx context.Context, j Job, emit func(string)) Result {
+	res, err := dispatchStream(ctx, j, emit)
+	if err != nil {
+		return failedResult(j, err)
+	}
+	return res
+}
+
+func dispatchStream(ctx context.Context, j Job, emit func(string)) (res Result, err error) {
+	defer solve.Catch(&err)
+	res = Result{Label: j.Label, Kind: j.Kind, Task: j.Task}
+	if err := j.Validate(); err != nil {
+		res.Err = err
+		return res, nil
+	}
+	if j.Opts.MaxAtoms == 0 {
+		j.Opts.MaxAtoms = fitting.DefaultSearch.MaxAtoms
+	}
+	if j.Opts.MaxVars == 0 {
+		j.Opts.MaxVars = fitting.DefaultSearch.MaxVars
+	}
+	enumerating := j.Task == TaskWeaklyMostGeneral || j.Task == TaskBasis
+	if !enumerating {
+		// Single-answer tasks: run the one-shot dispatch and emit its
+		// queries as the stream's frames.
+		res, err = dispatch(ctx, j)
+		if err == nil {
+			for _, q := range res.Queries {
+				emit(q)
+			}
+		}
+		return res, err
+	}
+	switch j.Kind {
+	case KindCQ:
+		streamCQ(ctx, j, &res, emit)
+	case KindUCQ:
+		streamUCQ(ctx, j, &res, emit)
+	case KindTree:
+		streamTree(ctx, j, &res, emit)
+	}
+	return res, nil
+}
+
+// streamCQ streams the weakly most-general enumeration for CQs: one
+// frame per answer; a basis task additionally verifies the collected
+// answers exactly at the end.
+func streamCQ(ctx context.Context, j Job, res *Result, emit func(string)) {
+	var all []*cq.CQ
+	err := fitting.ForEachWeaklyMostGeneralCtx(ctx, j.Examples, j.Opts, func(q *cq.CQ) bool {
+		all = append(all, q)
+		emit(q.String())
+		return true
+	})
+	finishEnumStream(res, err, renderAll(all), func() (bool, error) {
+		return fitting.VerifyBasisCtx(ctx, all, j.Examples)
+	}, j.Task)
+}
+
+// streamTree is streamCQ over tree CQs.
+func streamTree(ctx context.Context, j Job, res *Result, emit func(string)) {
+	var all []*cq.CQ
+	err := tree.ForEachWeaklyMostGeneralCtx(ctx, j.Examples, j.Opts, func(q *cq.CQ) bool {
+		all = append(all, q)
+		emit(q.String())
+		return true
+	})
+	finishEnumStream(res, err, renderAll(all), func() (bool, error) {
+		return tree.VerifyBasisCtx(ctx, all, j.Examples)
+	}, j.Task)
+}
+
+// streamUCQ streams the most-general UCQ search: each candidate
+// disjunct is a frame as the enumeration reaches it, and the terminal
+// summary carries the verified union (or not-found).
+func streamUCQ(ctx context.Context, j Job, res *Result, emit func(string)) {
+	var cands []*cq.CQ
+	if err := ucqfit.ForEachMostGeneralCandidateCtx(ctx, j.Examples, j.Opts, func(q *cq.CQ) bool {
+		cands = append(cands, q)
+		emit(q.String())
+		return true
+	}); err != nil {
+		res.Err = err
+		return
+	}
+	if len(cands) == 0 {
+		return
+	}
+	u, ok, err := ucqfit.CombineMostGeneralCtx(ctx, j.Examples, cands)
+	if fill(res, ok, err) {
+		res.Queries = []string{u.String()}
+	}
+}
+
+// finishEnumStream fills the terminal summary of a CQ/tree enumeration
+// stream: for weakly-most-general the answers are the result; for basis
+// the collected answers must additionally verify as a basis.
+func finishEnumStream(res *Result, err error, queries []string, verifyBasis func() (bool, error), task Task) {
+	if err != nil {
+		// The emitted frames are verified answers even when the search
+		// ended in an error (e.g. the unsupported product candidate), so
+		// a weakly-most-general summary keeps them next to the error —
+		// mirroring the one-shot search, which reports found answers
+		// alongside its firstErr. A basis cannot be verified from an
+		// incomplete candidate set, so it stays not-found.
+		res.Err = err
+		if task != TaskBasis {
+			res.Found = len(queries) > 0
+			res.Queries = queries
+		}
+		return
+	}
+	if task == TaskBasis {
+		if len(queries) == 0 {
+			return
+		}
+		ok, err := verifyBasis()
+		if fill(res, ok, err) {
+			res.Queries = queries
+		}
+		return
+	}
+	res.Found = len(queries) > 0
+	res.Queries = queries
+}
+
+func renderAll(qs []*cq.CQ) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.String()
+	}
+	return out
+}

@@ -113,6 +113,14 @@ func (j Job) fingerprint() string { return j.digest(true) }
 // the same problem resubmitted under 60s.
 func (j Job) storeKey() string { return j.digest(false) }
 
+// streamFingerprint and streamStoreKey are the streaming-mode analogues
+// of fingerprint and storeKey, in a disjoint keyspace: a streaming
+// enumeration computes the job's full answer list, not the one-shot
+// first answer, so the two modes must never coalesce in single-flight
+// dedup or share store records.
+func (j Job) streamFingerprint() string { return "s!" + j.digest(true) }
+func (j Job) streamStoreKey() string    { return "s!" + j.digest(false) }
+
 func (j Job) digest(withTimeout bool) string {
 	h := sha256.New()
 	ws := func(s string) {

@@ -33,9 +33,12 @@ type storedResult struct {
 // writes (counted) rather than stalling result delivery.
 const storeWriteQueueSize = 256
 
+// storeWrite is one pre-encoded record for the write-behind queue (the
+// one-shot and stream paths persist different encodings under disjoint
+// keys).
 type storeWrite struct {
 	key string
-	res Result
+	val []byte
 }
 
 // storeWriter drains the write-behind queue onto the store. It runs as
@@ -45,16 +48,7 @@ type storeWrite struct {
 func (e *Engine) storeWriter() {
 	defer close(e.storeWriterDone)
 	for w := range e.storeCh {
-		val, err := json.Marshal(storedResult{
-			V:       storedResultVersion,
-			Found:   w.res.Found,
-			Queries: w.res.Queries,
-			Note:    w.res.Note,
-		})
-		if err != nil {
-			continue
-		}
-		e.opts.Store.Put(w.key, val) // Put counts its own errors
+		e.opts.Store.Put(w.key, w.val) // Put counts its own errors
 	}
 }
 
@@ -66,8 +60,17 @@ func (e *Engine) storePut(j Job, res Result) {
 	if e.opts.Store == nil || res.Err != nil {
 		return
 	}
+	val, err := json.Marshal(storedResult{
+		V:       storedResultVersion,
+		Found:   res.Found,
+		Queries: res.Queries,
+		Note:    res.Note,
+	})
+	if err != nil {
+		return
+	}
 	select {
-	case e.storeCh <- storeWrite{key: j.storeKey(), res: res}:
+	case e.storeCh <- storeWrite{key: j.storeKey(), val: val}:
 	default:
 		e.storeDropped.Add(1)
 	}

@@ -1,0 +1,81 @@
+// Package enum supports incremental enumeration of query answers: the
+// streaming searches of the fitting, tree and ucqfit packages emit each
+// verified answer as soon as it is found, and use an Index to
+// deduplicate the stream as it grows.
+//
+// The Index replaces the quadratic "compare against every prior answer"
+// scans the enumeration loops used to run: answers are bucketed by an
+// isomorphism-invariant fingerprint of their homomorphism core
+// (instance.Pointed.IsoFingerprint), so a new candidate is checked for
+// equivalence only against the handful of prior answers sharing its
+// bucket — typically zero or one — instead of all of them. Bucketing by
+// the core's iso-key is sound for every equivalence the enumerations
+// dedup by: each of them implies homomorphic equivalence of the
+// canonical examples, homomorphically equivalent pointed instances have
+// isomorphic cores, and isomorphic instances share the key. (This
+// covers simulation equivalence of tree CQs too: over tree-shaped
+// canonical examples a simulation yields a homomorphism, so simulation
+// equivalence there coincides with — in particular implies —
+// homomorphic equivalence.)
+package enum
+
+import (
+	"context"
+
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+)
+
+// Equiv decides whether two enumerated answers (as pointed instances)
+// are equivalent. It must IMPLY homomorphic equivalence of the two
+// instances (equivalent answers then have isomorphic cores and land in
+// the same bucket) — a relation coarser than homomorphic equivalence
+// would scatter equivalent answers across buckets and break the dedup.
+type Equiv func(ctx context.Context, a, b instance.Pointed) bool
+
+// Index is an incremental deduplication index over enumerated answers.
+// It is not safe for concurrent use; each enumeration owns its own.
+type Index struct {
+	equiv   Equiv
+	buckets map[string][]instance.Pointed
+	n       int
+}
+
+// NewIndex returns an empty index deduplicating by equiv. A nil equiv
+// selects homomorphic equivalence (hom.EquivalentCtx).
+func NewIndex(equiv Equiv) *Index {
+	if equiv == nil {
+		equiv = hom.EquivalentCtx
+	}
+	return &Index{equiv: equiv, buckets: make(map[string][]instance.Pointed)}
+}
+
+// Seen reports whether an answer equivalent to ex was recorded before,
+// and records ex as a new answer when not. The core and its iso-key are
+// computed under ctx, so the check is memoized and interruptible like
+// the enumeration around it.
+func (ix *Index) Seen(ctx context.Context, ex instance.Pointed) bool {
+	return ix.seen(ctx, hom.CoreCtx(ctx, ex), ex)
+}
+
+// SeenCore is Seen for an ex the caller has already cored: the
+// (expensive, uncached without an engine memo) core recomputation is
+// skipped and ex keys itself.
+func (ix *Index) SeenCore(ctx context.Context, ex instance.Pointed) bool {
+	return ix.seen(ctx, ex, ex)
+}
+
+func (ix *Index) seen(ctx context.Context, core, ex instance.Pointed) bool {
+	key := core.IsoFingerprint()
+	for _, prev := range ix.buckets[key] {
+		if ix.equiv(ctx, prev, ex) {
+			return true
+		}
+	}
+	ix.buckets[key] = append(ix.buckets[key], ex)
+	ix.n++
+	return false
+}
+
+// Len returns the number of distinct answers recorded.
+func (ix *Index) Len() int { return ix.n }

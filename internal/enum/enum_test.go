@@ -1,0 +1,84 @@
+package enum
+
+import (
+	"context"
+	"testing"
+
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+var binR = schema.MustNew(schema.Relation{Name: "R", Arity: 2}, schema.Relation{Name: "P", Arity: 1})
+
+func pointed(t *testing.T, s string) instance.Pointed {
+	t.Helper()
+	p, err := instance.ParsePointed(binR, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestIndexDedupsEquivalent: hom-equivalent answers collapse even when
+// they are not isomorphic (the index keys on the core, not the answer).
+func TestIndexDedupsEquivalent(t *testing.T) {
+	ix := NewIndex(nil)
+	ctx := context.Background()
+
+	edge := pointed(t, "R(a,b)")
+	if ix.Seen(ctx, edge) {
+		t.Error("first answer reported as seen")
+	}
+	// Hom-equivalent to edge (its core is one edge), but not isomorphic.
+	twoOut := pointed(t, "R(a,b). R(a,c)")
+	if !ix.Seen(ctx, twoOut) {
+		t.Error("hom-equivalent answer not deduplicated")
+	}
+	// Renamed copy of edge: isomorphic, must dedup.
+	renamed := pointed(t, "R(x,y)")
+	if !ix.Seen(ctx, renamed) {
+		t.Error("isomorphic answer not deduplicated")
+	}
+	// Genuinely new answers extend the index.
+	if ix.Seen(ctx, pointed(t, "P(a)")) {
+		t.Error("distinct answer reported as seen")
+	}
+	if ix.Seen(ctx, pointed(t, "R(a,a)")) {
+		t.Error("loop reported as seen")
+	}
+	if got := ix.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+}
+
+// TestIndexRespectsTuple: the distinguished tuple separates answers that
+// share an instance.
+func TestIndexRespectsTuple(t *testing.T) {
+	ix := NewIndex(nil)
+	ctx := context.Background()
+	if ix.Seen(ctx, pointed(t, "R(a,b) @ a")) {
+		t.Error("first answer reported as seen")
+	}
+	if ix.Seen(ctx, pointed(t, "R(a,b) @ b")) {
+		t.Error("other endpoint is a different answer")
+	}
+	if !ix.Seen(ctx, pointed(t, "R(x,y) @ x")) {
+		t.Error("renamed first answer not deduplicated")
+	}
+}
+
+// TestIndexCustomEquiv: a coarser equivalence collapses more.
+func TestIndexCustomEquiv(t *testing.T) {
+	everything := func(ctx context.Context, a, b instance.Pointed) bool { return true }
+	ix := NewIndex(everything)
+	ctx := context.Background()
+	ix.Seen(ctx, pointed(t, "R(a,b)"))
+	// Same core-iso bucket required for the custom equiv to even be
+	// consulted; a same-bucket member is then swallowed.
+	if !ix.Seen(ctx, pointed(t, "R(x,y)")) {
+		t.Error("custom equiv not applied")
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ix.Len())
+	}
+}

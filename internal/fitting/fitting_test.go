@@ -498,3 +498,39 @@ func TestVerifyEquivalenceInvariant(t *testing.T) {
 		t.Error("Verify must be equivalence-invariant")
 	}
 }
+
+// TestWMGSearchSurvivesProductCandidateError: the positive-product
+// candidate is tried first and can be unsupported on its own (a product
+// of repeated-tuple examples is non-UNP) while every enumerated
+// candidate — distinct-tuple by construction — is fully supported. The
+// search must skip the unsupported product candidate and still surface
+// the answers the bounded enumeration finds, reporting the error
+// alongside them; the negatives here are (groundings of) the expected
+// answer's own frontier members, which makes it weakly most-general by
+// construction.
+func TestWMGSearchSurvivesProductCandidateError(t *testing.T) {
+	rp := schema.MustNew(schema.Relation{Name: "R", Arity: 2}, schema.Relation{Name: "P", Arity: 1})
+	parse := func(s string) instance.Pointed {
+		t.Helper()
+		p, err := instance.ParsePointed(rp, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pos := parse("P(a) @ a,a") // repeated tuple: the product core is non-UNP
+	e, err := NewExamples(rp, 2, []instance.Pointed{pos}, []instance.Pointed{
+		parse("P(u1). P(u2). P(x2). R(x1,x1) @ x1,x2"),
+		parse("P(u1). P(u2). P(x1). R(x2,x2) @ x1,x2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, aerr := AllWeaklyMostGeneralCtx(t.Context(), e, SearchOpts{MaxAtoms: 2, MaxVars: 2})
+	if aerr == nil {
+		t.Error("the product candidate's non-UNP error must be reported")
+	}
+	if len(out) != 1 || out[0].String() != "q(v0,v1) :- P(v0) ∧ P(v1)" {
+		t.Fatalf("enumerated answers lost after the product-candidate error: %v (err %v)", out, aerr)
+	}
+}

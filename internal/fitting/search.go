@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"extremalcq/internal/cq"
+	"extremalcq/internal/enum"
 	"extremalcq/internal/genex"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
@@ -43,6 +44,30 @@ func SearchWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts SearchOpts
 	return found, found != nil, err
 }
 
+// ForEachWeaklyMostGeneral streams the weakly most-general fitting CQs
+// within the bounds: yield is invoked for each verified answer as soon
+// as it is found, deduplicated up to equivalence incrementally, until
+// yield returns false or the candidate space is exhausted.
+func ForEachWeaklyMostGeneral(e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
+	return ForEachWeaklyMostGeneralCtx(context.Background(), e, opts, yield)
+}
+
+// ForEachWeaklyMostGeneralCtx is ForEachWeaklyMostGeneral under a
+// solver context: candidate checks run memoized, ctx is checked per
+// candidate so cancellation cuts the enumeration between answers, and
+// the dedup runs through an incremental core-fingerprint index
+// (internal/enum) rather than a scan over all prior answers.
+func ForEachWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
+	seen := enum.NewIndex(nil)
+	return forEachWMG(ctx, e, opts, func(q *cq.CQ) bool {
+		// forEachWMG yields cores, so the index can key them directly.
+		if seen.SeenCore(ctx, q.Example()) {
+			return true
+		}
+		return yield(q)
+	})
+}
+
 // AllWeaklyMostGeneral collects all weakly most-general fitting CQs
 // within the bounds, deduplicated up to equivalence.
 func AllWeaklyMostGeneral(e Examples, opts SearchOpts) ([]*cq.CQ, error) {
@@ -53,26 +78,31 @@ func AllWeaklyMostGeneral(e Examples, opts SearchOpts) ([]*cq.CQ, error) {
 // context.
 func AllWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts SearchOpts) ([]*cq.CQ, error) {
 	var out []*cq.CQ
-	err := forEachWMG(ctx, e, opts, func(q *cq.CQ) bool {
-		for _, prev := range out {
-			if prev.EquivalentToCtx(ctx, q) {
-				return true
-			}
-		}
+	err := ForEachWeaklyMostGeneralCtx(ctx, e, opts, func(q *cq.CQ) bool {
 		out = append(out, q)
 		return true
 	})
 	return out, err
 }
 
-// forEachWMG enumerates verified weakly most-general fitting CQs. The
-// candidate stream is: the core of the positive product first (this
-// decides the unique-fitting case immediately), then all bounded
-// candidates. ctx is checked per candidate, so cancellation cuts the
-// enumeration short.
+// forEachWMG enumerates verified weakly most-general fitting CQs,
+// possibly repeating equivalent answers (ForEachWeaklyMostGeneralCtx
+// adds the dedup). The candidate stream is: the core of the positive
+// product first (this decides the unique-fitting case immediately),
+// then all bounded candidates. ctx is checked per candidate, so
+// cancellation cuts the enumeration short; so does the first
+// verification error on an *enumerated* candidate — those are
+// uniformly-shaped (distinct-tuple, hence UNP) data examples, so an
+// error there is a property of the input and decides the whole search.
+// An error on the product candidate alone is only a property of that
+// candidate (a product of repeated-tuple examples can be non-UNP while
+// every enumerated candidate is supported), so it is recorded and
+// skipped, preserving any answers the bounded enumeration still finds.
 func forEachWMG(ctx context.Context, e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
 	var firstErr error
-	tryCandidate := func(ex instance.Pointed) bool {
+	// tryCandidate returns false to stop the enumeration; hardErr
+	// reports whether a recorded error should end the search.
+	tryCandidate := func(ex instance.Pointed, hardErr bool) bool {
 		solve.Check(ctx)
 		q, err := cq.FromExample(ex)
 		if err != nil {
@@ -83,12 +113,10 @@ func forEachWMG(ctx context.Context, e Examples, opts SearchOpts, yield func(*cq
 		}
 		ok, err := verifyWeaklyMostGeneral(ctx, q, e)
 		if err != nil {
-			// Unsupported candidates (e.g. non-UNP) are skipped; remember
-			// the first error for reporting.
 			if firstErr == nil {
 				firstErr = err
 			}
-			return true
+			return !hardErr
 		}
 		if ok {
 			return yield(q.CoreCtx(ctx))
@@ -97,19 +125,13 @@ func forEachWMG(ctx context.Context, e Examples, opts SearchOpts, yield func(*cq
 	}
 
 	if prod, err := e.PositiveProductCtx(ctx); err == nil && prod.IsDataExample() {
-		if !tryCandidate(hom.CoreCtx(ctx, prod)) {
-			return nil
+		if !tryCandidate(hom.CoreCtx(ctx, prod), false) {
+			return firstErr
 		}
 	}
-	done := false
 	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
-		if !tryCandidate(ex) {
-			done = true
-			return false
-		}
-		return true
+		return tryCandidate(ex, true)
 	})
-	_ = done
 	return firstErr
 }
 

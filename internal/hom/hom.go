@@ -65,7 +65,15 @@ func findUncached(ctx context.Context, from, to instance.Pointed) (Assignment, b
 // for each (with a copy of the assignment) until yield returns false or
 // the space is exhausted.
 func FindAll(from, to instance.Pointed, yield func(Assignment) bool) {
-	s, ok := newSearch(context.Background(), from, to)
+	FindAllCtx(context.Background(), from, to, yield)
+}
+
+// FindAllCtx is FindAll under a solver context: each homomorphism is
+// yielded as soon as the search reaches it, and the enumeration checks
+// ctx at every node, so deadlines and cancellation stop it between
+// answers (the unwind is a solve sentinel; see package solve).
+func FindAllCtx(ctx context.Context, from, to instance.Pointed, yield func(Assignment) bool) {
+	s, ok := newSearch(ctx, from, to)
 	if !ok {
 		return
 	}

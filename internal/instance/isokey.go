@@ -1,0 +1,137 @@
+package instance
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+// This file adds an isomorphism-invariant digest of pointed instances,
+// used by the incremental-enumeration dedup index (internal/enum) to
+// bucket enumerated answers: isomorphic pointed instances always share
+// the key, so an exact equivalence check only needs to run within a
+// bucket instead of against every prior answer.
+
+// IsoFingerprint returns an isomorphism-invariant digest of the pointed
+// instance: isomorphic pointed instances (Isomorphic) have equal
+// fingerprints. The converse does not hold — the digest is computed by
+// color refinement (1-WL), which cannot separate all non-isomorphic
+// instances — so the key is a pre-filter, not an identity: callers must
+// confirm candidates that share a key with an exact check.
+//
+// Contrast with Fingerprint, which identifies instances up to equality
+// (value names matter) and is the right key for memoizing hom checks,
+// cores and products; IsoFingerprint identifies them up to renaming and
+// is the right key for deduplicating enumerated answers, whose value
+// names are presentation artifacts of the enumeration order.
+func (p Pointed) IsoFingerprint() string {
+	// Universe: active domain plus distinguished elements outside it.
+	vals := p.I.Dom()
+	seen := make(map[Value]bool, len(vals))
+	for _, v := range vals {
+		seen[v] = true
+	}
+	for _, a := range p.Tuple {
+		if !seen[a] {
+			seen[a] = true
+			vals = append(vals, a)
+		}
+	}
+
+	// Initial colors: tuple positions (an iso maps the tuple
+	// position-wise, so positions are invariant) plus the multiset of
+	// (relation, argument position) occurrences.
+	color := make(map[Value]string, len(vals))
+	occ := make(map[Value][]string, len(vals))
+	for _, f := range p.I.Facts() {
+		for pos, a := range f.Args {
+			occ[a] = append(occ[a], fmt.Sprintf("%s/%d", f.Rel, pos))
+		}
+	}
+	for _, v := range vals {
+		var tuplePos []string
+		for i, a := range p.Tuple {
+			if a == v {
+				tuplePos = append(tuplePos, fmt.Sprintf("@%d", i))
+			}
+		}
+		o := append([]string(nil), occ[v]...)
+		sort.Strings(o)
+		color[v] = hashStrings(append(tuplePos, o...))
+	}
+
+	// Refine until the partition stabilizes (the class count is itself
+	// iso-invariant, so the round count is too). Each round folds, for
+	// every fact containing v, the relation, v's positions and the
+	// colors of all arguments into v's color.
+	classes := countClasses(color)
+	for round := 0; round < len(vals); round++ {
+		next := make(map[Value]string, len(vals))
+		for _, v := range vals {
+			var env []string
+			for _, f := range p.I.FactsContaining(v) {
+				parts := []string{f.Rel}
+				for pos, a := range f.Args {
+					sep := ":"
+					if a == v {
+						sep = "*" // mark v's own positions
+					}
+					parts = append(parts, fmt.Sprintf("%s%d=%s", sep, pos, color[a]))
+				}
+				env = append(env, hashStrings(parts))
+			}
+			sort.Strings(env)
+			next[v] = hashStrings(append([]string{color[v]}, env...))
+		}
+		color = next
+		if c := countClasses(color); c == classes {
+			break
+		} else {
+			classes = c
+		}
+	}
+
+	// Final digest: schema, facts rendered by argument color, and the
+	// distinguished tuple rendered by color, all order-normalized.
+	h := sha256.New()
+	for _, r := range p.I.Schema().Relations() {
+		writeString(h, r.Name)
+		writeUint(h, uint64(r.Arity))
+	}
+	facts := make([]string, 0, p.I.Size())
+	for _, f := range p.I.Facts() {
+		parts := []string{f.Rel}
+		for _, a := range f.Args {
+			parts = append(parts, color[a])
+		}
+		facts = append(facts, hashStrings(parts))
+	}
+	sort.Strings(facts)
+	writeUint(h, uint64(len(facts)))
+	for _, f := range facts {
+		writeString(h, f)
+	}
+	writeUint(h, uint64(len(p.Tuple)))
+	for _, a := range p.Tuple {
+		writeString(h, color[a])
+	}
+	return string(h.Sum(nil))
+}
+
+// hashStrings digests a sequence of strings with length prefixes, so
+// distinct sequences cannot collide structurally.
+func hashStrings(parts []string) string {
+	h := sha256.New()
+	for _, s := range parts {
+		writeString(h, s)
+	}
+	return string(h.Sum(nil))
+}
+
+func countClasses(color map[Value]string) int {
+	seen := make(map[string]bool, len(color))
+	for _, c := range color {
+		seen[c] = true
+	}
+	return len(seen)
+}

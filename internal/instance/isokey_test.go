@@ -1,0 +1,66 @@
+package instance
+
+import (
+	"testing"
+
+	"extremalcq/internal/schema"
+)
+
+func isoPointed(t *testing.T, s string) Pointed {
+	t.Helper()
+	sch := schema.MustNew(schema.Relation{Name: "R", Arity: 2}, schema.Relation{Name: "P", Arity: 1})
+	p, err := ParsePointed(sch, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestIsoFingerprintInvariance: isomorphic pointed instances share the
+// key regardless of value names, and Fingerprint does not.
+func TestIsoFingerprintInvariance(t *testing.T) {
+	a := isoPointed(t, "R(a,b). R(b,c). P(a) @ a")
+	b := isoPointed(t, "R(x,y). R(y,z). P(x) @ x")
+	if !Isomorphic(a, b) {
+		t.Fatal("fixture: instances must be isomorphic")
+	}
+	if a.IsoFingerprint() != b.IsoFingerprint() {
+		t.Error("isomorphic instances have different iso-fingerprints")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("renamed instances should differ under the exact fingerprint")
+	}
+}
+
+// TestIsoFingerprintSeparates: structurally different instances get
+// different keys (for cases color refinement can tell apart).
+func TestIsoFingerprintSeparates(t *testing.T) {
+	cases := [][2]string{
+		{"R(a,b)", "R(a,a)"},
+		{"R(a,b)", "R(a,b). R(b,c)"},
+		{"R(a,b) @ a", "R(a,b) @ b"},
+		{"R(a,b). R(b,a)", "R(a,b). R(b,c). R(c,a)"},
+		{"P(a). R(a,b)", "P(b). R(a,b)"},
+	}
+	for _, c := range cases {
+		x, y := isoPointed(t, c[0]), isoPointed(t, c[1])
+		if x.IsoFingerprint() == y.IsoFingerprint() {
+			t.Errorf("%q and %q share an iso-fingerprint", c[0], c[1])
+		}
+	}
+}
+
+// TestIsoFingerprintTupleOutsideDomain: distinguished elements outside
+// the active domain participate in the key.
+func TestIsoFingerprintTupleOutsideDomain(t *testing.T) {
+	in := isoPointed(t, "R(a,b)")
+	p := NewPointed(in.I, "c") // c occurs in no fact
+	q := NewPointed(in.I, "d")
+	if p.IsoFingerprint() != q.IsoFingerprint() {
+		t.Error("renamed isolated distinguished elements must agree")
+	}
+	r := NewPointed(in.I, "a")
+	if p.IsoFingerprint() == r.IsoFingerprint() {
+		t.Error("isolated vs in-domain distinguished element must differ")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"extremalcq/internal/cq"
 	"extremalcq/internal/duality"
+	"extremalcq/internal/enum"
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/frontier"
 	"extremalcq/internal/genex"
@@ -106,7 +107,9 @@ func SearchWeaklyMostGeneral(e Examples, opts fitting.SearchOpts) (*cq.CQ, bool,
 }
 
 // SearchWeaklyMostGeneralCtx is SearchWeaklyMostGeneral under a solver
-// context: ctx is checked per candidate.
+// context: ctx is checked per candidate, and the first verification
+// error stops the enumeration (the search's outcome is that error, so
+// the rest of the candidate space is wasted work).
 func SearchWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts fitting.SearchOpts) (*cq.CQ, bool, error) {
 	if err := checkExamples(e); err != nil {
 		return nil, false, err
@@ -121,10 +124,8 @@ func SearchWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts fitting.Se
 		}
 		ok, err := VerifyWeaklyMostGeneralCtx(ctx, q, e)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return true
+			firstErr = err
+			return false
 		}
 		if ok {
 			found = q
@@ -138,17 +139,25 @@ func SearchWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts fitting.Se
 	return nil, false, firstErr
 }
 
-// AllWeaklyMostGeneral collects the weakly most-general fitting tree CQs
-// within the bounds, up to equivalence.
-func AllWeaklyMostGeneral(e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error) {
-	return allWeaklyMostGeneral(context.Background(), e, opts)
+// ForEachWeaklyMostGeneral streams the weakly most-general fitting tree
+// CQs within the bounds: yield is invoked for each verified answer as
+// soon as it is found, deduplicated up to simulation equivalence
+// incrementally, until yield returns false or the space is exhausted.
+func ForEachWeaklyMostGeneral(e Examples, opts fitting.SearchOpts, yield func(*cq.CQ) bool) error {
+	return ForEachWeaklyMostGeneralCtx(context.Background(), e, opts, yield)
 }
 
-func allWeaklyMostGeneral(ctx context.Context, e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error) {
+// ForEachWeaklyMostGeneralCtx is ForEachWeaklyMostGeneral under a
+// solver context. Dedup runs through an incremental core-fingerprint
+// index (internal/enum; sound for simulation equivalence because over
+// tree CQs it coincides with homomorphic equivalence) with the exact
+// SimEquivalentCtx check inside each bucket, and the first verification
+// error stops the enumeration.
+func ForEachWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts fitting.SearchOpts, yield func(*cq.CQ) bool) error {
 	if err := checkExamples(e); err != nil {
-		return nil, err
+		return err
 	}
-	var out []*cq.CQ
+	seen := enum.NewIndex(SimEquivalentCtx)
 	var firstErr error
 	genex.EnumerateDataExamples(e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
 		solve.Check(ctx)
@@ -158,22 +167,30 @@ func allWeaklyMostGeneral(ctx context.Context, e Examples, opts fitting.SearchOp
 		}
 		ok, err := VerifyWeaklyMostGeneralCtx(ctx, q, e)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+			firstErr = err
+			return false
+		}
+		if !ok || seen.Seen(ctx, q.Example()) {
 			return true
 		}
-		if ok {
-			for _, prev := range out {
-				if SimEquivalentCtx(ctx, prev.Example(), q.Example()) {
-					return true
-				}
-			}
-			out = append(out, q)
-		}
+		return yield(q)
+	})
+	return firstErr
+}
+
+// AllWeaklyMostGeneral collects the weakly most-general fitting tree CQs
+// within the bounds, up to equivalence.
+func AllWeaklyMostGeneral(e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error) {
+	return allWeaklyMostGeneral(context.Background(), e, opts)
+}
+
+func allWeaklyMostGeneral(ctx context.Context, e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error) {
+	var out []*cq.CQ
+	err := ForEachWeaklyMostGeneralCtx(ctx, e, opts, func(q *cq.CQ) bool {
+		out = append(out, q)
 		return true
 	})
-	return out, firstErr
+	return out, err
 }
 
 // VerifyUnique decides unique-fitting verification for tree CQs
@@ -294,6 +311,7 @@ func CriticalFittings(e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error) {
 		return nil, err
 	}
 	var out []*cq.CQ
+	seen := enum.NewIndex(SimEquivalentCtx)
 	genex.EnumerateDataExamples(e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
 		q, err := cq.FromExample(ex)
 		if err != nil || !IsTreeCQ(q) {
@@ -306,12 +324,9 @@ func CriticalFittings(e Examples, opts fitting.SearchOpts) ([]*cq.CQ, error) {
 		if !isCritical(q, e) {
 			return true
 		}
-		for _, prev := range out {
-			if SimEquivalent(prev.Example(), q.Example()) {
-				return true
-			}
+		if !seen.Seen(context.Background(), q.Example()) {
+			out = append(out, q)
 		}
-		out = append(out, q)
 		return true
 	})
 	return out, nil

@@ -13,6 +13,7 @@ import (
 
 	"extremalcq/internal/cq"
 	"extremalcq/internal/duality"
+	"extremalcq/internal/enum"
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/genex"
 	"extremalcq/internal/hom"
@@ -322,29 +323,75 @@ func SearchMostGeneral(e Examples, opts fitting.SearchOpts) (*UCQ, bool, error) 
 // candidate enumeration checks ctx per candidate, so cancellation cuts
 // the bounded search short.
 func SearchMostGeneralCtx(ctx context.Context, e Examples, opts fitting.SearchOpts) (*UCQ, bool, error) {
-	if !ExistsCtx(ctx, e) {
-		return nil, false, nil
-	}
-	var cands []instance.Pointed
-	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
-		solve.Check(ctx)
-		if !hom.ExistsToAnyCtx(ctx, ex, e.Neg) {
-			core := hom.CoreCtx(ctx, ex)
-			for _, prev := range cands {
-				if hom.EquivalentCtx(ctx, prev, core) {
-					return true
-				}
-			}
-			cands = append(cands, core)
-		}
+	var cands []*cq.CQ
+	if err := ForEachMostGeneralCandidateCtx(ctx, e, opts, func(q *cq.CQ) bool {
+		cands = append(cands, q)
 		return true
-	})
-	cands = minimizeHom(ctx, cands)
+	}); err != nil {
+		return nil, false, err
+	}
 	if len(cands) == 0 {
 		return nil, false, nil
 	}
+	return CombineMostGeneralCtx(ctx, e, cands)
+}
+
+// ForEachMostGeneralCandidate streams the candidate disjuncts of the
+// bounded most-general search: the cores of the bounded data examples
+// that avoid every negative example, each yielded (as its canonical CQ)
+// as soon as the enumeration reaches it, deduplicated up to homomorphic
+// equivalence incrementally. Combine the collected candidates with
+// CombineMostGeneral to finish the search.
+func ForEachMostGeneralCandidate(e Examples, opts fitting.SearchOpts, yield func(*cq.CQ) bool) error {
+	return ForEachMostGeneralCandidateCtx(context.Background(), e, opts, yield)
+}
+
+// ForEachMostGeneralCandidateCtx is ForEachMostGeneralCandidate under a
+// solver context: ctx is checked per candidate, and the dedup runs
+// through an incremental core-fingerprint index (internal/enum) rather
+// than a scan over all prior candidates.
+func ForEachMostGeneralCandidateCtx(ctx context.Context, e Examples, opts fitting.SearchOpts, yield func(*cq.CQ) bool) error {
+	if !ExistsCtx(ctx, e) {
+		return nil
+	}
+	seen := enum.NewIndex(nil)
+	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+		solve.Check(ctx)
+		if hom.ExistsToAnyCtx(ctx, ex, e.Neg) {
+			return true
+		}
+		core := hom.CoreCtx(ctx, ex)
+		if seen.SeenCore(ctx, core) {
+			return true
+		}
+		q, err := cq.FromExample(core)
+		if err != nil {
+			return true
+		}
+		return yield(q)
+	})
+	return nil
+}
+
+// CombineMostGeneral reduces candidate disjuncts (as produced by
+// ForEachMostGeneralCandidate) to containment-maximal representatives,
+// builds their union and verifies it exactly with VerifyMostGeneral.
+func CombineMostGeneral(e Examples, cands []*cq.CQ) (*UCQ, bool, error) {
+	return CombineMostGeneralCtx(context.Background(), e, cands)
+}
+
+// CombineMostGeneralCtx is CombineMostGeneral under a solver context.
+func CombineMostGeneralCtx(ctx context.Context, e Examples, cands []*cq.CQ) (*UCQ, bool, error) {
+	var exs []instance.Pointed
+	for _, q := range cands {
+		exs = append(exs, q.Example())
+	}
+	exs = minimizeHom(ctx, exs)
+	if len(exs) == 0 {
+		return nil, false, nil
+	}
 	var qs []*cq.CQ
-	for _, c := range cands {
+	for _, c := range exs {
 		q, err := cq.FromExample(c)
 		if err != nil {
 			continue
