@@ -44,11 +44,26 @@ type streamingRecord struct {
 	FirstResultShare float64 `json:"first_result_share"` // first / full
 }
 
+// memoSpillRecord captures the memo-spill restart story: the same
+// novel job measured from cold and against a store warmed by an
+// overlapping job's spilled memo, with the hom/core/product solver
+// computations (memo misses) as the machine-noise-proof counter next to
+// the wall times.
+type memoSpillRecord struct {
+	Workload         string  `json:"workload"`
+	ColdComputations int64   `json:"cold_computations"`
+	WarmComputations int64   `json:"warm_computations"`
+	WarmFaulted      int64   `json:"warm_faulted"`
+	ColdMS           float64 `json:"cold_ms"`
+	WarmMS           float64 `json:"warm_ms"`
+}
+
 // benchReport is the -json output shape.
 type benchReport struct {
 	Title     string          `json:"title"`
 	Rows      []benchRow      `json:"rows"`
 	Streaming streamingRecord `json:"streaming"`
+	MemoSpill memoSpillRecord `json:"memo_spill"`
 }
 
 var report benchReport
@@ -65,6 +80,7 @@ func main() {
 	table3()
 	sizeTheorems()
 	streamingTable()
+	memoSpillTable()
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -145,6 +161,90 @@ func streamingTable() {
 	row("Stream/TTFR", "first answer before search ends",
 		fmt.Sprintf("first=%.2fms full=%.2fms (%d answers, first at %.1f%% of full)",
 			firstMS, fullMS, frames, 100*firstMS/fullMS))
+	fmt.Println()
+}
+
+// memoSpillTable measures the memo-spill restart scenario: job A
+// (construct over the prime-cycle family) runs against a store with
+// -memo-spill, everything restarts, and a *novel* job B (exists over
+// the same family — a different fingerprint sharing the product and hom
+// sub-computations) runs once from cold and once against the warmed
+// store. The computations column counts hom/core/product solver
+// computations (memo misses), the counter that cannot be confounded by
+// machine noise.
+func memoSpillTable() {
+	fmt.Println("Memo spill (novel job after restart)")
+	pos, neg := genex.PrimeCycleFamily(4)
+	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	jobA := engine.Job{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: e}
+	jobB := engine.Job{Kind: engine.KindCQ, Task: engine.TaskExists, Examples: e}
+	computations := func(c engine.CacheStats) int64 {
+		return c.HomMisses + c.CoreMisses + c.ProductMisses
+	}
+
+	// Cold control: job B with no persistence anywhere.
+	coldEng := engine.New(engine.Options{Workers: 1})
+	start := time.Now()
+	if res := coldEng.Do(context.Background(), jobB); res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	coldMS := float64(time.Since(start)) / float64(time.Millisecond)
+	coldComputations := computations(coldEng.Stats().Cache)
+	coldEng.Close()
+
+	// Process 1: job A with memo spill, then a full teardown.
+	dir, err := os.MkdirTemp("", "benchtab-spill")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st1, err := extremalcq.OpenStore(dir, extremalcq.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng1 := engine.New(engine.Options{Workers: 1, Store: st1, MemoSpill: true})
+	if res := eng1.Do(context.Background(), jobA); res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	eng1.Close()
+	if err := st1.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Process 2 (the restart): novel job B over the reopened store.
+	st2, err := extremalcq.OpenStore(dir, extremalcq.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng2 := engine.New(engine.Options{Workers: 1, Store: st2, MemoSpill: true})
+	start = time.Now()
+	if res := eng2.Do(context.Background(), jobB); res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	warmMS := float64(time.Since(start)) / float64(time.Millisecond)
+	stats := eng2.Stats()
+	if stats.StoreHits != 0 {
+		log.Fatalf("job B hit the result store; it is not novel and the measurement is void: %+v", stats)
+	}
+	warmComputations := computations(stats.Cache)
+	var faulted int64
+	if stats.MemoSpill != nil {
+		faulted = stats.MemoSpill.Faulted()
+	}
+	eng2.Close()
+	st2.Close()
+
+	report.MemoSpill = memoSpillRecord{
+		Workload:         "cq/exists over prime cycles n=4, warmed by cq/construct of the same family",
+		ColdComputations: coldComputations,
+		WarmComputations: warmComputations,
+		WarmFaulted:      faulted,
+		ColdMS:           coldMS,
+		WarmMS:           warmMS,
+	}
+	row("MemoSpill/NovelJob", "fewer solver computations after restart",
+		fmt.Sprintf("cold=%d warm=%d computations (faulted=%d; %.2fms vs %.2fms)",
+			coldComputations, warmComputations, faulted, coldMS, warmMS))
 	fmt.Println()
 }
 

@@ -34,6 +34,10 @@
 //	           directory currently held by a running cqfitd is refused
 //	           with a clear error; elsewhere single ownership is the
 //	           operator's responsibility
+//	-memo-spill persist the memo's hom/core/product entries to the
+//	           store too (requires -store), so later runs of *different*
+//	           problems sharing sub-computations with this one skip the
+//	           shared work
 package main
 
 import (
@@ -81,6 +85,13 @@ func realMain(args []string, out, errw io.Writer) int {
 	}
 	job.Timeout = opts.timeout
 
+	// -memo-spill without a store would be a silent no-op; refuse it
+	// loudly instead.
+	if opts.memoSpill && opts.storeDir == "" {
+		fmt.Fprintln(errw, "cqfit: -memo-spill requires -store (memo entries spill to the persistent store)")
+		return 2
+	}
+
 	// Closed after the engine (defers run LIFO): Engine.Close drains the
 	// write-behind queue, so this run's answer is on disk for the next.
 	var st *extremalcq.Store
@@ -93,7 +104,7 @@ func realMain(args []string, out, errw io.Writer) int {
 		defer st.Close()
 	}
 
-	eng := extremalcq.NewEngine(extremalcq.EngineOptions{Workers: 1, Store: st})
+	eng := extremalcq.NewEngine(extremalcq.EngineOptions{Workers: 1, Store: st, MemoSpill: opts.memoSpill})
 	defer eng.Close()
 	// The solvers are interruptible, so Ctrl-C (like -timeout) stops the
 	// search mid-flight instead of waiting out the computation.
@@ -144,9 +155,10 @@ func realMain(args []string, out, errw io.Writer) int {
 
 // cliOpts carries the flags that configure the run rather than the job.
 type cliOpts struct {
-	timeout  time.Duration
-	storeDir string
-	stream   bool
+	timeout   time.Duration
+	storeDir  string
+	memoSpill bool
+	stream    bool
 }
 
 // specFromArgs wires the flag set into the engine's text-level job
@@ -164,6 +176,7 @@ func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, cliOpts, e
 		maxVars   = fs.Int("vars", 0, "search bound: max variables (0 = default, <0 = no enumeration)")
 		timeout   = fs.Duration("timeout", 0, "per-job deadline (0 = none)")
 		storeDir  = fs.String("store", "", "persistent result store directory (empty = none)")
+		memoSpill = fs.Bool("memo-spill", false, "persist memo entries (hom/core/product) to the store; requires -store")
 		stream    = fs.Bool("stream", false, "stream each enumerated answer as it is found")
 	)
 	var posFlags, negFlags multiFlag
@@ -182,7 +195,7 @@ func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, cliOpts, e
 		Query:    *queryStr,
 		MaxAtoms: *maxAtoms,
 		MaxVars:  *maxVars,
-	}, cliOpts{timeout: *timeout, storeDir: *storeDir, stream: *stream}, nil
+	}, cliOpts{timeout: *timeout, storeDir: *storeDir, memoSpill: *memoSpill, stream: *stream}, nil
 }
 
 // kindName renders the query language for human-facing messages.

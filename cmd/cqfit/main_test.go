@@ -366,3 +366,49 @@ func TestRealMainStore(t *testing.T) {
 		t.Errorf("invalid -store dir: exit code %d, want 1 (stderr: %s)", code, errw.String())
 	}
 }
+
+// TestRealMainMemoSpill checks the CLI wiring of -memo-spill: it is
+// refused without -store, and with one it persists memo records the
+// next (different) run can fault in.
+func TestRealMainMemoSpill(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := realMain([]string{
+		"-schema", "R/2", "-task", "construct", "-pos", "R(a,b)", "-memo-spill",
+	}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("-memo-spill without -store: exit code %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "-memo-spill requires -store") {
+		t.Fatalf("unhelpful error: %s", errw.String())
+	}
+
+	dir := t.TempDir()
+	run := func(task string) {
+		t.Helper()
+		var out, errw bytes.Buffer
+		args := []string{
+			"-schema", "R/2,P/1", "-task", task,
+			"-pos", "R(a,b)", "-pos", "R(x,y). R(y,z)", "-neg", "P(u)",
+			"-store", dir, "-memo-spill",
+		}
+		if code := realMain(args, &out, &errw); code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, errw.String())
+		}
+	}
+	run("construct")
+
+	// The store now holds spilled memo records next to the result.
+	st, err := extremalcq.OpenStore(dir, extremalcq.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := st.Stats().KindEntries
+	st.Close()
+	if kinds["product"] == 0 || kinds["result"] == 0 {
+		t.Fatalf("store kinds after spill run: %+v", kinds)
+	}
+
+	// A different task over the same examples shares its product
+	// sub-computation with the first run.
+	run("exists")
+}

@@ -4,6 +4,7 @@
 //
 //	cqfitd [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 30s]
 //	       [-max-streams N] [-store-dir DIR] [-store-max-bytes N]
+//	       [-memo-spill]
 //
 // Endpoints:
 //
@@ -20,7 +21,12 @@
 // With -store-dir, completed results are persisted to an append-only
 // fingerprint-keyed log (see internal/store); a restarted daemon
 // reopens it and serves previously-computed jobs from disk without
-// running any solver.
+// running any solver. With -memo-spill (requires -store-dir and an
+// enabled memo), the memo's hom-check verdicts, cores and direct
+// products are persisted too, so a restarted daemon also accelerates
+// *novel* jobs that share sub-computations with earlier work. Flag
+// combinations that would silently disable a requested feature are
+// rejected at startup.
 //
 // A job is a JSON object using the same text formats as the cqfit CLI:
 //
@@ -37,6 +43,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
@@ -51,16 +58,26 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 256, "job queue size")
-		cache    = flag.Int("cache", 0, "memo entries per class (0 = default, <0 = disable)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "default per-job deadline (0 = none)")
-		streams  = flag.Int("max-streams", 0, "concurrent stream bound; excess requests get 429 (0 = 4x workers)")
-		storeDir = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
-		storeMax = flag.Int64("store-max-bytes", 256<<20, "store size budget; oldest segments evicted past it (<= 0 = unbounded)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 256, "job queue size")
+		cache     = flag.Int("cache", 0, "memo entries per class (0 = default, <0 = disable)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-job deadline (0 = none)")
+		streams   = flag.Int("max-streams", 0, "concurrent stream bound; excess requests get 429 (0 = 4x workers)")
+		storeDir  = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
+		storeMax  = flag.Int64("store-max-bytes", 256<<20, "store size budget; oldest segments evicted past it (<= 0 = unbounded)")
+		memoSpill = flag.Bool("memo-spill", false, "persist memo entries (hom/core/product) to the store so restarts accelerate novel jobs (requires -store-dir)")
 	)
 	flag.Parse()
+
+	// Reject flag combinations that would silently no-op a requested
+	// feature instead of starting a daemon that quietly does less than
+	// asked.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlags(*storeDir, *memoSpill, *cache, explicit); err != nil {
+		log.Fatalf("cqfitd: %v", err)
+	}
 
 	// The store is opened before and closed after the engine (defers run
 	// LIFO): Engine.Close drains the write-behind queue first.
@@ -84,6 +101,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxStreams:     *streams,
 		Store:          st,
+		MemoSpill:      *memoSpill,
 	})
 	defer eng.Close()
 
@@ -112,4 +130,25 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("cqfitd: shutdown: %v", err)
 	}
+}
+
+// validateFlags rejects store/memo flag combinations that request a
+// feature the configuration then disables: -memo-spill without a store
+// or with the memo off would be a silent no-op, and an explicitly set
+// -store-max-bytes without -store-dir bounds a store that does not
+// exist. explicit holds the names of flags the command line actually
+// set (flag.Visit), so defaulted values never trip the check.
+func validateFlags(storeDir string, memoSpill bool, cache int, explicit map[string]bool) error {
+	if storeDir == "" {
+		if memoSpill {
+			return errors.New("-memo-spill requires -store-dir (memo entries spill to the persistent store)")
+		}
+		if explicit["store-max-bytes"] {
+			return errors.New("-store-max-bytes requires -store-dir (there is no store to bound)")
+		}
+	}
+	if memoSpill && cache < 0 {
+		return errors.New("-memo-spill requires the memo; it cannot be combined with -cache < 0")
+	}
+	return nil
 }

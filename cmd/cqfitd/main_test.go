@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"extremalcq/internal/engine"
+	"extremalcq/internal/store"
+)
+
+// TestValidateFlags pins the startup rejection of flag combinations
+// that would silently disable a requested feature (the alternative — a
+// daemon that accepts -memo-spill and then never spills — is exactly
+// the kind of no-op this validation exists to prevent).
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name      string
+		storeDir  string
+		memoSpill bool
+		cache     int
+		explicit  map[string]bool
+		wantErr   bool
+	}{
+		{name: "defaults", wantErr: false},
+		{name: "store only", storeDir: "/tmp/s", wantErr: false},
+		{name: "spill with store", storeDir: "/tmp/s", memoSpill: true, wantErr: false},
+		{name: "spill without store", memoSpill: true, wantErr: true},
+		{name: "spill with cache disabled", storeDir: "/tmp/s", memoSpill: true, cache: -1, wantErr: true},
+		{
+			name:     "explicit max-bytes without store",
+			explicit: map[string]bool{"store-max-bytes": true},
+			wantErr:  true,
+		},
+		{
+			name:     "explicit max-bytes with store",
+			storeDir: "/tmp/s",
+			explicit: map[string]bool{"store-max-bytes": true},
+			wantErr:  false,
+		},
+		{
+			name:     "defaulted max-bytes without store",
+			explicit: map[string]bool{"workers": true},
+			wantErr:  false,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.storeDir, c.memoSpill, c.cache, c.explicit)
+			if (err != nil) != c.wantErr {
+				t.Errorf("validateFlags(%q, %v, %d, %v) = %v, wantErr %v",
+					c.storeDir, c.memoSpill, c.cache, c.explicit, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestMemoSpillStats checks the observability surface of -memo-spill:
+// after a job spills memo entries, /v1/stats carries the memo_spill
+// block and /metrics the cqfitd_memo_spill_* and per-kind store entry
+// families.
+func TestMemoSpillStats(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Workers: 2, Store: st, MemoSpill: true})
+	ts := httptest.NewServer(newServer(eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		st.Close()
+	})
+
+	spec := engine.JobSpec{
+		Schema: "R/2", Arity: 0, Kind: "cq", Task: "construct",
+		Pos: []string{"R(a,b)", "R(x,y). R(y,x)"},
+	}
+	postJSON(t, ts.URL+"/v1/jobs", spec).Body.Close()
+	// Spill writes drain asynchronously; wait for memo records to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Stats().KindEntries["product"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no memo entries persisted: %+v", st.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine.MemoSpill == nil || stats.Engine.MemoSpill.Spilled == 0 {
+		t.Errorf("/v1/stats memo_spill block: %+v", stats.Engine.MemoSpill)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"cqfitd_memo_spill_writes_total",
+		`cqfitd_memo_spill_faulted_total{class="hom"}`,
+		"cqfitd_memo_spill_bad_records_total",
+		`cqfitd_store_kind_entries{kind="product"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

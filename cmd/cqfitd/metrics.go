@@ -130,6 +130,32 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			float64(st.Store.BadRecords))
 		m.single("cqfitd_store_recovered_truncations_total", "Segments cut back at open due to torn or corrupt records.", "counter",
 			float64(st.Store.RecoveredTruncations))
+		if len(st.Store.KindEntries) > 0 {
+			m.family("cqfitd_store_kind_entries", "Live keys per record kind.", "gauge")
+			kindNames := make([]string, 0, len(st.Store.KindEntries))
+			for k := range st.Store.KindEntries {
+				kindNames = append(kindNames, k)
+			}
+			sort.Strings(kindNames)
+			for _, k := range kindNames {
+				m.value("cqfitd_store_kind_entries", fmt.Sprintf("{kind=%q}", k), float64(st.Store.KindEntries[k]))
+			}
+		}
+	}
+
+	// Memo spill (exported only when -memo-spill is active, so dashboards
+	// can alert on the family's absence).
+	if st.MemoSpill != nil {
+		m.family("cqfitd_memo_spill_faulted_total", "Memo misses answered from the persistent store per class.", "counter")
+		m.value("cqfitd_memo_spill_faulted_total", `{class="hom"}`, float64(st.MemoSpill.FaultedHom))
+		m.value("cqfitd_memo_spill_faulted_total", `{class="core"}`, float64(st.MemoSpill.FaultedCore))
+		m.value("cqfitd_memo_spill_faulted_total", `{class="product"}`, float64(st.MemoSpill.FaultedProduct))
+		m.single("cqfitd_memo_spill_writes_total", "Memo entries enqueued for persistence.", "counter",
+			float64(st.MemoSpill.Spilled))
+		m.single("cqfitd_memo_spill_dropped_total", "Memo entries discarded on a full write-behind queue.", "counter",
+			float64(st.MemoSpill.Dropped))
+		m.single("cqfitd_memo_spill_bad_records_total", "Persisted memo entries that failed to decode and were served as misses.", "counter",
+			float64(st.MemoSpill.BadRecords))
 	}
 
 	// Per kind/task latency aggregates, sorted for stable scrapes.

@@ -54,6 +54,9 @@
 // Attaching a persistent store (OpenStore + EngineOptions.Store) makes
 // completed results durable: a restarted engine answers
 // previously-computed fingerprints from disk without running a solver.
+// EngineOptions.MemoSpill additionally persists the memo's hom-check
+// verdicts, cores and direct products, so a restarted engine also
+// accelerates novel jobs that share sub-computations with earlier work.
 //
 // The cqfit CLI and the cqfitd HTTP/JSON service are thin wrappers over
 // this same execution path.

@@ -1,0 +1,326 @@
+// Package conformance is a metamorphic test harness for the fitting
+// engine, grounded in the paper's contracts: a fitting answer must map
+// into every positive example and into no negative example (Section 2),
+// and a weakly most-general fitting admits no strictly more general
+// fitting (Section 3.3). Each property is checked with direct
+// internal/hom homomorphism searches on the answer's canonical example
+// — a verifier that shares no code with the solvers that produced the
+// answer — over randomized example collections from internal/genex,
+// across the one-shot, batch and streaming execution paths, and across
+// memo-spill warm restarts (whose answers must match cold runs).
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"extremalcq/internal/cq"
+	"extremalcq/internal/engine"
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/genex"
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+	"extremalcq/internal/store"
+)
+
+var confSchema = schema.MustNew(
+	schema.Relation{Name: "R", Arity: 2},
+	schema.Relation{Name: "P", Arity: 1},
+)
+
+// randomExamples draws a small labeled collection of data examples.
+func randomExamples(t *testing.T, rng *rand.Rand, k int) fitting.Examples {
+	t.Helper()
+	draw := func(n int) []instance.Pointed {
+		out := make([]instance.Pointed, n)
+		for i := range out {
+			out[i] = genex.RandomPointed(rng, confSchema, 2+rng.Intn(2), 2+rng.Intn(3), k)
+		}
+		return out
+	}
+	pos := draw(1 + rng.Intn(2))
+	neg := draw(1 + rng.Intn(2))
+	e, err := fitting.NewExamples(confSchema, k, pos, neg)
+	if err != nil {
+		t.Fatalf("generated collection invalid: %v", err)
+	}
+	return e
+}
+
+// renameProductVars rewrites the ⟨a,b⟩ variable names that canonical
+// CQs of direct products carry into plain identifiers, so the rendered
+// query round-trips through the text parser (which reserves ⟨ ⟩ , for
+// exactly those pairings). Renaming variables yields an isomorphic
+// canonical example, so every hom-level property checked below is
+// unaffected.
+func renameProductVars(s string) string {
+	var out []rune
+	var token []rune
+	names := map[string]string{}
+	depth := 0
+	for _, r := range s {
+		switch {
+		case r == '⟨':
+			depth++
+			token = append(token, r)
+		case depth > 0:
+			token = append(token, r)
+			if r == '⟩' {
+				depth--
+				if depth == 0 {
+					key := string(token)
+					name, ok := names[key]
+					if !ok {
+						name = fmt.Sprintf("pv%d", len(names))
+						names[key] = name
+					}
+					out = append(out, []rune(name)...)
+					token = token[:0]
+				}
+			}
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// checkFits verifies a rendered answer query against the collection
+// with direct hom checks on its canonical example: a homomorphism into
+// every positive, none into any negative.
+func checkFits(t *testing.T, e fitting.Examples, queryText, origin string) *cq.CQ {
+	t.Helper()
+	q, err := cq.Parse(e.Schema, renameProductVars(queryText))
+	if err != nil {
+		t.Fatalf("%s: answer %q does not parse: %v", origin, queryText, err)
+	}
+	qEx := q.Example()
+	for i, p := range e.Pos {
+		if !hom.Exists(qEx, p) {
+			t.Errorf("%s: answer %q has no homomorphism into positive %d (%v)", origin, queryText, i, p)
+		}
+	}
+	for i, n := range e.Neg {
+		if hom.Exists(qEx, n) {
+			t.Errorf("%s: answer %q maps into negative %d (%v)", origin, queryText, i, n)
+		}
+	}
+	return q
+}
+
+// smallBounds keeps the enumeration spaces tractable for randomized
+// sweeps.
+var smallBounds = fitting.SearchOpts{MaxAtoms: 3, MaxVars: 3}
+
+// TestEngineAnswersVerifyIndependently sweeps randomized collections
+// through construct / exists / weakly-most-general / verify on every
+// execution path, cross-checking each path's answers against the others
+// and against the hom-level fitting contract.
+func TestEngineAnswersVerifyIndependently(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 2})
+	defer eng.Close()
+	ctx := context.Background()
+
+	for seed := int64(0); seed < 15; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			e := randomExamples(t, rng, int(seed%2))
+			construct := engine.Job{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: e, Opts: smallBounds}
+			exists := engine.Job{Kind: engine.KindCQ, Task: engine.TaskExists, Examples: e, Opts: smallBounds}
+			wmg := engine.Job{Kind: engine.KindCQ, Task: engine.TaskWeaklyMostGeneral, Examples: e, Opts: smallBounds}
+
+			// One-shot and batch paths must agree with each other and
+			// with the paper's contract.
+			oneShot := eng.Do(ctx, construct)
+			if oneShot.Err != nil {
+				t.Fatal(oneShot.Err)
+			}
+			batch := eng.DoBatch(ctx, []engine.Job{construct, exists})
+			for _, res := range batch {
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+			}
+			if batch[0].Found != oneShot.Found {
+				t.Errorf("batch construct Found=%v, one-shot %v", batch[0].Found, oneShot.Found)
+			}
+			if batch[1].Found != oneShot.Found {
+				t.Errorf("exists=%v but construct found=%v (Prop 3.5: they coincide)", batch[1].Found, oneShot.Found)
+			}
+			for _, qt := range oneShot.Queries {
+				checkFits(t, e, qt, "construct")
+			}
+
+			// A constructed answer must pass the engine's own verify
+			// task too (metamorphic relation: construct ∘ verify = true;
+			// the verify task parses text, so product variables are
+			// renamed the same way the hom-level checks rename them).
+			for _, qt := range oneShot.Queries {
+				v := eng.Do(ctx, engine.Job{Kind: engine.KindCQ, Task: engine.TaskVerify, Examples: e, Query: renameProductVars(qt)})
+				if v.Err != nil {
+					t.Fatal(v.Err)
+				}
+				if !v.Found {
+					t.Errorf("verify rejects the constructed answer %q", qt)
+				}
+			}
+
+			// Streaming path: every enumerated weakly-most-general answer
+			// fits, and no enumerated answer is strictly more general
+			// than another (else the latter was not weakly most-general).
+			var streamed []string
+			sres := eng.DoStream(ctx, wmg, func(a engine.Answer) bool {
+				streamed = append(streamed, a.Query)
+				return true
+			})
+			if sres.Err != nil {
+				t.Fatal(sres.Err)
+			}
+			answers := make([]*cq.CQ, 0, len(streamed))
+			for _, qt := range streamed {
+				answers = append(answers, checkFits(t, e, qt, "wmg-stream"))
+			}
+			for i, qi := range answers {
+				for j, qj := range answers {
+					if i != j && qi.StrictlyContainedIn(qj) {
+						t.Errorf("enumerated fitting %q is strictly more general than wmg answer %q",
+							streamed[j], streamed[i])
+					}
+				}
+			}
+
+			// The one-shot WMG answer must itself verify and not be
+			// strictly generalized by any streamed answer.
+			wres := eng.Do(ctx, wmg)
+			if wres.Err != nil {
+				t.Fatal(wres.Err)
+			}
+			if wres.Found != (len(streamed) > 0) {
+				t.Errorf("one-shot wmg Found=%v, stream enumerated %d answers", wres.Found, len(streamed))
+			}
+			for _, qt := range wres.Queries {
+				q := checkFits(t, e, qt, "wmg-one-shot")
+				for j, qj := range answers {
+					if q.StrictlyContainedIn(qj) {
+						t.Errorf("streamed fitting %q strictly generalizes the one-shot wmg answer %q",
+							streamed[j], qt)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMemoSpillWarmRunsMatchCold replays randomized collections against
+// a memo-spill store across a restart: novel warm jobs (same problem,
+// different search-bound fingerprint, so the result store cannot serve
+// them) must produce the same answers the cold run did, with the
+// warm-run answers re-verified at the hom level.
+func TestMemoSpillWarmRunsMatchCold(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	type recorded struct {
+		e       fitting.Examples
+		results []engine.Result
+		frames  []string
+	}
+	var record []recorded
+
+	// Cold pass: batch construct+exists, stream wmg, all persisted.
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := engine.New(engine.Options{Workers: 2, Store: st1, MemoSpill: true})
+	for seed := int64(100); seed < 108; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExamples(t, rng, int(seed%2))
+		jobs := []engine.Job{
+			{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: e, Opts: smallBounds},
+			{Kind: engine.KindCQ, Task: engine.TaskExists, Examples: e, Opts: smallBounds},
+		}
+		results := cold.DoBatch(ctx, jobs)
+		for _, res := range results {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+		}
+		var frames []string
+		sres := cold.DoStream(ctx, engine.Job{
+			Kind: engine.KindCQ, Task: engine.TaskWeaklyMostGeneral, Examples: e, Opts: smallBounds,
+		}, func(a engine.Answer) bool {
+			frames = append(frames, a.Query)
+			return true
+		})
+		if sres.Err != nil {
+			t.Fatal(sres.Err)
+		}
+		record = append(record, recorded{e: e, results: results, frames: frames})
+	}
+	cold.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm pass after the restart. Construct/exists ignore the search
+	// bounds, so widening them changes the fingerprint (a novel job the
+	// result store cannot answer) but not the answer: any divergence is
+	// memo-spill corruption.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	warm := engine.New(engine.Options{Workers: 2, Store: st2, MemoSpill: true})
+	defer warm.Close()
+	widened := fitting.SearchOpts{MaxAtoms: 4, MaxVars: 4}
+	for i, rec := range record {
+		jobs := []engine.Job{
+			{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: rec.e, Opts: widened},
+			{Kind: engine.KindCQ, Task: engine.TaskExists, Examples: rec.e, Opts: widened},
+		}
+		results := warm.DoBatch(ctx, jobs)
+		for j, res := range results {
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if res.Found != rec.results[j].Found {
+				t.Errorf("collection %d job %d: warm Found=%v, cold %v", i, j, res.Found, rec.results[j].Found)
+			}
+			if fmt.Sprint(res.Queries) != fmt.Sprint(rec.results[j].Queries) {
+				t.Errorf("collection %d job %d: warm answers %v, cold %v", i, j, res.Queries, rec.results[j].Queries)
+			}
+			for _, qt := range res.Queries {
+				checkFits(t, rec.e, qt, "warm-construct")
+			}
+		}
+
+		// The identical wmg stream is an exact repeat: the warm engine
+		// replays it from the result store, and the replayed answer set
+		// must equal the cold enumeration frame for frame.
+		var frames []string
+		sres := warm.DoStream(ctx, engine.Job{
+			Kind: engine.KindCQ, Task: engine.TaskWeaklyMostGeneral, Examples: rec.e, Opts: smallBounds,
+		}, func(a engine.Answer) bool {
+			frames = append(frames, a.Query)
+			return true
+		})
+		if sres.Err != nil {
+			t.Fatal(sres.Err)
+		}
+		if fmt.Sprint(frames) != fmt.Sprint(rec.frames) {
+			t.Errorf("collection %d: warm stream %v, cold %v", i, frames, rec.frames)
+		}
+	}
+	ws := warm.Stats()
+	if ws.StoreHits == 0 {
+		t.Errorf("warm wmg streams never hit the result store: %+v", ws)
+	}
+	if ws.MemoSpill == nil || ws.MemoSpill.Faulted() == 0 {
+		t.Errorf("warm construct/exists jobs faulted no memo entries: %+v", ws.MemoSpill)
+	}
+}

@@ -70,6 +70,15 @@ type Options struct {
 	// does not close the store; the caller owns it and must close it
 	// only after Close returns (Close drains the write-behind queue).
 	Store *store.Store
+	// MemoSpill additionally persists the engine memo's hom-check
+	// verdicts, cores and direct products to the Store as typed records
+	// keyed by canonical instance fingerprints, and faults them back in
+	// on memo misses — so a warm restart accelerates *novel* jobs that
+	// share sub-computations with earlier work, not just exact repeats.
+	// Requires Store and an enabled memo (CacheSize >= 0); otherwise it
+	// is ignored. Callers exposing this as configuration should reject
+	// the dead combinations loudly (cqfitd and cqfit do).
+	MemoSpill bool
 }
 
 // Engine is a concurrent fitting-job scheduler. Create with New, release
@@ -124,8 +133,14 @@ type Engine struct {
 	dedupShared  atomic.Int64 // jobs that adopted an in-flight twin's result
 
 	// Write-behind persistence (nil/zero when no store is attached):
-	// leaders enqueue completed results on storeCh; the storeWriter
-	// goroutine drains it and signals storeWriterDone on exit.
+	// leaders — and, with MemoSpill, solver goroutines via the memo —
+	// enqueue records on storeCh; the storeWriter goroutine drains it
+	// and signals storeWriterDone on exit. storeMu/storeClosed fence
+	// enqueues against the channel close: spill writes can arrive from
+	// solver goroutines that cancellation abandoned mid-unwind, after
+	// every awaited goroutine has finished.
+	storeMu         sync.RWMutex
+	storeClosed     bool
 	storeCh         chan storeWrite
 	storeWriterDone chan struct{}
 	storeHits       atomic.Int64
@@ -215,6 +230,9 @@ func New(opts Options) *Engine {
 		e.storeCh = make(chan storeWrite, storeWriteQueueSize)
 		e.storeWriterDone = make(chan struct{})
 		go e.storeWriter()
+		if opts.MemoSpill && e.memo != nil {
+			e.memo.spill = &spillSink{store: opts.Store, enqueue: e.enqueueStoreWrite}
+		}
 	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
@@ -245,10 +263,15 @@ func (e *Engine) Close() {
 		// quiescent; the drain below is then final.
 		e.subWG.Wait()
 		e.waiters.Wait()
-		// Every leader has finished, so no more write-behind enqueues:
-		// flush the store queue before declaring the engine quiescent
-		// (the caller may close the store right after Close returns).
+		// Every leader has finished, so no more result enqueues; fence
+		// the queue against late memo-spill writes from abandoned solver
+		// goroutines (they drop, counted) and flush it before declaring
+		// the engine quiescent (the caller may close the store right
+		// after Close returns).
 		if e.storeCh != nil {
+			e.storeMu.Lock()
+			e.storeClosed = true
+			e.storeMu.Unlock()
 			close(e.storeCh)
 			<-e.storeWriterDone
 		}
@@ -658,6 +681,10 @@ type Stats struct {
 	// any solver work.
 	Store     *StoreStats `json:"store,omitempty"`
 	StoreHits int64       `json:"store_hits"`
+	// MemoSpill reports memo-spill activity (entries faulted in from and
+	// spilled out to the persistent store); nil unless Options.MemoSpill
+	// is active.
+	MemoSpill *SpillStats `json:"memo_spill,omitempty"`
 }
 
 func (e *Engine) record(j Job, res Result) {
@@ -727,6 +754,10 @@ func (e *Engine) Stats() Stats {
 			DroppedWrites: e.storeDropped.Load(),
 			BadRecords:    e.storeBadRecords.Load(),
 		}
+	}
+	if e.memo != nil && e.memo.spill != nil {
+		sp := e.memo.spill.stats()
+		s.MemoSpill = &sp
 	}
 	s.Streams = StreamStats{
 		Started: e.streamsStarted.Load(),

@@ -8,6 +8,7 @@ import (
 
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/store"
 )
 
 // DefaultCacheSize is the per-class entry bound used when Options leaves
@@ -43,6 +44,12 @@ type Memo struct {
 	// per-class bound is perShard * len(shards), rounded up from the
 	// requested maxEntries.
 	perShard int
+
+	// spill, when non-nil, persists memo entries through the engine's
+	// write-behind queue and faults persisted entries back in on a miss
+	// (see spill.go). Faulted entries install into the shard without
+	// re-spilling and count as hits plus a per-class faulted counter.
+	spill *spillSink
 
 	homHits    atomic.Int64
 	homMisses  atomic.Int64
@@ -166,13 +173,21 @@ func pairKey(a, b instance.Pointed) string {
 	return a.Fingerprint() + b.Fingerprint()
 }
 
-// GetHom implements hom.Cache.
+// GetHom implements hom.Cache. A memory miss with spill enabled faults
+// the persisted verdict in (installing it for later lookups) before
+// conceding the miss.
 func (m *Memo) GetHom(from, to instance.Pointed) (hom.Assignment, bool, bool) {
 	k := pairKey(from, to)
 	sh := m.shard(k)
 	sh.mu.Lock()
 	e, ok := sh.hom[k]
 	sh.mu.Unlock()
+	if !ok && m.spill != nil {
+		if h, exists, faulted := m.spill.loadHom(k); faulted {
+			e = installFaulted(m, sh, sh.hom, k, homEntry{h: h, exists: exists}, store.KindHom)
+			ok = true
+		}
+	}
 	if !ok {
 		m.homMisses.Add(1)
 		return nil, false, false
@@ -190,15 +205,26 @@ func (m *Memo) PutHom(from, to instance.Pointed, h hom.Assignment, exists bool) 
 	evictIfFull(sh.hom, k, m.perShard)
 	sh.hom[k] = e
 	sh.mu.Unlock()
+	if m.spill != nil {
+		// The entry's own deep copy is immutable from here on, so the
+		// encoding races nothing.
+		m.spill.saveHom(k, e.h, exists)
+	}
 }
 
-// GetCore implements hom.Cache.
+// GetCore implements hom.Cache; misses fault in like GetHom.
 func (m *Memo) GetCore(p instance.Pointed) (instance.Pointed, bool) {
 	k := p.Fingerprint()
 	sh := m.shard(k)
 	sh.mu.Lock()
 	c, ok := sh.core[k]
 	sh.mu.Unlock()
+	if !ok && m.spill != nil {
+		if dec, faulted := m.spill.loadPointed(store.KindCore, k); faulted {
+			c = installFaulted(m, sh, sh.core, k, dec, store.KindCore)
+			ok = true
+		}
+	}
 	if !ok {
 		m.coreMisses.Add(1)
 		return instance.Pointed{}, false
@@ -216,15 +242,25 @@ func (m *Memo) PutCore(p, core instance.Pointed) {
 	evictIfFull(sh.core, k, m.perShard)
 	sh.core[k] = c
 	sh.mu.Unlock()
+	if m.spill != nil {
+		m.spill.savePointed(store.KindCore, k, c)
+	}
 }
 
-// GetProduct implements instance.ProductCache.
+// GetProduct implements instance.ProductCache; misses fault in like
+// GetHom.
 func (m *Memo) GetProduct(a, b instance.Pointed) (instance.Pointed, bool) {
 	k := pairKey(a, b)
 	sh := m.shard(k)
 	sh.mu.Lock()
 	p, ok := sh.prod[k]
 	sh.mu.Unlock()
+	if !ok && m.spill != nil {
+		if dec, faulted := m.spill.loadPointed(store.KindProduct, k); faulted {
+			p = installFaulted(m, sh, sh.prod, k, dec, store.KindProduct)
+			ok = true
+		}
+	}
 	if !ok {
 		m.prodMisses.Add(1)
 		return instance.Pointed{}, false
@@ -242,6 +278,27 @@ func (m *Memo) PutProduct(a, b, prod instance.Pointed) {
 	evictIfFull(sh.prod, k, m.perShard)
 	sh.prod[k] = p
 	sh.mu.Unlock()
+	if m.spill != nil {
+		m.spill.savePointed(store.KindProduct, k, p)
+	}
+}
+
+// installFaulted installs a value faulted in from the spill store into
+// its shard map, unless a concurrent fault-in of the same key got there
+// first — only the goroutine that installs counts the fault, so
+// faulted_* counters report distinct installs, not racing probes. The
+// winning entry (existing or just installed) is returned for the
+// caller to serve.
+func installFaulted[V any](m *Memo, sh *memoShard, mp map[string]V, k string, dec V, kind byte) V {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, present := mp[k]; present {
+		return cur
+	}
+	evictIfFull(mp, k, m.perShard)
+	mp[k] = dec
+	m.spill.countFault(kind)
+	return dec
 }
 
 // evictIfFull removes one arbitrary entry when the map has reached the

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"extremalcq/internal/hom"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/store"
+)
+
+// This file threads memo spill through the engine: with
+// Options.MemoSpill, entries of the per-engine memo (hom-check
+// verdicts, cores, direct products) are written behind to the
+// persistent store as typed records keyed by canonical instance
+// fingerprints, and memo misses fault the persisted entry back in
+// before any solver work runs. Where the result store only warm-serves
+// exact job repeats, memo spill accelerates *novel* jobs after a
+// restart: a job that shares sub-computations with anything solved
+// before skips exactly those hom/core/product computations.
+//
+// Spilled entries share the store's segment log with results, so one
+// byte budget bounds everything and whole-segment FIFO eviction plus
+// compaction apply uniformly. Fault-in is lazy: nothing is preloaded at
+// open, each disk hit installs into the in-memory memo (without
+// re-spilling), and undecodable or version-skewed records degrade to
+// ordinary misses.
+
+// spillSink connects a Memo to the persistent store: loads fault
+// entries in on a memo miss, saves encode and enqueue entries on the
+// engine's write-behind queue. All methods are safe for concurrent use.
+type spillSink struct {
+	store *store.Store
+	// enqueue hands a pre-encoded record to the engine's write-behind
+	// queue; it reports false when the record was dropped (full queue or
+	// closing engine).
+	enqueue func(storeWrite) bool
+
+	faultedHom     atomic.Int64
+	faultedCore    atomic.Int64
+	faultedProduct atomic.Int64
+	spilled        atomic.Int64
+	dropped        atomic.Int64
+	badRecords     atomic.Int64
+}
+
+// SpillStats is a snapshot of memo-spill activity.
+type SpillStats struct {
+	// FaultedHom/Core/Product count memo misses answered from the
+	// persistent store instead of a solver computation.
+	FaultedHom     int64 `json:"faulted_hom"`
+	FaultedCore    int64 `json:"faulted_core"`
+	FaultedProduct int64 `json:"faulted_product"`
+	// Spilled counts memo entries enqueued for persistence; Dropped
+	// counts entries discarded on a full (or closing) write-behind queue
+	// — kept apart from StoreStats.DroppedWrites, which keeps meaning
+	// "a completed result failed to persist" (alert-worthy, where a
+	// dropped spill entry is merely a recomputable cache line).
+	// BadRecords counts persisted entries that failed to decode (version
+	// skew, or corruption the record framing cannot see) and were served
+	// as misses; records whose CRC fails are dropped inside the store
+	// before reaching the decoder and are not counted here.
+	Spilled    int64 `json:"spilled"`
+	Dropped    int64 `json:"dropped"`
+	BadRecords int64 `json:"bad_records"`
+}
+
+// Faulted returns the total entries faulted in across all classes.
+func (s SpillStats) Faulted() int64 { return s.FaultedHom + s.FaultedCore + s.FaultedProduct }
+
+func (s *spillSink) stats() SpillStats {
+	return SpillStats{
+		FaultedHom:     s.faultedHom.Load(),
+		FaultedCore:    s.faultedCore.Load(),
+		FaultedProduct: s.faultedProduct.Load(),
+		Spilled:        s.spilled.Load(),
+		Dropped:        s.dropped.Load(),
+		BadRecords:     s.badRecords.Load(),
+	}
+}
+
+// loadHom faults a persisted hom-check verdict in; ok=false is an
+// ordinary miss (absent, undecodable, or version-skewed record). Fault
+// probes use Probe, not GetKind: every in-memory memo miss lands here,
+// and counting those probes as store misses would drown the result
+// store's hit rate. The faulted counter is the installer's to bump
+// (Memo.GetHom): concurrent misses on one key may each load the record,
+// but only the goroutine that installs it counts a fault.
+func (s *spillSink) loadHom(key string) (hom.Assignment, bool, bool) {
+	val, ok := s.store.Probe(store.KindHom, key)
+	if !ok {
+		return nil, false, false
+	}
+	h, exists, err := hom.DecodeMemoEntry(val)
+	if err != nil {
+		s.badRecords.Add(1)
+		return nil, false, false
+	}
+	return h, exists, true
+}
+
+// loadPointed faults a persisted core (kind store.KindCore) or product
+// (store.KindProduct) in; like loadHom it probes and decodes without
+// counting — the installer counts.
+func (s *spillSink) loadPointed(kind byte, key string) (instance.Pointed, bool) {
+	val, ok := s.store.Probe(kind, key)
+	if !ok {
+		return instance.Pointed{}, false
+	}
+	p, err := instance.DecodePointed(val)
+	if err != nil {
+		s.badRecords.Add(1)
+		return instance.Pointed{}, false
+	}
+	return p, true
+}
+
+// countFault records one installed fault for kind.
+func (s *spillSink) countFault(kind byte) {
+	switch kind {
+	case store.KindHom:
+		s.faultedHom.Add(1)
+	case store.KindCore:
+		s.faultedCore.Add(1)
+	case store.KindProduct:
+		s.faultedProduct.Add(1)
+	}
+}
+
+// saveHom enqueues a hom-check verdict for persistence. The assignment
+// is the memo's own deep copy, which is immutable once stored, so the
+// deferred encoding in the writer goroutine races nothing.
+func (s *spillSink) saveHom(key string, h hom.Assignment, exists bool) {
+	w := storeWrite{kind: store.KindHom, key: key, encode: func() []byte {
+		return hom.EncodeMemoEntry(h, exists)
+	}}
+	if s.enqueue(w) {
+		s.spilled.Add(1)
+	} else {
+		s.dropped.Add(1)
+	}
+}
+
+// savePointed enqueues a core or product instance for persistence; like
+// saveHom, p is the memo's immutable deep copy and is encoded by the
+// writer goroutine.
+func (s *spillSink) savePointed(kind byte, key string, p instance.Pointed) {
+	w := storeWrite{kind: kind, key: key, encode: p.EncodeBinary}
+	if s.enqueue(w) {
+		s.spilled.Add(1)
+	} else {
+		s.dropped.Add(1)
+	}
+}

@@ -33,22 +33,56 @@ type storedResult struct {
 // writes (counted) rather than stalling result delivery.
 const storeWriteQueueSize = 256
 
-// storeWrite is one pre-encoded record for the write-behind queue (the
-// one-shot and stream paths persist different encodings under disjoint
-// keys).
+// storeWrite is one record for the write-behind queue. The one-shot and
+// stream paths persist pre-encoded result records (val) under disjoint
+// keys; the memo-spill path persists hom/core/product records under
+// their own record kinds and defers serialization to the writer
+// goroutine (encode), keeping the encoding cost off the solver hot path
+// — and never paying it at all for writes dropped on a full queue.
 type storeWrite struct {
-	key string
-	val []byte
+	kind byte
+	key  string
+	val  []byte
+	// encode, when non-nil, renders the value at write time; it must
+	// close over immutable data only (the memo's own deep copies).
+	encode func() []byte
 }
 
 // storeWriter drains the write-behind queue onto the store. It runs as
 // a single goroutine per engine, started by New when a store is
-// attached, and exits when Close closes the channel after all leaders
-// have finished.
+// attached, and exits when Close closes the channel after all writers
+// have been fenced off.
 func (e *Engine) storeWriter() {
 	defer close(e.storeWriterDone)
 	for w := range e.storeCh {
-		e.opts.Store.Put(w.key, w.val) // Put counts its own errors
+		val := w.val
+		if w.encode != nil {
+			val = w.encode()
+		}
+		e.opts.Store.PutKind(w.kind, w.key, val) // PutKind counts its own errors
+	}
+}
+
+// enqueueStoreWrite hands a record (pre-encoded or deferred via
+// w.encode) to the write-behind queue without ever blocking, reporting
+// whether it was accepted; the caller owns drop accounting, so result
+// drops and discardable spill drops stay separate counters. Result
+// writes come from leaders, which Close awaits before fencing the
+// queue; memo-spill writes additionally come from solver goroutines
+// that cancellation may have abandoned mid-unwind, so the send is
+// guarded: after Close fences the queue (storeClosed under storeMu) a
+// late write is dropped instead of panicking on a closed channel.
+func (e *Engine) enqueueStoreWrite(w storeWrite) bool {
+	e.storeMu.RLock()
+	defer e.storeMu.RUnlock()
+	if e.storeClosed {
+		return false
+	}
+	select {
+	case e.storeCh <- w:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -69,9 +103,7 @@ func (e *Engine) storePut(j Job, res Result) {
 	if err != nil {
 		return
 	}
-	select {
-	case e.storeCh <- storeWrite{key: j.storeKey(), val: val}:
-	default:
+	if !e.enqueueStoreWrite(storeWrite{kind: store.KindResult, key: j.storeKey(), val: val}) {
 		e.storeDropped.Add(1)
 	}
 }

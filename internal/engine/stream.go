@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"extremalcq/internal/store"
 )
 
 // This file adds the engine's streaming job mode: SubmitStream runs a
@@ -393,9 +395,7 @@ func (e *Engine) streamStorePut(j Job, f *streamFlight, res Result) {
 	if err != nil {
 		return
 	}
-	select {
-	case e.storeCh <- storeWrite{key: j.streamStoreKey(), val: val}:
-	default:
+	if !e.enqueueStoreWrite(storeWrite{kind: store.KindResult, key: j.streamStoreKey(), val: val}) {
 		e.storeDropped.Add(1)
 	}
 }

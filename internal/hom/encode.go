@@ -1,0 +1,98 @@
+package hom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"extremalcq/internal/instance"
+)
+
+// This file adds a versioned binary encoding of memoized
+// homomorphism-check results — the (witness, exists) pair a Cache
+// stores per operand fingerprint — used by the engine's memo-spill
+// layer to persist hom verdicts across process restarts. The version
+// byte lets the format evolve without misdecoding old records; a
+// decoder seeing an unknown version errors and the caller treats the
+// record as a miss.
+
+// memoEntryVersion is the current EncodeMemoEntry format version.
+const memoEntryVersion = 1
+
+// EncodeMemoEntry renders a memoized Find result in the versioned
+// binary format decoded by DecodeMemoEntry:
+//
+//	u8      version (1)
+//	u8      exists (0 or 1)
+//	uvarint pair count, then per pair: string from, string to
+//
+// where "string" is a uvarint length followed by the bytes. Pairs are
+// written in sorted source order, so equal assignments have equal
+// encodings.
+func EncodeMemoEntry(h Assignment, exists bool) []byte {
+	buf := []byte{memoEntryVersion, 0}
+	if exists {
+		buf[1] = 1
+	}
+	appendString := func(s string) {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	keys := make([]instance.Value, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		appendString(string(k))
+		appendString(string(h[k]))
+	}
+	return buf
+}
+
+// DecodeMemoEntry parses an EncodeMemoEntry record through the shared
+// bounds-checked cursor (instance.Decoder). Malformed or version-skewed
+// input yields an error, never a panic or an over-read. A nil
+// assignment round-trips as nil (the shape of a memoized "no
+// homomorphism" verdict).
+func DecodeMemoEntry(data []byte) (Assignment, bool, error) {
+	if len(data) < 2 {
+		return nil, false, fmt.Errorf("hom: decode: truncated entry")
+	}
+	if data[0] != memoEntryVersion {
+		return nil, false, fmt.Errorf("hom: decode: unknown version %d", data[0])
+	}
+	if data[1] > 1 {
+		return nil, false, fmt.Errorf("hom: decode: bad exists byte %d", data[1])
+	}
+	exists := data[1] == 1
+	d := instance.NewDecoder(data[2:])
+	// Every pair occupies at least two bytes (two length prefixes).
+	nPairs, err := d.Count(2)
+	if err != nil {
+		return nil, false, err
+	}
+	var h Assignment
+	if nPairs > 0 {
+		h = make(Assignment, nPairs)
+	}
+	for i := uint64(0); i < nPairs; i++ {
+		from, err := d.String()
+		if err != nil {
+			return nil, false, err
+		}
+		to, err := d.String()
+		if err != nil {
+			return nil, false, err
+		}
+		if _, dup := h[instance.Value(from)]; dup {
+			return nil, false, fmt.Errorf("hom: decode: duplicate source %q", from)
+		}
+		h[instance.Value(from)] = instance.Value(to)
+	}
+	if err := d.End(); err != nil {
+		return nil, false, err
+	}
+	return h, exists, nil
+}

@@ -1,0 +1,110 @@
+package instance
+
+import (
+	"bytes"
+	"testing"
+
+	"extremalcq/internal/schema"
+)
+
+func TestEncodeBinaryRoundTrip(t *testing.T) {
+	sch := schema.MustNew(
+		schema.Relation{Name: "R", Arity: 2},
+		schema.Relation{Name: "P", Arity: 1},
+	)
+	cases := []Pointed{
+		NewPointed(New(sch)), // empty, arity 0
+		mustParse(t, sch, "R(a,b). R(b,c). P(a) @ a, c"),
+		mustParse(t, sch, "R(x,x) @ x, x"), // repeated distinguished values
+	}
+	// Product values contain the reserved pairing characters; the codec
+	// must round-trip them (they are exactly what the engine persists).
+	prod, err := Product(mustParse(t, sch, "R(a,b) @ a"), mustParse(t, sch, "R(c,d) @ c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, prod)
+
+	for i, p := range cases {
+		enc := p.EncodeBinary()
+		dec, err := DecodePointed(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !dec.Equal(p) {
+			t.Fatalf("case %d: round trip changed the instance: %v vs %v", i, dec, p)
+		}
+		if !dec.I.Schema().Equal(p.I.Schema()) {
+			t.Fatalf("case %d: round trip changed the schema", i)
+		}
+		if dec.Fingerprint() != p.Fingerprint() {
+			t.Fatalf("case %d: round trip changed the fingerprint", i)
+		}
+		// Canonical form: equal instances encode identically.
+		if !bytes.Equal(enc, dec.EncodeBinary()) {
+			t.Fatalf("case %d: re-encoding differs", i)
+		}
+	}
+}
+
+func TestDecodePointedRejectsMalformed(t *testing.T) {
+	sch := schema.MustNew(schema.Relation{Name: "R", Arity: 2})
+	valid := mustParse(t, sch, "R(a,b) @ a").EncodeBinary()
+	cases := map[string][]byte{
+		"empty":             nil,
+		"unknown version":   {99},
+		"truncated":         valid[:len(valid)/2],
+		"trailing garbage":  append(append([]byte(nil), valid...), 0xff),
+		"huge count":        {pointedEncodingVersion, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"version byte only": {pointedEncodingVersion},
+	}
+	for name, data := range cases {
+		if _, err := DecodePointed(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+// FuzzDecodePointed checks the decoder's contract on arbitrary bytes:
+// error or success, never a panic or an over-read, and successful
+// decodes re-encode to a decodable value.
+func FuzzDecodePointed(f *testing.F) {
+	sch := schema.MustNew(
+		schema.Relation{Name: "R", Arity: 2},
+		schema.Relation{Name: "P", Arity: 1},
+	)
+	seed := func(s string) {
+		p, err := ParsePointed(sch, s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p.EncodeBinary())
+	}
+	seed("R(a,b). P(a) @ a")
+	seed("R(x,x)")
+	f.Add([]byte{})
+	f.Add([]byte{pointedEncodingVersion, 1, 1, 'R', 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePointed(data)
+		if err != nil {
+			return
+		}
+		enc := p.EncodeBinary()
+		q, err := DecodePointed(enc)
+		if err != nil {
+			t.Fatalf("re-decode of a decoded value failed: %v", err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("re-decode changed the value: %v vs %v", q, p)
+		}
+	})
+}
+
+func mustParse(t *testing.T, sch *schema.Schema, s string) Pointed {
+	t.Helper()
+	p, err := ParsePointed(sch, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSegmentReplay feeds arbitrary bytes to the segment replay path as
+// an on-disk segment file: Open must recover (truncating at the first
+// unreadable record) or error cleanly, never panic or over-read, and
+// the recovered store must stay fully operational.
+func FuzzSegmentReplay(f *testing.F) {
+	// Seed with well-formed segments covering every record kind, plus
+	// classic damage shapes.
+	var valid []byte
+	for kind := minKind; kind <= maxKind; kind++ {
+		valid = append(valid, encodeRecord(kind, "key", []byte("value"))...)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                     // torn tail
+	f.Add(append([]byte(nil), make([]byte, 64)...)) // zeros
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})  // absurd length header
+	f.Add(encodeRecord(99, "key", []byte("value"))) // unknown kind
+	f.Add(encodeRecord(KindHom, "", []byte("v")))   // empty key (unwritable via PutKind)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			return // a clean error is an acceptable outcome
+		}
+		defer s.Close()
+		// Whatever replayed must be servable, and the store writable.
+		for kind := minKind; kind <= maxKind; kind++ {
+			s.GetKind(kind, "key")
+		}
+		if err := s.PutKind(KindResult, "fresh", []byte("after recovery")); err != nil {
+			t.Fatalf("recovered store not writable: %v", err)
+		}
+		if v, ok := s.Get("fresh"); !ok || string(v) != "after recovery" {
+			t.Fatalf("recovered store lost a fresh write")
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestKindsAreDisjointKeyspaces writes the same key under every record
+// kind and checks that each kind serves its own value, across a reopen.
+func TestKindsAreDisjointKeyspaces(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	for kind := minKind; kind <= maxKind; kind++ {
+		if err := s.PutKind(kind, "shared-key", []byte(KindName(kind))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(s *Store) {
+		t.Helper()
+		for kind := minKind; kind <= maxKind; kind++ {
+			v, ok := s.GetKind(kind, "shared-key")
+			if !ok || string(v) != KindName(kind) {
+				t.Fatalf("kind %s: got %q ok=%v", KindName(kind), v, ok)
+			}
+		}
+		st := s.Stats()
+		if st.Entries != int(maxKind-minKind)+1 {
+			t.Fatalf("entries = %d, want %d", st.Entries, maxKind-minKind+1)
+		}
+		for kind := minKind; kind <= maxKind; kind++ {
+			if st.KindEntries[KindName(kind)] != 1 {
+				t.Fatalf("kind entries: %+v", st.KindEntries)
+			}
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, Options{})
+	defer s2.Close()
+	check(s2)
+}
+
+// TestKindOverwriteIsPerKind re-puts a key under one kind and checks
+// the other kinds' records are untouched (and the dead-byte accounting
+// charged the superseded record only).
+func TestKindOverwriteIsPerKind(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.PutKind(KindHom, "k", []byte("hom-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutKind(KindCore, "k", []byte("core-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutKind(KindHom, "k", []byte("hom-2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.GetKind(KindHom, "k"); !ok || string(v) != "hom-2" {
+		t.Fatalf("hom record: %q ok=%v", v, ok)
+	}
+	if v, ok := s.GetKind(KindCore, "k"); !ok || string(v) != "core-1" {
+		t.Fatalf("core record clobbered: %q ok=%v", v, ok)
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.DeadBytes == 0 {
+		t.Fatalf("stats after overwrite: %+v", st)
+	}
+}
+
+// TestPutKindRejectsUnknownKind checks the write-side validation.
+func TestPutKindRejectsUnknownKind(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	defer s.Close()
+	if err := s.PutKind(0, "k", []byte("v")); err == nil {
+		t.Error("kind 0 accepted")
+	}
+	if err := s.PutKind(maxKind+1, "k", []byte("v")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestKindsSurviveCompaction overwrites heavily under multiple kinds to
+// trigger compaction and checks every kind's newest records survive.
+func TestKindsSurviveCompaction(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{SegmentBytes: 1 << 10})
+	defer s.Close()
+	for n := 0; n < 50; n++ {
+		for i := 0; i < 8; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if err := s.PutKind(KindHom, key, []byte(fmt.Sprintf("hom-%d-%d", i, n))); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.PutKind(KindProduct, key, []byte(fmt.Sprintf("prod-%d-%d", i, n))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.Stats().Compactions == 0 {
+		if err := s.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if v, ok := s.GetKind(KindHom, key); !ok || string(v) != fmt.Sprintf("hom-%d-49", i) {
+			t.Fatalf("hom %s after compaction: %q ok=%v", key, v, ok)
+		}
+		if v, ok := s.GetKind(KindProduct, key); !ok || string(v) != fmt.Sprintf("prod-%d-49", i) {
+			t.Fatalf("product %s after compaction: %q ok=%v", key, v, ok)
+		}
+	}
+}

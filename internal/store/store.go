@@ -14,10 +14,18 @@
 //	u32  payload length (little endian)
 //	u32  CRC-32 (IEEE) of the payload
 //	payload:
-//	    u8   record kind (1 = value record)
+//	    u8   record kind (see KindResult, KindHom, KindCore, KindProduct)
 //	    u16  key length (little endian)
 //	    key bytes (binary-safe; fingerprints are raw digests)
 //	    value bytes
+//
+// Record kinds are disjoint keyspaces sharing one log: completed job
+// results (KindResult, the original and only kind before memo spill)
+// live next to spilled memo entries — homomorphism-check verdicts
+// (KindHom), core results (KindCore) and direct products (KindProduct)
+// — keyed by canonical instance fingerprints. All kinds share the
+// segment rotation, the byte budget (whole-segment FIFO eviction) and
+// compaction, so one knob bounds the disk footprint of everything.
 //
 // Writes append to the newest (active) segment; when it reaches the
 // rotation threshold a fresh segment is started. Re-putting a key
@@ -62,9 +70,38 @@ import (
 // ErrClosed is reported by operations on a closed store.
 var ErrClosed = errors.New("store: closed")
 
+// Record kinds. Each kind is its own keyspace: a KindHom record never
+// shadows a KindResult record under the same key. Unknown kinds are
+// treated as corruption during replay (the segment is truncated there),
+// which is the versioning story for the record framing itself; the
+// values carry their own version bytes for in-place format evolution.
+const (
+	KindResult  byte = 1 // completed job results (keyed by job fingerprint)
+	KindHom     byte = 2 // memoized homomorphism-check verdicts
+	KindCore    byte = 3 // memoized core results
+	KindProduct byte = 4 // memoized direct products
+
+	minKind = KindResult
+	maxKind = KindProduct
+)
+
+// KindName renders a record kind for stats and metrics labels.
+func KindName(kind byte) string {
+	switch kind {
+	case KindResult:
+		return "result"
+	case KindHom:
+		return "hom"
+	case KindCore:
+		return "core"
+	case KindProduct:
+		return "product"
+	}
+	return fmt.Sprintf("kind%d", kind)
+}
+
 const (
 	headerSize = 8       // u32 payload length + u32 CRC
-	kindValue  = 1       // the only record kind so far
 	maxKeyLen  = 1 << 16 // keys are length-prefixed with a u16
 
 	// maxPayload rejects absurd length headers during recovery (a
@@ -95,13 +132,16 @@ type Stats struct {
 	Misses    int64 `json:"misses"`
 	Puts      int64 `json:"puts"`
 	PutErrors int64 `json:"put_errors"`
-	// Entries is the number of live keys; Bytes the total segment-file
-	// size on disk; DeadBytes the portion of Bytes holding overwritten
-	// records (reclaimed by compaction).
-	Entries   int   `json:"entries"`
-	Segments  int   `json:"segments"`
-	Bytes     int64 `json:"bytes"`
-	DeadBytes int64 `json:"dead_bytes"`
+	// Entries is the number of live keys across all record kinds;
+	// KindEntries breaks it down per kind ("result", "hom", "core",
+	// "product"; kinds with zero live keys are omitted). Bytes is the
+	// total segment-file size on disk; DeadBytes the portion of Bytes
+	// holding overwritten records (reclaimed by compaction).
+	Entries     int            `json:"entries"`
+	KindEntries map[string]int `json:"kind_entries,omitempty"`
+	Segments    int            `json:"segments"`
+	Bytes       int64          `json:"bytes"`
+	DeadBytes   int64          `json:"dead_bytes"`
 	// EvictedSegments counts whole segments dropped by the MaxBytes
 	// budget; Compactions counts live-record rewrites (CompactErrors
 	// the auto-compactions that failed and left the log as-is);
@@ -142,9 +182,12 @@ type Store struct {
 	closed bool
 	segs   map[uint64]*segment
 	order  []uint64 // segment numbers, ascending; last is active
-	index  map[string]recordRef
-	bytes  int64
-	dead   int64
+	// index maps kind-prefixed keys (see indexKey) to the newest record;
+	// kindCount tracks live keys per kind for Stats.
+	index     map[string]recordRef
+	kindCount [maxKind + 1]int
+	bytes     int64
+	dead      int64
 	// compacting is set while a compaction's I/O phase runs outside the
 	// lock; it pins the snapshot segments (eviction skips, a second
 	// compaction declines).
@@ -273,7 +316,7 @@ func (s *Store) loadSegment(num uint64) error {
 	var off int64
 	var header [headerSize]byte
 	for off < fileSize {
-		key, n, ok := readRecord(f, off, fileSize, header[:])
+		ikey, n, ok := readRecord(f, off, fileSize, header[:])
 		if !ok {
 			// Torn or corrupt record: cut the segment back to its last
 			// intact record. Record boundaries are untrustworthy past
@@ -285,10 +328,7 @@ func (s *Store) loadSegment(num uint64) error {
 			s.truncations.Add(1)
 			break
 		}
-		if old, exists := s.index[key]; exists {
-			s.retire(old)
-		}
-		s.index[key] = recordRef{seg: num, off: off, n: n}
+		s.setIndexLocked(ikey, recordRef{seg: num, off: off, n: n})
 		off += n
 	}
 	seg.size = off
@@ -296,10 +336,16 @@ func (s *Store) loadSegment(num uint64) error {
 	return nil
 }
 
+// indexKey prefixes a record key with its kind byte, making the index a
+// single map over disjoint per-kind keyspaces.
+func indexKey(kind byte, key string) string {
+	return string([]byte{kind}) + key
+}
+
 // readRecord parses the record at off; ok=false reports a torn or
-// corrupt record. On success key is the record's key and n its total
-// length.
-func readRecord(f *os.File, off, fileSize int64, header []byte) (key string, n int64, ok bool) {
+// corrupt record. On success ikey is the record's kind-prefixed index
+// key and n its total length.
+func readRecord(f *os.File, off, fileSize int64, header []byte) (ikey string, n int64, ok bool) {
 	if fileSize-off < headerSize {
 		return "", 0, false
 	}
@@ -318,14 +364,34 @@ func readRecord(f *os.File, off, fileSize int64, header []byte) (key string, n i
 	if crc32.ChecksumIEEE(payload) != crc {
 		return "", 0, false
 	}
-	if payload[0] != kindValue {
+	if payload[0] < minKind || payload[0] > maxKind {
 		return "", 0, false
 	}
 	keyLen := int64(binary.LittleEndian.Uint16(payload[1:3]))
 	if 3+keyLen > payloadLen {
 		return "", 0, false
 	}
-	return string(payload[3 : 3+keyLen]), headerSize + payloadLen, true
+	return indexKey(payload[0], string(payload[3:3+keyLen])), headerSize + payloadLen, true
+}
+
+// setIndexLocked points ikey at ref, retiring any record it supersedes
+// and keeping the per-kind live counts current.
+func (s *Store) setIndexLocked(ikey string, ref recordRef) {
+	if old, exists := s.index[ikey]; exists {
+		s.retire(old)
+	} else {
+		s.kindCount[ikey[0]]++
+	}
+	s.index[ikey] = ref
+}
+
+// delIndexLocked removes ikey from the index (the record bytes are the
+// caller's to account for).
+func (s *Store) delIndexLocked(ikey string) {
+	if _, exists := s.index[ikey]; exists {
+		s.kindCount[ikey[0]]--
+		delete(s.index, ikey)
+	}
 }
 
 // retire marks ref's bytes dead (its key has been overwritten or is
@@ -351,11 +417,11 @@ func (s *Store) addSegment(num uint64) error {
 func (s *Store) active() *segment { return s.segs[s.order[len(s.order)-1]] }
 
 // encodeRecord renders the on-disk form of one record.
-func encodeRecord(key string, value []byte) []byte {
+func encodeRecord(kind byte, key string, value []byte) []byte {
 	payloadLen := 3 + len(key) + len(value)
 	buf := make([]byte, headerSize+payloadLen)
 	payload := buf[headerSize:]
-	payload[0] = kindValue
+	payload[0] = kind
 	binary.LittleEndian.PutUint16(payload[1:3], uint16(len(key)))
 	copy(payload[3:], key)
 	copy(payload[3+len(key):], value)
@@ -364,16 +430,33 @@ func encodeRecord(key string, value []byte) []byte {
 	return buf
 }
 
-// Put appends a record for key, superseding any previous one. The write
-// is buffered by the OS; rotation, compaction and Close sync, so a
-// crash can lose only the most recent appends (recovered as a clean
-// truncation).
+// Put appends a KindResult record for key, superseding any previous
+// one; see PutKind.
 func (s *Store) Put(key string, value []byte) error {
+	return s.PutKind(KindResult, key, value)
+}
+
+// PutKind appends a record of the given kind for key, superseding any
+// previous record of the same kind and key (other kinds are untouched:
+// kinds are disjoint keyspaces). The write is buffered by the OS;
+// rotation, compaction and Close sync, so a crash can lose only the
+// most recent appends (recovered as a clean truncation).
+func (s *Store) PutKind(kind byte, key string, value []byte) error {
+	// Validation failures count as put errors: the engine's write-behind
+	// writer relies on PutKind counting every failed persist attempt, so
+	// e.g. an oversized spilled product leaves a trace instead of
+	// silently never landing.
+	if kind < minKind || kind > maxKind {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: unknown record kind %d", kind)
+	}
 	if key == "" || len(key) >= maxKeyLen {
+		s.putErrors.Add(1)
 		return fmt.Errorf("store: bad key length %d", len(key))
 	}
-	rec := encodeRecord(key, value)
+	rec := encodeRecord(kind, key, value)
 	if int64(len(rec)) > maxPayload {
+		s.putErrors.Add(1)
 		return fmt.Errorf("store: record of %d bytes exceeds the %d-byte bound", len(rec), maxPayload)
 	}
 	s.mu.Lock()
@@ -395,10 +478,7 @@ func (s *Store) Put(key string, value []byte) error {
 		s.putErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
-	if old, exists := s.index[key]; exists {
-		s.retire(old)
-	}
-	s.index[key] = recordRef{seg: seg.num, off: seg.size, n: int64(len(rec))}
+	s.setIndexLocked(indexKey(kind, key), recordRef{seg: seg.num, off: seg.size, n: int64(len(rec))})
 	seg.size += int64(len(rec))
 	s.bytes += int64(len(rec))
 	s.puts.Add(1)
@@ -438,9 +518,9 @@ func (s *Store) enforceBudgetLocked() {
 	}
 	for s.bytes > s.opts.MaxBytes && len(s.order) > 1 {
 		victim := s.segs[s.order[0]]
-		for key, ref := range s.index {
+		for ikey, ref := range s.index {
 			if ref.seg == victim.num {
-				delete(s.index, key)
+				s.delIndexLocked(ikey)
 			}
 		}
 		s.bytes -= victim.size
@@ -453,26 +533,51 @@ func (s *Store) enforceBudgetLocked() {
 	}
 }
 
-// Get returns the newest value stored for key. The reference is
-// resolved under the lock but the disk read runs outside it, so
-// concurrent warm-path lookups never serialize on each other's I/O. A
-// read racing an eviction or compaction that retired its file sees a
-// closed-file error and degrades to a miss (the answer is merely
-// recomputed); records are immutable once written, so a successful
-// read is always coherent. The read is verified against the record's
-// CRC; a record that fails verification (bit rot since Open) is
-// treated as a miss and dropped from the index.
+// Get returns the newest KindResult value stored for key; see GetKind.
 func (s *Store) Get(key string) ([]byte, bool) {
+	return s.GetKind(KindResult, key)
+}
+
+// GetKind returns the newest value stored for key under the given
+// record kind, counting the lookup in the store's hit/miss stats.
+func (s *Store) GetKind(kind byte, key string) ([]byte, bool) {
+	val, ok := s.lookup(kind, key)
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return val, ok
+}
+
+// Probe is GetKind without touching the hit/miss counters. It exists
+// for cache layers that keep their own counters and probe the store on
+// every one of their misses (the engine's memo fault-in): routing those
+// probes through GetKind would drown the result-lookup hit rate the
+// stats exist to report.
+func (s *Store) Probe(kind byte, key string) ([]byte, bool) {
+	return s.lookup(kind, key)
+}
+
+// lookup resolves and reads the newest record for (kind, key). The
+// reference is resolved under the lock but the disk read runs outside
+// it, so concurrent warm-path lookups never serialize on each other's
+// I/O. A read racing an eviction or compaction that retired its file
+// sees a closed-file error and degrades to a miss (the answer is merely
+// recomputed); records are immutable once written, so a successful read
+// is always coherent. The read is verified against the record's CRC; a
+// record that fails verification (bit rot since Open) is treated as a
+// miss and dropped from the index.
+func (s *Store) lookup(kind byte, key string) ([]byte, bool) {
+	ikey := indexKey(kind, key)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.misses.Add(1)
 		return nil, false
 	}
-	ref, ok := s.index[key]
+	ref, ok := s.index[ikey]
 	if !ok {
 		s.mu.Unlock()
-		s.misses.Add(1)
 		return nil, false
 	}
 	f := s.segs[ref.seg].f
@@ -480,29 +585,26 @@ func (s *Store) Get(key string) ([]byte, bool) {
 
 	buf := make([]byte, ref.n)
 	if _, err := f.ReadAt(buf, ref.off); err != nil {
-		s.misses.Add(1)
 		return nil, false
 	}
 	payload := buf[headerSize:]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[4:8]) {
-		s.drop(key, ref)
-		s.misses.Add(1)
+		s.drop(ikey, ref)
 		return nil, false
 	}
 	keyLen := int64(binary.LittleEndian.Uint16(payload[1:3]))
-	s.hits.Add(1)
 	return payload[3+keyLen:], true
 }
 
-// drop removes key's record after a failed verification, unless a
+// drop removes ikey's record after a failed verification, unless a
 // concurrent Put or compaction already superseded the reference (then
 // the failure described a stale record and there is nothing to do).
-func (s *Store) drop(key string, ref recordRef) {
+func (s *Store) drop(ikey string, ref recordRef) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cur, ok := s.index[key]; ok && cur == ref {
+	if cur, ok := s.index[ikey]; ok && cur == ref {
 		s.retire(ref)
-		delete(s.index, key)
+		s.delIndexLocked(ikey)
 	}
 }
 
@@ -716,8 +818,18 @@ func (s *Store) Stats() Stats {
 	entries := len(s.index)
 	segments := len(s.order)
 	bytes, dead := s.bytes, s.dead
+	var kinds map[string]int
+	for kind, n := range s.kindCount {
+		if n > 0 {
+			if kinds == nil {
+				kinds = make(map[string]int)
+			}
+			kinds[KindName(byte(kind))] = n
+		}
+	}
 	s.mu.Unlock()
 	return Stats{
+		KindEntries:          kinds,
 		Hits:                 s.hits.Load(),
 		Misses:               s.misses.Load(),
 		Puts:                 s.puts.Load(),

@@ -227,7 +227,7 @@ func TestRecoveryTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	torn := encodeRecord("victim", []byte("never fully written"))
+	torn := encodeRecord(KindResult, "victim", []byte("never fully written"))
 	if _, err := f.Write(torn[:len(torn)-7]); err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestRecoveryTornTail(t *testing.T) {
 func TestRecoveryCorruptMiddleRecord(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir, Options{})
-	recLen := int64(len(encodeRecord("k0", []byte("v0"))))
+	recLen := int64(len(encodeRecord(KindResult, "k0", []byte("v0"))))
 	for i := 0; i < 10; i++ {
 		put(t, s, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
 	}
