@@ -58,12 +58,22 @@ type memoSpillRecord struct {
 	WarmMS           float64 `json:"warm_ms"`
 }
 
+// phaseBreakdownRecord captures the solver-trace observability story:
+// the full explain report of one deliberately hard traced job, so the
+// bench artifact records where the solver's wall time actually goes
+// (and the search counters that came with it).
+type phaseBreakdownRecord struct {
+	Workload string                  `json:"workload"`
+	Report   *extremalcq.TraceReport `json:"report"`
+}
+
 // benchReport is the -json output shape.
 type benchReport struct {
-	Title     string          `json:"title"`
-	Rows      []benchRow      `json:"rows"`
-	Streaming streamingRecord `json:"streaming"`
-	MemoSpill memoSpillRecord `json:"memo_spill"`
+	Title          string                `json:"title"`
+	Rows           []benchRow            `json:"rows"`
+	Streaming      streamingRecord       `json:"streaming"`
+	MemoSpill      memoSpillRecord       `json:"memo_spill"`
+	PhaseBreakdown *phaseBreakdownRecord `json:"phase_breakdown"`
 }
 
 var report benchReport
@@ -81,6 +91,7 @@ func main() {
 	sizeTheorems()
 	streamingTable()
 	memoSpillTable()
+	phaseBreakdownTable()
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -245,6 +256,48 @@ func memoSpillTable() {
 	row("MemoSpill/NovelJob", "fewer solver computations after restart",
 		fmt.Sprintf("cold=%d warm=%d computations (faulted=%d; %.2fms vs %.2fms)",
 			coldComputations, warmComputations, faulted, coldMS, warmMS))
+	fmt.Println()
+}
+
+// phaseBreakdownTable runs the traced prime-cycle existence workload —
+// a single hom search over the 1275-element positive product, hard
+// enough that the phase attribution is far above timer noise — and
+// records the solver explain report: per-phase self/total durations
+// and the search-progress counters.
+func phaseBreakdownTable() {
+	fmt.Println("Solver phase breakdown (traced prime-cycle existence)")
+	pos, neg := genex.PrimeCycleFamily(5)
+	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	job := engine.Job{Kind: engine.KindCQ, Task: engine.TaskExists, Examples: e, Trace: true}
+	eng := engine.New(engine.Options{Workers: 1})
+	defer eng.Close()
+
+	res := eng.Do(context.Background(), job)
+	if res.Err != nil {
+		log.Fatal(res.Err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		log.Fatal("traced job returned no explain report")
+	}
+	report.PhaseBreakdown = &phaseBreakdownRecord{
+		Workload: "cq/exists over prime cycles n=5, traced",
+		Report:   tr,
+	}
+
+	// The dominant phase by exclusive (self) time, root excluded.
+	dominant, dominantMS := "", 0.0
+	var selfSum float64
+	for _, p := range tr.Phases {
+		selfSum += p.SelfMS
+		if p.Phase != "solve" && p.SelfMS > dominantMS {
+			dominant, dominantMS = p.Phase, p.SelfMS
+		}
+	}
+	row("Trace/PhaseBreakdown", "phase self times account for the wall time",
+		fmt.Sprintf("total=%.2fms self-sum=%.2fms dominant=%s (%.2fms) nodes=%d prunings=%d",
+			tr.TotalMS, selfSum, dominant, dominantMS,
+			tr.Counters["hom_nodes"], tr.Counters["hom_prunings"]))
 	fmt.Println()
 }
 

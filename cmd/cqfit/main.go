@@ -38,6 +38,11 @@
 //	           store too (requires -store), so later runs of *different*
 //	           problems sharing sub-computations with this one skip the
 //	           shared work
+//	-trace     print a solver explain report to stderr after the
+//	           result: per-phase durations (hom search, core
+//	           retraction, product construction, simulation,
+//	           enumeration), search-progress counters and the slowest
+//	           spans. Stdout stays exactly the normal answer output
 package main
 
 import (
@@ -84,6 +89,7 @@ func realMain(args []string, out, errw io.Writer) int {
 		return 1
 	}
 	job.Timeout = opts.timeout
+	job.Trace = opts.trace
 
 	// -memo-spill without a store would be a silent no-op; refuse it
 	// loudly instead.
@@ -120,6 +126,7 @@ func realMain(args []string, out, errw io.Writer) int {
 			frames = append(frames, a.Query)
 			return true
 		})
+		printTrace(errw, res.Trace)
 		if res.Err != nil {
 			fmt.Fprintln(errw, "cqfit:", res.Err)
 			return 1
@@ -145,6 +152,7 @@ func realMain(args []string, out, errw io.Writer) int {
 	}
 
 	res := eng.Do(ctx, job)
+	printTrace(errw, res.Trace)
 	if res.Err != nil {
 		fmt.Fprintln(errw, "cqfit:", res.Err)
 		return 1
@@ -153,12 +161,60 @@ func realMain(args []string, out, errw io.Writer) int {
 	return 0
 }
 
+// printTrace renders a solver explain report (see -trace) on errw, so
+// stdout stays exactly the normal answer output. A nil report (tracing
+// off) prints nothing; printing before the error check means even a
+// timed-out run explains where its time went.
+func printTrace(errw io.Writer, tr *extremalcq.TraceReport) {
+	if tr == nil {
+		return
+	}
+	fmt.Fprintf(errw, "trace: total %.3fms", tr.TotalMS)
+	switch {
+	case tr.StoreHit:
+		fmt.Fprint(errw, " (persistent-store hit; no solver ran)")
+	case tr.Shared:
+		fmt.Fprint(errw, " (shared: adopted from an identical in-flight job)")
+	}
+	if tr.Partial {
+		fmt.Fprint(errw, " (partial: solver was interrupted)")
+	}
+	fmt.Fprintln(errw)
+	if len(tr.Phases) > 0 {
+		fmt.Fprintf(errw, "  %-12s %8s %12s %12s %12s\n", "phase", "count", "self", "total", "max")
+		for _, p := range tr.Phases {
+			fmt.Fprintf(errw, "  %-12s %8d %10.3fms %10.3fms %10.3fms\n",
+				p.Phase, p.Count, p.SelfMS, p.TotalMS, p.MaxMS)
+		}
+	}
+	if len(tr.Counters) > 0 {
+		names := make([]string, 0, len(tr.Counters))
+		for c := range tr.Counters {
+			names = append(names, c)
+		}
+		slices.Sort(names)
+		fmt.Fprint(errw, "  counters:")
+		for _, c := range names {
+			fmt.Fprintf(errw, " %s=%d", c, tr.Counters[c])
+		}
+		fmt.Fprintln(errw)
+	}
+	if len(tr.SlowestSpans) > 0 {
+		fmt.Fprint(errw, "  slowest spans:")
+		for _, sp := range tr.SlowestSpans {
+			fmt.Fprintf(errw, " %s@%d=%.3fms", sp.Phase, sp.Depth, sp.MS)
+		}
+		fmt.Fprintln(errw)
+	}
+}
+
 // cliOpts carries the flags that configure the run rather than the job.
 type cliOpts struct {
 	timeout   time.Duration
 	storeDir  string
 	memoSpill bool
 	stream    bool
+	trace     bool
 }
 
 // specFromArgs wires the flag set into the engine's text-level job
@@ -178,6 +234,7 @@ func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, cliOpts, e
 		storeDir  = fs.String("store", "", "persistent result store directory (empty = none)")
 		memoSpill = fs.Bool("memo-spill", false, "persist memo entries (hom/core/product) to the store; requires -store")
 		stream    = fs.Bool("stream", false, "stream each enumerated answer as it is found")
+		trace     = fs.Bool("trace", false, "print a solver explain report (phases, counters, slowest spans) to stderr")
 	)
 	var posFlags, negFlags multiFlag
 	fs.Var(&posFlags, "pos", "positive example (repeatable)")
@@ -195,7 +252,7 @@ func specFromArgs(args []string, errw io.Writer) (extremalcq.JobSpec, cliOpts, e
 		Query:    *queryStr,
 		MaxAtoms: *maxAtoms,
 		MaxVars:  *maxVars,
-	}, cliOpts{timeout: *timeout, storeDir: *storeDir, memoSpill: *memoSpill, stream: *stream}, nil
+	}, cliOpts{timeout: *timeout, storeDir: *storeDir, memoSpill: *memoSpill, stream: *stream, trace: *trace}, nil
 }
 
 // kindName renders the query language for human-facing messages.

@@ -4,19 +4,32 @@
 //
 //	cqfitd [-addr :8080] [-workers N] [-queue N] [-cache N] [-timeout 30s]
 //	       [-max-streams N] [-store-dir DIR] [-store-max-bytes N]
-//	       [-memo-spill]
+//	       [-memo-spill] [-slow-job-threshold 10s] [-pprof]
 //
 // Endpoints:
 //
-//	POST /v1/jobs         run one fitting job
+//	POST /v1/jobs         run one fitting job; with ?debug=trace the
+//	                      response carries a solver explain report
+//	                      (phase durations, search counters)
 //	POST /v1/jobs/stream  run one job in streaming mode (NDJSON: one
 //	                      flushed frame per enumerated answer, then a
 //	                      terminal {"done":true,...} frame; closing the
-//	                      connection cancels the search)
-//	POST /v1/batch        run a batch of fitting jobs
+//	                      connection cancels the search); with
+//	                      ?debug=trace a final {"trace":...} frame
+//	                      follows the terminal frame
+//	POST /v1/batch        run a batch of fitting jobs (?debug=trace
+//	                      traces every job in the batch)
 //	GET  /v1/stats        cache hit rates, queue depth, queue wait,
 //	                      streams, store activity, per-task latency
-//	GET  /metrics         the same counters in Prometheus text format
+//	GET  /metrics         the same counters in Prometheus text format,
+//	                      including duration histograms (job, queue
+//	                      wait, per-task, per-phase)
+//	GET  /debug/pprof/*   Go runtime profiles; only with -pprof
+//
+// Logs are structured (log/slog text format) on stderr: one access
+// line per request (method, path, status, duration and, for job
+// endpoints, the job fingerprint), plus a warning for every job whose
+// execution exceeds -slow-job-threshold.
 //
 // With -store-dir, completed results are persisted to an append-only
 // fingerprint-keyed log (see internal/store); a restarted daemon
@@ -45,7 +58,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -67,8 +80,17 @@ func main() {
 		storeDir  = flag.String("store-dir", "", "persistent result store directory (empty = no persistence)")
 		storeMax  = flag.Int64("store-max-bytes", 256<<20, "store size budget; oldest segments evicted past it (<= 0 = unbounded)")
 		memoSpill = flag.Bool("memo-spill", false, "persist memo entries (hom/core/product) to the store so restarts accelerate novel jobs (requires -store-dir)")
+		slowJob   = flag.Duration("slow-job-threshold", 10*time.Second, "log a warning for jobs whose execution exceeds this (0 = never)")
+		pprofOn   = flag.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/ (off by default; enable only on trusted networks)")
 	)
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	fatal := func(err error) {
+		logger.Error("fatal", "err", err)
+		os.Exit(1)
+	}
 
 	// Reject flag combinations that would silently no-op a requested
 	// feature instead of starting a daemon that quietly does less than
@@ -76,7 +98,7 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if err := validateFlags(*storeDir, *memoSpill, *cache, explicit); err != nil {
-		log.Fatalf("cqfitd: %v", err)
+		fatal(err)
 	}
 
 	// The store is opened before and closed after the engine (defers run
@@ -86,12 +108,13 @@ func main() {
 		var err error
 		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax})
 		if err != nil {
-			log.Fatalf("cqfitd: %v", err)
+			fatal(err)
 		}
 		defer st.Close()
 		sst := st.Stats()
-		log.Printf("cqfitd: store %s: %d entries, %d bytes in %d segments (%d truncation(s) recovered)",
-			*storeDir, sst.Entries, sst.Bytes, sst.Segments, sst.RecoveredTruncations)
+		logger.Info("store opened",
+			"dir", *storeDir, "entries", sst.Entries, "bytes", sst.Bytes,
+			"segments", sst.Segments, "recovered_truncations", sst.RecoveredTruncations)
 	}
 
 	eng := engine.New(engine.Options{
@@ -105,9 +128,17 @@ func main() {
 	})
 	defer eng.Close()
 
+	s := newServer(eng)
+	s.log = logger
+	s.slowJob = *slowJob
+	if *pprofOn {
+		s.enablePprof()
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng),
+		Handler:           accessLog(logger, s),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		// No WriteTimeout: /v1/jobs/stream responses live as long as
@@ -115,21 +146,59 @@ func main() {
 		// engine's per-job deadline instead.
 	}
 	go func() {
-		log.Printf("cqfitd: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("cqfitd: %v", err)
+			fatal(err)
 		}
 	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Print("cqfitd: shutting down")
+	logger.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("cqfitd: shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
+}
+
+// statusRecorder captures the response status for the access log.
+// Unwrap keeps http.ResponseController features (flush, write
+// deadlines) reaching the underlying writer, which the streaming
+// handler depends on.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// accessLog wraps the server with one structured log line per request:
+// method, path, status, duration and — for job endpoints, which fill
+// the planted requestInfo — the job fingerprint.
+func accessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ri := &requestInfo{}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(withRequestInfo(r.Context(), ri)))
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration", time.Since(start),
+		}
+		if ri.fingerprint != "" {
+			attrs = append(attrs, "job", ri.fingerprint)
+		}
+		logger.Info("request", attrs...)
+	})
 }
 
 // validateFlags rejects store/memo flag combinations that request a

@@ -6,7 +6,10 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
+
+	"extremalcq/internal/obs"
 )
 
 // Prometheus text exposition (version 0.0.4) of the engine's counters.
@@ -32,6 +35,31 @@ func (m metricWriter) value(name, labels string, v float64) {
 func (m metricWriter) single(name, help, typ string, v float64) {
 	m.family(name, help, typ)
 	m.value(name, "", v)
+}
+
+// histogram writes one labeled series set of a Prometheus histogram
+// family: cumulative le-labeled buckets (including +Inf), _sum and
+// _count. The family's # HELP / # TYPE header is the caller's job —
+// declared once even when several label sets share the family.
+func (m metricWriter) histogram(name, labels string, snap obs.HistogramSnapshot) {
+	var cum int64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		m.value(name+"_bucket", mergeLabels(labels, `le="`+le+`"`), float64(cum))
+	}
+	cum += snap.Inf
+	m.value(name+"_bucket", mergeLabels(labels, `le="+Inf"`), float64(cum))
+	m.value(name+"_sum", labels, snap.Sum)
+	m.value(name+"_count", labels, float64(cum))
+}
+
+// mergeLabels appends extra to a (possibly empty) `{a="b"}` label set.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -76,13 +104,36 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.single("cqfitd_stream_first_results_total", "Streams that emitted at least one answer.", "counter",
 		float64(st.Streams.FirstResult.Count))
 
-	// Queue wait (submit→dispatch latency) aggregates.
-	m.family("cqfitd_queue_wait_ms", "Queue wait (submit to dispatch latency) aggregates.", "gauge")
-	m.value("cqfitd_queue_wait_ms", `{stat="min"}`, st.Wait.MinMS)
-	m.value("cqfitd_queue_wait_ms", `{stat="avg"}`, st.Wait.AvgMS)
-	m.value("cqfitd_queue_wait_ms", `{stat="max"}`, st.Wait.MaxMS)
-	m.single("cqfitd_queue_wait_jobs_total", "Jobs folded into the queue wait aggregates.", "counter",
-		float64(st.Wait.Count))
+	// Latency histograms. These replace the old cqfitd_queue_wait_ms and
+	// cqfitd_task_latency_ms min/avg/max gauge families (see README):
+	// cumulative fixed-bucket histograms support rate() and
+	// histogram_quantile() where point-in-time gauges could not.
+	m.family("cqfitd_job_duration_seconds", "Job execution wall time.", "histogram")
+	m.histogram("cqfitd_job_duration_seconds", "", st.Durations.Job)
+	m.family("cqfitd_queue_wait_seconds", "Queue wait (submit to dispatch latency).", "histogram")
+	m.histogram("cqfitd_queue_wait_seconds", "", st.Durations.Queue)
+	if len(st.Durations.Phases) > 0 {
+		phases := make([]string, 0, len(st.Durations.Phases))
+		for p := range st.Durations.Phases {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		m.family("cqfitd_phase_duration_seconds", "Per-phase solver time of traced jobs (?debug=trace).", "histogram")
+		for _, p := range phases {
+			m.histogram("cqfitd_phase_duration_seconds", fmt.Sprintf("{phase=%q}", p), st.Durations.Phases[p])
+		}
+	}
+	if len(st.Durations.Tasks) > 0 {
+		tasks := make([]string, 0, len(st.Durations.Tasks))
+		for k := range st.Durations.Tasks {
+			tasks = append(tasks, k)
+		}
+		sort.Strings(tasks)
+		m.family("cqfitd_task_duration_seconds", "Job execution wall time per kind/task.", "histogram")
+		for _, k := range tasks {
+			m.histogram("cqfitd_task_duration_seconds", fmt.Sprintf("{task=%q}", k), st.Durations.Tasks[k])
+		}
+	}
 
 	// Memo (hom/core/product) classes.
 	m.family("cqfitd_cache_hits_total", "Memo hits per class.", "counter")
@@ -171,10 +222,5 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.family("cqfitd_task_errors_total", "Failed jobs per kind/task.", "counter")
 	for _, k := range keys {
 		m.value("cqfitd_task_errors_total", fmt.Sprintf("{task=%q}", k), float64(st.Tasks[k].Errors))
-	}
-	m.family("cqfitd_task_latency_ms", "Latency aggregates per kind/task.", "gauge")
-	for _, k := range keys {
-		m.value("cqfitd_task_latency_ms", fmt.Sprintf("{task=%q,stat=%q}", k, "avg"), st.Tasks[k].AvgMS)
-		m.value("cqfitd_task_latency_ms", fmt.Sprintf("{task=%q,stat=%q}", k, "max"), st.Tasks[k].MaxMS)
 	}
 }

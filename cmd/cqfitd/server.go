@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
 	"extremalcq/internal/engine"
+	"extremalcq/internal/obs"
 )
 
 // server exposes a fitting engine over HTTP/JSON:
@@ -27,6 +30,12 @@ type server struct {
 	eng   *engine.Engine
 	mux   *http.ServeMux
 	start time.Time
+	// log receives the slow-job warnings; newServer defaults it to
+	// slog.Default and main replaces it with the configured logger.
+	log *slog.Logger
+	// slowJob is the elapsed-time threshold above which a completed job
+	// is logged as a warning; zero disables the check.
+	slowJob time.Duration
 	// rejected counts jobs refused with 429 / in-batch queue-full
 	// errors: every refused job counts, including jobs refused out of a
 	// partially admitted batch.
@@ -34,7 +43,7 @@ type server struct {
 }
 
 func newServer(eng *engine.Engine) *server {
-	s := &server{eng: eng, mux: http.NewServeMux(), start: time.Now()}
+	s := &server{eng: eng, mux: http.NewServeMux(), start: time.Now(), log: slog.Default()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	s.mux.HandleFunc("POST /v1/jobs/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -43,18 +52,72 @@ func newServer(eng *engine.Engine) *server {
 	return s
 }
 
+// enablePprof mounts the net/http/pprof handlers on the server's mux
+// (the package's side-effect registration targets the default mux,
+// which this server never serves). Off by default; see -pprof.
+func (s *server) enablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// requestInfo is a per-request holder the access-log middleware plants
+// in the context so handlers can annotate the access line with facts
+// they only learn mid-request (the job fingerprint, known after the
+// spec is parsed and built).
+type requestInfo struct {
+	fingerprint string
+}
+
+type requestInfoKey struct{}
+
+func withRequestInfo(ctx context.Context, ri *requestInfo) context.Context {
+	return context.WithValue(ctx, requestInfoKey{}, ri)
+}
+
+func requestInfoFrom(ctx context.Context) *requestInfo {
+	ri, _ := ctx.Value(requestInfoKey{}).(*requestInfo)
+	return ri
+}
+
+// noteFingerprint annotates the current access-log line with the job's
+// fingerprint; a no-op outside the middleware (tests hit handlers
+// directly).
+func noteFingerprint(r *http.Request, j engine.Job) {
+	if ri := requestInfoFrom(r.Context()); ri != nil {
+		ri.fingerprint = j.FingerprintHex()
+	}
+}
+
+// warnSlow logs a completed job whose execution exceeded the configured
+// slow-job threshold.
+func (s *server) warnSlow(j engine.Job, res engine.Result) {
+	if s.slowJob <= 0 || res.Elapsed < s.slowJob {
+		return
+	}
+	s.log.Warn("slow job",
+		"fingerprint", j.FingerprintHex(),
+		"kind", string(j.Kind),
+		"task", string(j.Task),
+		"elapsed", res.Elapsed,
+		"threshold", s.slowJob)
+}
+
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // resultJSON is the wire form of an engine.Result.
 type resultJSON struct {
-	Label     string   `json:"label,omitempty"`
-	Kind      string   `json:"kind,omitempty"`
-	Task      string   `json:"task,omitempty"`
-	Found     bool     `json:"found"`
-	Queries   []string `json:"queries,omitempty"`
-	Note      string   `json:"note,omitempty"`
-	Error     string   `json:"error,omitempty"`
-	ElapsedMS float64  `json:"elapsed_ms"`
+	Label     string      `json:"label,omitempty"`
+	Kind      string      `json:"kind,omitempty"`
+	Task      string      `json:"task,omitempty"`
+	Found     bool        `json:"found"`
+	Queries   []string    `json:"queries,omitempty"`
+	Note      string      `json:"note,omitempty"`
+	Error     string      `json:"error,omitempty"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Trace     *obs.Report `json:"trace,omitempty"`
 }
 
 func toJSON(res engine.Result) resultJSON {
@@ -66,11 +129,24 @@ func toJSON(res engine.Result) resultJSON {
 		Queries:   res.Queries,
 		Note:      res.Note,
 		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+		Trace:     res.Trace,
 	}
 	if res.Err != nil {
 		out.Error = res.Err.Error()
 	}
 	return out
+}
+
+// debugTrace reports whether the request opted into solver tracing via
+// the ?debug=trace query parameter. The parameter composes with the
+// JobSpec's own "trace" field by OR: either switch turns tracing on.
+func debugTrace(r *http.Request) bool {
+	for _, v := range r.URL.Query()["debug"] {
+		if v == "trace" {
+			return true
+		}
+	}
+	return false
 }
 
 // maxBodyBytes bounds request bodies; batches of text-format examples
@@ -88,11 +164,15 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if debugTrace(r) {
+		spec.Trace = true
+	}
 	job, err := spec.Build()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad job: %v", err)
 		return
 	}
+	noteFingerprint(r, job)
 	// Admission control: never park an HTTP handler on a full queue;
 	// shed load and tell the client when to come back.
 	p, ok := s.eng.TrySubmit(r.Context(), job)
@@ -102,13 +182,23 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusTooManyRequests, "job queue full; retry later")
 		return
 	}
-	writeJSON(w, http.StatusOK, toJSON(p.Wait()))
+	res := p.Wait()
+	s.warnSlow(job, res)
+	writeJSON(w, http.StatusOK, toJSON(res))
 }
 
 // streamAnswerFrame is one NDJSON answer line of POST /v1/jobs/stream.
 type streamAnswerFrame struct {
 	Index int    `json:"index"`
 	Query string `json:"query"`
+}
+
+// streamTraceFrame is the optional last NDJSON line of a traced stream
+// (?debug=trace or "trace": true). It follows the terminal frame, so
+// clients that stop reading at {"done":true,...} never see it and need
+// no parser changes.
+type streamTraceFrame struct {
+	Trace *obs.Report `json:"trace"`
 }
 
 // streamFinalFrame is the terminal NDJSON line of POST /v1/jobs/stream.
@@ -140,11 +230,15 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if debugTrace(r) {
+		spec.Trace = true
+	}
 	job, err := spec.Build()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad job: %v", err)
 		return
 	}
+	noteFingerprint(r, job)
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	st, ok := s.eng.TrySubmitStream(ctx, job)
@@ -179,6 +273,7 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		frames++
 	}
 	res := st.Wait()
+	s.warnSlow(job, res)
 	final := streamFinalFrame{
 		Done:      true,
 		Found:     res.Found,
@@ -191,6 +286,9 @@ func (s *server) handleStream(w http.ResponseWriter, r *http.Request) {
 		final.Error = res.Err.Error()
 	}
 	enc.Encode(final)
+	if res.Trace != nil {
+		enc.Encode(streamTraceFrame{Trace: res.Trace})
+	}
 	if flusher != nil {
 		flusher.Flush()
 	}
@@ -224,9 +322,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// admitted jobs and reports the refusals in place.
 	results := make([]resultJSON, len(req.Jobs))
 	pendings := make([]*engine.Pending, 0, len(req.Jobs))
+	jobs := make([]engine.Job, 0, len(req.Jobs))
 	idx := make([]int, 0, len(req.Jobs))
 	admitted, refused := 0, 0
+	trace := debugTrace(r)
 	for i, spec := range req.Jobs {
+		if trace {
+			spec.Trace = true
+		}
 		job, err := spec.Build()
 		if err != nil {
 			results[i] = resultJSON{Label: spec.Label, Kind: spec.Kind, Task: spec.Task, Error: err.Error()}
@@ -240,6 +343,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		admitted++
 		pendings = append(pendings, p)
+		jobs = append(jobs, job)
 		idx = append(idx, i)
 	}
 	// Every refused job counts, not just fully refused batches —
@@ -254,7 +358,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for k, p := range pendings {
-		results[idx[k]] = toJSON(p.Wait())
+		res := p.Wait()
+		s.warnSlow(jobs[k], res)
+		results[idx[k]] = toJSON(res)
 	}
 	writeJSON(w, http.StatusOK, batchResponse{
 		Results:   results,

@@ -456,10 +456,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		"cqfitd_active_solvers 0",
 		"cqfitd_solver_runs_total 1",
 		`cqfitd_cache_misses_total{class="hom"}`,
-		`cqfitd_queue_wait_ms{stat="max"}`,
-		"cqfitd_queue_wait_jobs_total 1",
+		"cqfitd_queue_wait_seconds_count 1",
+		`cqfitd_queue_wait_seconds_bucket{le="+Inf"} 1`,
+		"cqfitd_job_duration_seconds_count 1",
+		`cqfitd_task_duration_seconds_count{task="cq/exists"} 1`,
 		`cqfitd_task_jobs_total{task="cq/exists"} 1`,
 		"# TYPE cqfitd_jobs_done_total counter",
+		"# TYPE cqfitd_job_duration_seconds histogram",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -1,0 +1,406 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"extremalcq/internal/engine"
+)
+
+// constructSpec is a small CQ construction used throughout the trace
+// tests; it runs real solver phases (product, hom search, core) in well
+// under a millisecond.
+func constructSpec() engine.JobSpec {
+	return engine.JobSpec{
+		Schema: "R/2,P/1", Arity: 1, Kind: "cq", Task: "construct",
+		Pos: []string{"R(a,b). R(b,c) @ a"},
+		Neg: []string{"P(u) @ u"},
+	}
+}
+
+// TestJobDebugTrace checks the one-shot explain surface: with
+// ?debug=trace the response carries the report, without it the field is
+// absent, and the spec-level "trace" switch works without the query
+// parameter.
+func TestJobDebugTrace(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp := postJSON(t, ts.URL+"/v1/jobs?debug=trace", constructSpec())
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var res resultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("?debug=trace response has no trace")
+	}
+	if len(res.Trace.Phases) == 0 || res.Trace.Phases[0].Phase != "solve" {
+		t.Errorf("trace must lead with the root solve phase: %+v", res.Trace.Phases)
+	}
+	if res.Trace.TotalMS > res.ElapsedMS+1 {
+		t.Errorf("trace total %.3fms exceeds elapsed %.3fms", res.Trace.TotalMS, res.ElapsedMS)
+	}
+
+	// Without the parameter the job stays untraced.
+	resp2 := postJSON(t, ts.URL+"/v1/jobs", constructSpec())
+	defer resp2.Body.Close()
+	var res2 resultJSON
+	if err := json.NewDecoder(resp2.Body).Decode(&res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Errorf("untraced job response carries a trace: %+v", res2.Trace)
+	}
+
+	// The spec-level switch is equivalent to the query parameter.
+	spec := constructSpec()
+	spec.Trace = true
+	resp3 := postJSON(t, ts.URL+"/v1/jobs", spec)
+	defer resp3.Body.Close()
+	var res3 resultJSON
+	if err := json.NewDecoder(resp3.Body).Decode(&res3); err != nil {
+		t.Fatal(err)
+	}
+	if res3.Trace == nil {
+		t.Error(`spec {"trace":true} response has no trace`)
+	}
+}
+
+// TestBatchDebugTrace checks that ?debug=trace on /v1/batch traces
+// every job of the batch.
+func TestBatchDebugTrace(t *testing.T) {
+	ts := newTestServer(t)
+
+	req := map[string]any{"jobs": []engine.JobSpec{constructSpec(), constructSpec()}}
+	resp := postJSON(t, ts.URL+"/v1/batch?debug=trace", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var out batchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Trace == nil {
+			t.Errorf("batch job %d has no trace", i)
+		}
+	}
+}
+
+// TestStreamTraceFrame checks the streaming explain surface: a traced
+// stream appends one {"trace":...} frame after — never before — the
+// terminal {"done":true} frame, so clients that stop at the terminal
+// frame are unaffected.
+func TestStreamTraceFrame(t *testing.T) {
+	ts := newTestServer(t)
+
+	spec := engine.JobSpec{
+		Schema: "R/2,P/1,Q/1", Arity: 0, Kind: "cq", Task: "weakly-most-general",
+		Neg: []string{"P(a)", "Q(a)"},
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs/stream?debug=trace", spec)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+
+	var frames []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var frame map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		frames = append(frames, frame)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("got %d frames, want answers + terminal + trace: %+v", len(frames), frames)
+	}
+	last, terminal := frames[len(frames)-1], frames[len(frames)-2]
+	if terminal["done"] != true {
+		t.Errorf("second-to-last frame is not the terminal frame: %+v", terminal)
+	}
+	tr, ok := last["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("last frame is not the trace frame: %+v", last)
+	}
+	if _, ok := tr["phases"]; !ok {
+		t.Errorf("trace frame has no phases: %+v", tr)
+	}
+
+	// Untraced streams end at the terminal frame.
+	resp2 := postJSON(t, ts.URL+"/v1/jobs/stream", spec)
+	defer resp2.Body.Close()
+	var lines []string
+	sc2 := bufio.NewScanner(resp2.Body)
+	for sc2.Scan() {
+		lines = append(lines, sc2.Text())
+	}
+	if len(lines) == 0 || !strings.Contains(lines[len(lines)-1], `"done":true`) {
+		t.Errorf("untraced stream must end at the terminal frame: %v", lines)
+	}
+}
+
+// TestSlowJobWarning checks that a job exceeding the slow-job threshold
+// produces a structured warning with the job fingerprint.
+func TestSlowJobWarning(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1})
+	var buf bytes.Buffer
+	srv := newServer(eng)
+	srv.log = slog.New(slog.NewTextHandler(&buf, nil))
+	srv.slowJob = time.Nanosecond // everything is slow
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", constructSpec())
+	resp.Body.Close()
+	logged := buf.String()
+	if !strings.Contains(logged, "slow job") || !strings.Contains(logged, "fingerprint=") {
+		t.Errorf("no slow-job warning logged: %q", logged)
+	}
+}
+
+// TestAccessLogLine checks the request-access middleware: one line per
+// request with method, path, status and — on job endpoints — the job
+// fingerprint.
+func TestAccessLogLine(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1})
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	ts := httptest.NewServer(accessLog(logger, newServer(eng)))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", constructSpec())
+	resp.Body.Close()
+	line := buf.String()
+	for _, want := range []string{"method=POST", "path=/v1/jobs", "status=200", "job="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access line missing %q: %q", want, line)
+		}
+	}
+
+	buf.Reset()
+	r2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	line = buf.String()
+	if !strings.Contains(line, "path=/v1/stats") || strings.Contains(line, "job=") {
+		t.Errorf("stats access line: %q", line)
+	}
+}
+
+// TestPprofGated checks that the profiling endpoints exist only after
+// enablePprof.
+func TestPprofGated(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 1})
+	t.Cleanup(func() { eng.Close() })
+
+	off := httptest.NewServer(newServer(eng))
+	t.Cleanup(off.Close)
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof served without -pprof")
+	}
+
+	srv := newServer(eng)
+	srv.enablePprof()
+	on := httptest.NewServer(srv)
+	t.Cleanup(on.Close)
+	resp2, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %d after enablePprof", resp2.StatusCode)
+	}
+}
+
+// TestMetricsExposition exercises the full Prometheus text surface
+// after a mixed workload (traced and untraced jobs, so the histogram
+// families have data) and validates the exposition format: exactly one
+// HELP and TYPE per family, declared before its samples; no duplicate
+// series; histogram buckets cumulative in le order, with the +Inf
+// bucket equal to _count.
+func TestMetricsExposition(t *testing.T) {
+	ts := newTestServer(t)
+
+	postJSON(t, ts.URL+"/v1/jobs?debug=trace", constructSpec()).Body.Close()
+	postJSON(t, ts.URL+"/v1/jobs", constructSpec()).Body.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	help := map[string]int{}
+	typ := map[string]string{}
+	series := map[string]bool{}
+	sampleValues := map[string]float64{}
+	var order []string // sample names in document order
+
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			help[name]++
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			if _, dup := typ[name]; dup {
+				t.Errorf("duplicate TYPE for %s", name)
+			}
+			typ[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A sample: name{labels} value or name value.
+		key := line[:strings.LastIndexByte(line, ' ')]
+		val, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Errorf("unparseable sample %q: %v", line, err)
+			continue
+		}
+		if series[key] {
+			t.Errorf("duplicate series %s", key)
+		}
+		series[key] = true
+		sampleValues[key] = val
+		order = append(order, key)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every family is declared exactly once, and every sample belongs to
+	// a declared family (histogram samples belong via their base name).
+	for name, n := range help {
+		if n != 1 {
+			t.Errorf("HELP for %s appears %d times", name, n)
+		}
+		if _, ok := typ[name]; !ok {
+			t.Errorf("family %s has HELP but no TYPE", name)
+		}
+	}
+	baseName := func(key string) string {
+		name, _, _ := strings.Cut(key, "{")
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok {
+				if typ[b] == "histogram" {
+					return b
+				}
+			}
+		}
+		return name
+	}
+	for key := range series {
+		b := baseName(key)
+		if _, ok := typ[b]; !ok {
+			t.Errorf("sample %s has no TYPE declaration (base %s)", key, b)
+		}
+		if help[b] != 1 {
+			t.Errorf("sample %s has no HELP declaration (base %s)", key, b)
+		}
+	}
+
+	// The new histogram families exist and carry the workload.
+	for _, fam := range []string{"cqfitd_job_duration_seconds", "cqfitd_queue_wait_seconds",
+		"cqfitd_phase_duration_seconds", "cqfitd_task_duration_seconds"} {
+		if typ[fam] != "histogram" {
+			t.Errorf("family %s: TYPE %q, want histogram", fam, typ[fam])
+		}
+	}
+	if v := sampleValues["cqfitd_job_duration_seconds_count"]; v < 2 {
+		t.Errorf("job duration histogram count = %v, want >= 2", v)
+	}
+	if v := sampleValues[`cqfitd_phase_duration_seconds_count{phase="solve"}`]; v < 1 {
+		t.Errorf("solve phase histogram count = %v, want >= 1 (one traced job ran)", v)
+	}
+
+	// The dropped min/avg/max gauge families are gone.
+	for _, gone := range []string{"cqfitd_task_latency_ms", "cqfitd_queue_wait_ms"} {
+		if _, ok := typ[gone]; ok {
+			t.Errorf("dropped family %s still exposed", gone)
+		}
+	}
+
+	// Histogram buckets are cumulative in document order and +Inf equals
+	// _count.
+	var lastBucket = map[string]float64{}
+	for _, key := range order {
+		name, labels, isLabeled := strings.Cut(key, "{")
+		if !isLabeled || !strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		fam := strings.TrimSuffix(name, "_bucket")
+		// The series identity without the le label groups one bucket run.
+		var rest []string
+		var le string
+		for _, l := range strings.Split(strings.TrimSuffix(labels, "}"), ",") {
+			if v, ok := strings.CutPrefix(l, "le="); ok {
+				le = strings.Trim(v, `"`)
+			} else {
+				rest = append(rest, l)
+			}
+		}
+		group := fam + "{" + strings.Join(rest, ",") + "}"
+		if sampleValues[key] < lastBucket[group] {
+			t.Errorf("histogram %s: bucket le=%s drops below previous (%v < %v)",
+				group, le, sampleValues[key], lastBucket[group])
+		}
+		lastBucket[group] = sampleValues[key]
+		if le == "+Inf" {
+			countKey := fam + "_count"
+			if len(rest) > 0 {
+				countKey += "{" + strings.Join(rest, ",") + "}"
+			}
+			if c, ok := sampleValues[countKey]; !ok || c != sampleValues[key] {
+				t.Errorf("histogram %s: +Inf bucket %v != count %v", group, sampleValues[key], c)
+			}
+		}
+	}
+}

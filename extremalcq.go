@@ -79,6 +79,7 @@ import (
 	"extremalcq/internal/frontier"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/schema"
 	"extremalcq/internal/store"
 	"extremalcq/internal/tree"
@@ -261,6 +262,12 @@ type (
 	Stream = engine.Stream
 	// StreamAnswer is one enumerated answer frame of a Stream.
 	StreamAnswer = engine.Answer
+	// TraceReport is the solver explain report of a traced job
+	// (Job.Trace / JobSpec.Trace): per-phase durations, search-progress
+	// counters and the slowest spans. Carried on Result.Trace.
+	TraceReport = obs.Report
+	// TracePhaseStat is one phase row of a TraceReport.
+	TracePhaseStat = obs.PhaseStat
 )
 
 // Job kinds and tasks.

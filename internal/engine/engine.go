@@ -30,6 +30,7 @@ import (
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/store"
 )
 
@@ -165,6 +166,16 @@ type Engine struct {
 	ttfrTotal time.Duration
 	ttfrMin   time.Duration
 	ttfrMax   time.Duration
+
+	// Fixed-bucket latency histograms. jobDur and queueWait observe
+	// every delivered job; taskDur is keyed kind/task (lazily created
+	// under statsMu); phaseDur is keyed by obs phase name (created at
+	// New, read-only afterwards) and observes the inclusive per-phase
+	// durations of traced jobs as their recorders complete.
+	jobDur    *obs.Histogram
+	queueWait *obs.Histogram
+	taskDur   map[string]*obs.Histogram
+	phaseDur  map[string]*obs.Histogram
 }
 
 type envelope struct {
@@ -222,6 +233,13 @@ func New(opts Options) *Engine {
 		flights:    make(map[string]*flight),
 		streams:    make(map[string]*streamFlight),
 		tasks:      make(map[string]*taskAgg),
+		jobDur:     obs.NewHistogram(),
+		queueWait:  obs.NewHistogram(),
+		taskDur:    make(map[string]*obs.Histogram),
+		phaseDur:   make(map[string]*obs.Histogram, len(obs.Phases())),
+	}
+	for _, p := range obs.Phases() {
+		e.phaseDur[p.String()] = obs.NewHistogram()
 	}
 	if opts.CacheSize >= 0 {
 		e.memo = NewMemo(opts.CacheSize)
@@ -422,6 +440,11 @@ func (e *Engine) execute(env *envelope) {
 	// Persistent store first: a previously-computed answer (possibly
 	// from an earlier process) bypasses dedup and the solvers entirely.
 	if res, ok := e.storeLookup(j); ok {
+		if j.Trace {
+			// No solver ran, so the report is empty save for the flag:
+			// zero phases is the trace of a warm hit.
+			res.Trace = &obs.Report{StoreHit: true}
+		}
 		e.deliver(env, j, start, res)
 		return
 	}
@@ -505,6 +528,18 @@ func (e *Engine) followFlight(ctx context.Context, key string, j Job) Result {
 			if res := f.res; !nonShareable(res.Err) {
 				e.dedupShared.Add(1)
 				res.Label = j.Label
+				// The leader's trace is shared, not this job's own: a
+				// traced follower gets a copy marked Shared, an
+				// untraced one gets no trace at all.
+				if res.Trace != nil {
+					if j.Trace {
+						t := res.Trace.Clone()
+						t.Shared = true
+						res.Trace = t
+					} else {
+						res.Trace = nil
+					}
+				}
 				return res
 			}
 			if ctx.Err() != nil {
@@ -552,26 +587,63 @@ func (e *Engine) jobContext(parent context.Context, j Job) (context.Context, con
 // finishes or ctx is done. The algorithms check ctx inside their search
 // loops, so on cancellation the solver goroutine unwinds within a few
 // search steps instead of running the computation to completion.
+//
+// For traced jobs a fresh recorder rides the solver context; the root
+// solve span opens and closes on the solver goroutine itself, so its
+// duration is pure solver wall time. A job abandoned by its deadline
+// still yields a (partial) report — the recorder is snapshot-safe
+// against the unwinding goroutine.
 func (e *Engine) runSolver(ctx context.Context, j Job) Result {
 	solveCtx := ctx
 	if e.memo != nil {
 		solveCtx = withEngineCaches(solveCtx, e.memo)
+	}
+	var rec *obs.Recorder
+	if j.Trace {
+		rec = obs.NewRecorder()
+		solveCtx = obs.WithRecorder(solveCtx, rec)
 	}
 	ch := make(chan Result, 1)
 	e.solvers.Add(1)
 	e.solverRuns.Add(1)
 	go func() {
 		defer e.solvers.Add(-1)
-		ch <- run(solveCtx, j)
+		sp := rec.StartSpan(obs.PhaseSolve)
+		res := run(solveCtx, j)
+		sp.End()
+		ch <- res
 	}()
 	select {
 	case res := <-ch:
+		res.Trace = e.finishTrace(rec)
 		return res
 	case <-ctx.Done():
-		return failedResult(j, e.closeErr(ctx))
+		res := failedResult(j, e.closeErr(ctx))
+		res.Trace = e.finishTrace(rec)
+		return res
 	case <-e.done:
-		return failedResult(j, ErrClosed)
+		res := failedResult(j, ErrClosed)
+		res.Trace = e.finishTrace(rec)
+		return res
 	}
+}
+
+// finishTrace snapshots a traced job's recorder into its report and
+// feeds the per-phase duration histograms. A nil recorder (untraced
+// job) yields a nil report. Called once per recorder on the completion
+// path, so phase histograms count each traced computation exactly once
+// — dedup followers reuse the leader's finished report and never pass
+// through here.
+func (e *Engine) finishTrace(rec *obs.Recorder) *obs.Report {
+	if rec == nil {
+		return nil
+	}
+	for phase, d := range rec.PhaseTotals() {
+		if h := e.phaseDur[phase]; h != nil {
+			h.Observe(d)
+		}
+	}
+	return rec.Report()
 }
 
 // withEngineCaches attaches the engine memo to a solver context (hom,
@@ -685,6 +757,22 @@ type Stats struct {
 	// spilled out to the persistent store); nil unless Options.MemoSpill
 	// is active.
 	MemoSpill *SpillStats `json:"memo_spill,omitempty"`
+	// Durations holds the fixed-bucket latency histograms (cqfitd turns
+	// them into Prometheus histogram families).
+	Durations DurationStats `json:"durations"`
+}
+
+// DurationStats groups the engine's fixed-bucket latency histograms.
+// Job and Queue observe every delivered job; Tasks is keyed kind/task;
+// Phases is keyed by solver phase name and populated only by traced
+// jobs (tracing is opt-in per job, so untraced workloads leave the
+// phase histograms at zero — by design, keeping the untraced hot path
+// allocation-free).
+type DurationStats struct {
+	Job    obs.HistogramSnapshot            `json:"job"`
+	Queue  obs.HistogramSnapshot            `json:"queue_wait"`
+	Tasks  map[string]obs.HistogramSnapshot `json:"tasks,omitempty"`
+	Phases map[string]obs.HistogramSnapshot `json:"phases,omitempty"`
 }
 
 func (e *Engine) record(j Job, res Result) {
@@ -693,6 +781,7 @@ func (e *Engine) record(j Job, res Result) {
 		e.jobsFailed.Add(1)
 	}
 	key := string(j.Kind) + "/" + string(j.Task)
+	e.jobDur.Observe(res.Elapsed)
 	e.statsMu.Lock()
 	agg, ok := e.tasks[key]
 	if !ok {
@@ -707,7 +796,13 @@ func (e *Engine) record(j Job, res Result) {
 	if res.Elapsed > agg.max {
 		agg.max = res.Elapsed
 	}
+	th, ok := e.taskDur[key]
+	if !ok {
+		th = obs.NewHistogram()
+		e.taskDur[key] = th
+	}
 	e.statsMu.Unlock()
+	th.Observe(res.Elapsed)
 }
 
 // recordWait folds one job's submit→dispatch latency into the queue
@@ -716,6 +811,7 @@ func (e *Engine) recordWait(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
+	e.queueWait.Observe(d)
 	e.statsMu.Lock()
 	e.waitCount++
 	e.waitTotal += d
@@ -764,6 +860,16 @@ func (e *Engine) Stats() Stats {
 		Active:  e.streamsActive.Load(),
 		Results: e.streamResults.Load(),
 	}
+	s.Durations.Job = e.jobDur.Snapshot()
+	s.Durations.Queue = e.queueWait.Snapshot()
+	for phase, h := range e.phaseDur {
+		if snap := h.Snapshot(); snap.Count > 0 {
+			if s.Durations.Phases == nil {
+				s.Durations.Phases = make(map[string]obs.HistogramSnapshot)
+			}
+			s.Durations.Phases[phase] = snap
+		}
+	}
 	e.statsMu.Lock()
 	s.Wait.Count = e.waitCount
 	if e.waitCount > 0 {
@@ -788,6 +894,12 @@ func (e *Engine) Stats() Stats {
 			ts.AvgMS = ts.TotalMS / float64(a.count)
 		}
 		s.Tasks[k] = ts
+	}
+	for k, h := range e.taskDur {
+		if s.Durations.Tasks == nil {
+			s.Durations.Tasks = make(map[string]obs.HistogramSnapshot)
+		}
+		s.Durations.Tasks[k] = h.Snapshot()
 	}
 	e.statsMu.Unlock()
 	return s

@@ -235,12 +235,12 @@ func TestMemoCopies(t *testing.T) {
 		t.Fatal(err)
 	}
 	core := hom.Core(p)
-	m.PutCore(p, core)
-	got1, ok := m.GetCore(p)
+	m.PutCore(context.Background(), p, core)
+	got1, ok := m.GetCore(context.Background(), p)
 	if !ok {
 		t.Fatal("expected a core hit")
 	}
-	got2, _ := m.GetCore(p)
+	got2, _ := m.GetCore(context.Background(), p)
 	if got1.I == got2.I {
 		t.Fatal("GetCore returned a shared instance")
 	}
@@ -248,13 +248,13 @@ func TestMemoCopies(t *testing.T) {
 	if !exists {
 		t.Fatal("identity homomorphism must exist")
 	}
-	m.PutHom(p, p, h, true)
-	h1, _, ok := m.GetHom(p, p)
+	m.PutHom(context.Background(), p, p, h, true)
+	h1, _, ok := m.GetHom(context.Background(), p, p)
 	if !ok {
 		t.Fatal("expected a hom hit")
 	}
 	h1["a"] = "tampered"
-	h2, _, _ := m.GetHom(p, p)
+	h2, _, _ := m.GetHom(context.Background(), p, p)
 	if h2["a"] == "tampered" {
 		t.Fatal("GetHom returned a shared assignment")
 	}
@@ -365,10 +365,19 @@ func TestTimeoutStopsSolverPromptly(t *testing.T) {
 // cold cache performs exactly one uncached computation: the memo records
 // no more misses than a single direct run, the dedup counters account
 // for every job, and at least one job was served by coalescing.
+//
+// The job must outlive its own dispatch window even on a single-CPU
+// machine: with a sub-millisecond job, each worker's lead runs to
+// completion before the scheduler ever runs the next worker (blocking
+// hand-offs keep the worker→solver chain at the front of the run
+// queue), so every job leads and nothing coalesces. The 5-prime exists
+// check runs for hundreds of milliseconds — far past the ~10ms
+// preemption quantum — so the remaining workers are guaranteed CPU
+// while the first flight is still live.
 func TestSingleFlightDedup(t *testing.T) {
-	pos, neg := genex.PrimeCycleFamily(3)
+	pos, neg := genex.PrimeCycleFamily(5)
 	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
-	job := Job{Kind: KindCQ, Task: TaskConstruct, Examples: e}
+	job := Job{Kind: KindCQ, Task: TaskExists, Examples: e}
 
 	// Baseline: one job on a fresh engine establishes the cold-cache
 	// miss profile of this computation.

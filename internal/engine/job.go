@@ -3,6 +3,7 @@ package engine
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/schema"
 )
 
@@ -76,6 +78,14 @@ type Job struct {
 	// Timeout bounds this job's execution time; zero means no bound
 	// beyond the submission context.
 	Timeout time.Duration
+	// Trace requests a solver trace: the Result carries an explain
+	// report of phase durations and search counters. Trace does not
+	// participate in the job fingerprint — a traced job and its
+	// untraced twin are the same computation, so they coalesce in
+	// single-flight dedup (the flight leader decides whether a recorder
+	// exists; a traced follower receives the leader's report marked
+	// Shared).
+	Trace bool
 }
 
 // Validate reports whether the job names a known kind × task combination
@@ -99,11 +109,17 @@ func (j Job) Validate() error {
 // fingerprint returns a canonical digest of everything that determines
 // the job's outcome — kind, task, query text, normalized search bounds,
 // timeout and the exact example contents — and nothing else (the label
-// is presentation-only). Jobs with equal fingerprints are
+// is presentation-only and Trace only adds reporting). Jobs with equal fingerprints are
 // interchangeable, which is what single-flight dedup relies on; the
 // timeout participates so a job with a tight deadline never adopts the
 // fate of a twin with a loose one, or vice versa.
 func (j Job) fingerprint() string { return j.digest(true) }
+
+// FingerprintHex returns the job's canonical fingerprint as a hex
+// string, for log correlation (access lines, slow-job warnings).
+func (j Job) FingerprintHex() string {
+	return hex.EncodeToString([]byte(j.fingerprint()))
+}
 
 // storeKey is the fingerprint without the timeout. Only successful
 // results reach the persistent store, and a success is
@@ -187,6 +203,13 @@ type Result struct {
 	// Elapsed is the execution wall time (zero for jobs aborted before
 	// execution).
 	Elapsed time.Duration
+	// Trace is the explain report of a traced job (Job.Trace): phase
+	// durations, search counters and the slowest spans. Nil when
+	// tracing was off. Shared marks a report adopted from a
+	// deduplicated flight's leader; StoreHit marks a persistent-store
+	// answer (no solver phases); Partial marks a job that was canceled
+	// or abandoned mid-solve.
+	Trace *obs.Report
 }
 
 // ---------------------------------------------------------------------
@@ -209,6 +232,9 @@ type JobSpec struct {
 	MaxAtoms  int      `json:"max_atoms,omitempty"`
 	MaxVars   int      `json:"max_vars,omitempty"`
 	TimeoutMS int64    `json:"timeout_ms,omitempty"`
+	// Trace requests an explain report with the result (see Job.Trace);
+	// cqfitd also sets it from the ?debug=trace query parameter.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ParseSchema parses a comma-separated relation/arity declaration list
@@ -275,6 +301,7 @@ func (s JobSpec) Build() (Job, error) {
 		Query:    s.Query,
 		Opts:     fitting.SearchOpts{MaxAtoms: s.MaxAtoms, MaxVars: s.MaxVars},
 		Timeout:  time.Duration(s.TimeoutMS) * time.Millisecond,
+		Trace:    s.Trace,
 	}
 	if err := j.Validate(); err != nil {
 		return Job{}, err

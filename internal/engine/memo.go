@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"hash/fnv"
 	"runtime"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/store"
 )
 
@@ -175,8 +177,10 @@ func pairKey(a, b instance.Pointed) string {
 
 // GetHom implements hom.Cache. A memory miss with spill enabled faults
 // the persisted verdict in (installing it for later lookups) before
-// conceding the miss.
-func (m *Memo) GetHom(from, to instance.Pointed) (hom.Assignment, bool, bool) {
+// conceding the miss. Hits, misses and fault-ins are also attributed to
+// the trace recorder of the querying job's context, if any.
+func (m *Memo) GetHom(ctx context.Context, from, to instance.Pointed) (hom.Assignment, bool, bool) {
+	rec := obs.FromContext(ctx)
 	k := pairKey(from, to)
 	sh := m.shard(k)
 	sh.mu.Lock()
@@ -184,20 +188,22 @@ func (m *Memo) GetHom(from, to instance.Pointed) (hom.Assignment, bool, bool) {
 	sh.mu.Unlock()
 	if !ok && m.spill != nil {
 		if h, exists, faulted := m.spill.loadHom(k); faulted {
-			e = installFaulted(m, sh, sh.hom, k, homEntry{h: h, exists: exists}, store.KindHom)
+			e = installFaulted(m, sh, sh.hom, k, homEntry{h: h, exists: exists}, store.KindHom, rec)
 			ok = true
 		}
 	}
 	if !ok {
 		m.homMisses.Add(1)
+		rec.Add(obs.CtrMemoHomMisses, 1)
 		return nil, false, false
 	}
 	m.homHits.Add(1)
+	rec.Add(obs.CtrMemoHomHits, 1)
 	return copyAssignment(e.h), e.exists, true
 }
 
 // PutHom implements hom.Cache.
-func (m *Memo) PutHom(from, to instance.Pointed, h hom.Assignment, exists bool) {
+func (m *Memo) PutHom(ctx context.Context, from, to instance.Pointed, h hom.Assignment, exists bool) {
 	k := pairKey(from, to)
 	e := homEntry{h: copyAssignment(h), exists: exists}
 	sh := m.shard(k)
@@ -213,7 +219,8 @@ func (m *Memo) PutHom(from, to instance.Pointed, h hom.Assignment, exists bool) 
 }
 
 // GetCore implements hom.Cache; misses fault in like GetHom.
-func (m *Memo) GetCore(p instance.Pointed) (instance.Pointed, bool) {
+func (m *Memo) GetCore(ctx context.Context, p instance.Pointed) (instance.Pointed, bool) {
+	rec := obs.FromContext(ctx)
 	k := p.Fingerprint()
 	sh := m.shard(k)
 	sh.mu.Lock()
@@ -221,20 +228,22 @@ func (m *Memo) GetCore(p instance.Pointed) (instance.Pointed, bool) {
 	sh.mu.Unlock()
 	if !ok && m.spill != nil {
 		if dec, faulted := m.spill.loadPointed(store.KindCore, k); faulted {
-			c = installFaulted(m, sh, sh.core, k, dec, store.KindCore)
+			c = installFaulted(m, sh, sh.core, k, dec, store.KindCore, rec)
 			ok = true
 		}
 	}
 	if !ok {
 		m.coreMisses.Add(1)
+		rec.Add(obs.CtrMemoCoreMisses, 1)
 		return instance.Pointed{}, false
 	}
 	m.coreHits.Add(1)
+	rec.Add(obs.CtrMemoCoreHits, 1)
 	return c.Clone(), true
 }
 
 // PutCore implements hom.Cache.
-func (m *Memo) PutCore(p, core instance.Pointed) {
+func (m *Memo) PutCore(ctx context.Context, p, core instance.Pointed) {
 	k := p.Fingerprint()
 	c := core.Clone()
 	sh := m.shard(k)
@@ -249,7 +258,8 @@ func (m *Memo) PutCore(p, core instance.Pointed) {
 
 // GetProduct implements instance.ProductCache; misses fault in like
 // GetHom.
-func (m *Memo) GetProduct(a, b instance.Pointed) (instance.Pointed, bool) {
+func (m *Memo) GetProduct(ctx context.Context, a, b instance.Pointed) (instance.Pointed, bool) {
+	rec := obs.FromContext(ctx)
 	k := pairKey(a, b)
 	sh := m.shard(k)
 	sh.mu.Lock()
@@ -257,20 +267,22 @@ func (m *Memo) GetProduct(a, b instance.Pointed) (instance.Pointed, bool) {
 	sh.mu.Unlock()
 	if !ok && m.spill != nil {
 		if dec, faulted := m.spill.loadPointed(store.KindProduct, k); faulted {
-			p = installFaulted(m, sh, sh.prod, k, dec, store.KindProduct)
+			p = installFaulted(m, sh, sh.prod, k, dec, store.KindProduct, rec)
 			ok = true
 		}
 	}
 	if !ok {
 		m.prodMisses.Add(1)
+		rec.Add(obs.CtrMemoProductMisses, 1)
 		return instance.Pointed{}, false
 	}
 	m.prodHits.Add(1)
+	rec.Add(obs.CtrMemoProductHits, 1)
 	return p.Clone(), true
 }
 
 // PutProduct implements instance.ProductCache.
-func (m *Memo) PutProduct(a, b, prod instance.Pointed) {
+func (m *Memo) PutProduct(ctx context.Context, a, b, prod instance.Pointed) {
 	k := pairKey(a, b)
 	p := prod.Clone()
 	sh := m.shard(k)
@@ -288,8 +300,9 @@ func (m *Memo) PutProduct(a, b, prod instance.Pointed) {
 // first — only the goroutine that installs counts the fault, so
 // faulted_* counters report distinct installs, not racing probes. The
 // winning entry (existing or just installed) is returned for the
-// caller to serve.
-func installFaulted[V any](m *Memo, sh *memoShard, mp map[string]V, k string, dec V, kind byte) V {
+// caller to serve. The install is also attributed to rec (the querying
+// job's trace recorder), per memo class.
+func installFaulted[V any](m *Memo, sh *memoShard, mp map[string]V, k string, dec V, kind byte, rec *obs.Recorder) V {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if cur, present := mp[k]; present {
@@ -298,7 +311,20 @@ func installFaulted[V any](m *Memo, sh *memoShard, mp map[string]V, k string, de
 	evictIfFull(mp, k, m.perShard)
 	mp[k] = dec
 	m.spill.countFault(kind)
+	rec.Add(faultCounter(kind), 1)
 	return dec
+}
+
+// faultCounter maps a store record kind to its per-job fault counter.
+func faultCounter(kind byte) obs.Counter {
+	switch kind {
+	case store.KindHom:
+		return obs.CtrFaultHom
+	case store.KindCore:
+		return obs.CtrFaultCore
+	default:
+		return obs.CtrFaultProduct
+	}
 }
 
 // evictIfFull removes one arbitrary entry when the map has reached the

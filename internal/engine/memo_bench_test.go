@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -47,7 +48,7 @@ func BenchmarkMemoParallel(b *testing.B) {
 			// Pre-populate so the steady state is hit-dominated.
 			for i := range ps {
 				for j := range ps {
-					m.PutHom(ps[i], ps[j], nil, true)
+					m.PutHom(context.Background(), ps[i], ps[j], nil, true)
 				}
 			}
 			b.ResetTimer()
@@ -56,13 +57,13 @@ func BenchmarkMemoParallel(b *testing.B) {
 				for pb.Next() {
 					from := ps[i%nInstances]
 					to := ps[(i*7+3)%nInstances]
-					if _, _, ok := m.GetHom(from, to); !ok {
-						m.PutHom(from, to, nil, true)
+					if _, _, ok := m.GetHom(context.Background(), from, to); !ok {
+						m.PutHom(context.Background(), from, to, nil, true)
 					}
 					// A slice of product-cache traffic keeps the
 					// benchmark honest about multi-class striping.
 					if i%8 == 0 {
-						m.GetCore(from)
+						m.GetCore(context.Background(), from)
 					}
 					i++
 				}

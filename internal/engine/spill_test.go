@@ -179,16 +179,16 @@ func TestMemoSpillConcurrentCloseReopenStress(t *testing.T) {
 					default:
 					}
 					i, j := (g+n)%len(ps), (g+2*n+1)%len(ps)
-					m.PutHom(ps[i], ps[j], nil, wantExists(i, j))
-					if _, exists, ok := m.GetHom(ps[i], ps[j]); ok && exists != wantExists(i, j) {
+					m.PutHom(context.Background(), ps[i], ps[j], nil, wantExists(i, j))
+					if _, exists, ok := m.GetHom(context.Background(), ps[i], ps[j]); ok && exists != wantExists(i, j) {
 						t.Errorf("hom (%d,%d): exists=%v, want %v", i, j, exists, wantExists(i, j))
 					}
-					m.PutCore(ps[i], ps[i])
-					if c, ok := m.GetCore(ps[i]); ok && !c.Equal(ps[i]) {
+					m.PutCore(context.Background(), ps[i], ps[i])
+					if c, ok := m.GetCore(context.Background(), ps[i]); ok && !c.Equal(ps[i]) {
 						t.Errorf("core %d corrupted: %v", i, c)
 					}
-					m.PutProduct(ps[i], ps[j], ps[i])
-					if p, ok := m.GetProduct(ps[i], ps[j]); ok && !p.Equal(ps[i]) {
+					m.PutProduct(context.Background(), ps[i], ps[j], ps[i])
+					if p, ok := m.GetProduct(context.Background(), ps[i], ps[j]); ok && !p.Equal(ps[i]) {
 						t.Errorf("product (%d,%d) corrupted: %v", i, j, p)
 					}
 				}
@@ -217,8 +217,8 @@ func TestMemoSpillConcurrentCloseReopenStress(t *testing.T) {
 	eng := New(Options{Workers: 1, Store: st, MemoSpill: true})
 	m := eng.Memo()
 	for i := 0; i < 8; i++ {
-		m.PutHom(ps[i], ps[i+1], nil, wantExists(i, i+1))
-		m.PutCore(ps[i], ps[i])
+		m.PutHom(context.Background(), ps[i], ps[i+1], nil, wantExists(i, i+1))
+		m.PutCore(context.Background(), ps[i], ps[i])
 	}
 	eng.Close()
 	if err := st.Close(); err != nil {
@@ -235,14 +235,14 @@ func TestMemoSpillConcurrentCloseReopenStress(t *testing.T) {
 	defer eng2.Close()
 	m2 := eng2.Memo()
 	for i := 0; i < 8; i++ {
-		_, exists, ok := m2.GetHom(ps[i], ps[i+1])
+		_, exists, ok := m2.GetHom(context.Background(), ps[i], ps[i+1])
 		if !ok {
 			t.Fatalf("hom entry %d lost across restart", i)
 		}
 		if exists != wantExists(i, i+1) {
 			t.Errorf("hom entry %d: exists=%v, want %v", i, exists, wantExists(i, i+1))
 		}
-		c, ok := m2.GetCore(ps[i])
+		c, ok := m2.GetCore(context.Background(), ps[i])
 		if !ok {
 			t.Fatalf("core entry %d lost across restart", i)
 		}
@@ -270,7 +270,7 @@ func TestMemoSpillEntriesSharedBudget(t *testing.T) {
 	ps := benchPointed(t, 64)
 	for n := 0; n < 40; n++ {
 		for i := range ps {
-			m.PutProduct(ps[i], ps[(i+n)%len(ps)], ps[i])
+			m.PutProduct(context.Background(), ps[i], ps[(i+n)%len(ps)], ps[i])
 		}
 		// Let the write-behind queue drain between waves so the flood
 		// reaches disk instead of dropping.

@@ -162,10 +162,10 @@ func TestMemoShardsBehave(t *testing.T) {
 			m := NewMemoShards(1024, shards)
 			ps := benchPointed(t, 32)
 			for i, p := range ps {
-				m.PutHom(p, ps[(i+1)%len(ps)], nil, i%2 == 0)
+				m.PutHom(context.Background(), p, ps[(i+1)%len(ps)], nil, i%2 == 0)
 			}
 			for i, p := range ps {
-				_, exists, ok := m.GetHom(p, ps[(i+1)%len(ps)])
+				_, exists, ok := m.GetHom(context.Background(), p, ps[(i+1)%len(ps)])
 				if !ok || exists != (i%2 == 0) {
 					t.Fatalf("entry %d: ok=%v exists=%v", i, ok, exists)
 				}
@@ -194,7 +194,7 @@ func TestMemoShardBoundHolds(t *testing.T) {
 	ps := benchPointed(t, 40)
 	for i := range ps {
 		for j := range ps {
-			m.PutHom(ps[i], ps[j], nil, false)
+			m.PutHom(context.Background(), ps[i], ps[j], nil, false)
 		}
 	}
 	if got, bound := m.Stats().Entries, max+8; got > bound {

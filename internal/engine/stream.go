@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"extremalcq/internal/obs"
 	"extremalcq/internal/store"
 )
 
@@ -200,9 +201,24 @@ func (e *Engine) streamSubscriber(ctx context.Context, j Job, s *Stream) {
 			return false
 		}
 	}
+	// led reports whether this subscriber's attach registered the
+	// flight (making it the trace's owner rather than a sharer).
+	led := false
 	finish := func(res Result) {
 		res.Label, res.Kind, res.Task = j.Label, j.Kind, j.Task
 		res.Elapsed = time.Since(start)
+		// The flight's trace belongs to the leader; a traced follower
+		// gets a copy marked Shared, an untraced subscriber none.
+		if res.Trace != nil {
+			switch {
+			case !j.Trace:
+				res.Trace = nil
+			case !led:
+				t := res.Trace.Clone()
+				t.Shared = true
+				res.Trace = t
+			}
+		}
 		e.record(j, res)
 		s.finish(res)
 	}
@@ -210,6 +226,9 @@ func (e *Engine) streamSubscriber(ctx context.Context, j Job, s *Stream) {
 	// Persistent store first: a completed identical stream replays its
 	// full frame list from disk, with zero solver launches.
 	if frames, res, ok := e.streamStoreLookup(j); ok {
+		if j.Trace {
+			res.Trace = &obs.Report{StoreHit: true}
+		}
 		for _, a := range frames {
 			if !deliver(a) {
 				finish(failedResult(j, e.closeErr(ctx)))
@@ -221,7 +240,8 @@ func (e *Engine) streamSubscriber(ctx context.Context, j Job, s *Stream) {
 	}
 
 	key := j.streamFingerprint()
-	f := e.attachStream(key, j)
+	f, wasLeader := e.attachStream(key, j)
+	led = wasLeader
 	i := 0
 	for {
 		f.mu.Lock()
@@ -265,9 +285,10 @@ func (e *Engine) streamSubscriber(ctx context.Context, j Job, s *Stream) {
 }
 
 // attachStream joins the live flight for key, or registers a new one and
-// starts its leader. The caller holds a waiters registration, which
-// keeps the WaitGroup non-zero while the leader registers itself.
-func (e *Engine) attachStream(key string, j Job) *streamFlight {
+// starts its leader; led reports which happened. The caller holds a
+// waiters registration, which keeps the WaitGroup non-zero while the
+// leader registers itself.
+func (e *Engine) attachStream(key string, j Job) (f *streamFlight, led bool) {
 	e.streamMu.Lock()
 	defer e.streamMu.Unlock()
 	if f, ok := e.streams[key]; ok {
@@ -275,17 +296,17 @@ func (e *Engine) attachStream(key string, j Job) *streamFlight {
 		f.refs++
 		f.mu.Unlock()
 		e.dedupShared.Add(1)
-		return f
+		return f, false
 	}
 	// The leader's context is rooted in the engine, not in any one
 	// subscriber: subscribers come and go, and the enumeration must
 	// outlive its initiator while anyone is still attached.
 	ctx, cancel := e.jobContext(context.Background(), j)
-	f := &streamFlight{wake: make(chan struct{}), refs: 1, cancel: cancel}
+	f = &streamFlight{wake: make(chan struct{}), refs: 1, cancel: cancel}
 	e.streams[key] = f
 	e.waiters.Add(1)
 	go e.leadStream(ctx, key, f, j)
-	return f
+	return f, true
 }
 
 // detachStream drops one subscriber; the last one out cancels the
@@ -345,10 +366,19 @@ func (e *Engine) runStreamSolver(ctx context.Context, j Job, emit func(string)) 
 	if e.memo != nil {
 		solveCtx = withEngineCaches(solveCtx, e.memo)
 	}
+	var rec *obs.Recorder
+	if j.Trace {
+		rec = obs.NewRecorder()
+		solveCtx = obs.WithRecorder(solveCtx, rec)
+	}
 	e.solvers.Add(1)
 	e.solverRuns.Add(1)
 	defer e.solvers.Add(-1)
-	return runStream(solveCtx, j, emit)
+	sp := rec.StartSpan(obs.PhaseSolve)
+	res := runStream(solveCtx, j, emit)
+	sp.End()
+	res.Trace = e.finishTrace(rec)
+	return res
 }
 
 // ---------------------------------------------------------------------

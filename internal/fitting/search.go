@@ -8,6 +8,7 @@ import (
 	"extremalcq/internal/genex"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/solve"
 )
 
@@ -99,11 +100,15 @@ func AllWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts SearchOpts) (
 // every enumerated candidate is supported), so it is recorded and
 // skipped, preserving any answers the bounded enumeration still finds.
 func forEachWMG(ctx context.Context, e Examples, opts SearchOpts, yield func(*cq.CQ) bool) error {
+	rec := obs.FromContext(ctx)
+	sp := rec.StartSpan(obs.PhaseEnum)
+	defer sp.End()
 	var firstErr error
 	// tryCandidate returns false to stop the enumeration; hardErr
 	// reports whether a recorded error should end the search.
 	tryCandidate := func(ex instance.Pointed, hardErr bool) bool {
 		solve.Check(ctx)
+		rec.Add(obs.CtrEnumCandidates, 1)
 		q, err := cq.FromExample(ex)
 		if err != nil {
 			return true

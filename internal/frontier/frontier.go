@@ -19,6 +19,7 @@ import (
 
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 )
 
 // ErrNotCAcyclic is returned when the core of the input is not c-acyclic;
@@ -46,6 +47,8 @@ func ForPointed(e instance.Pointed) ([]instance.Pointed, error) {
 // ctx for cancellation (see hom.CoreCtx).
 func ForPointedCtx(ctx context.Context, e instance.Pointed) ([]instance.Pointed, error) {
 	core := hom.CoreCtx(ctx, e)
+	sp := obs.FromContext(ctx).StartSpan(obs.PhaseFrontier)
+	defer sp.End()
 	if !core.HasUNP() {
 		return nil, ErrNoUNP
 	}

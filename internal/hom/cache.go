@@ -13,18 +13,20 @@ import (
 //
 // Caches are keyed on the exact content of the pointed instances (see
 // instance.Pointed.Fingerprint), so a cached assignment remains a valid
-// witness for every later query with the same operands.
+// witness for every later query with the same operands. The querying
+// job's context is passed through so implementations can attribute
+// traffic (hits, misses, spill fault-ins) to the job's trace recorder.
 type Cache interface {
 	// GetHom returns a memoized Find result: ok reports a cache hit,
 	// exists whether a homomorphism from 'from' to 'to' exists, and h a
 	// witness when exists is true.
-	GetHom(from, to instance.Pointed) (h Assignment, exists, ok bool)
+	GetHom(ctx context.Context, from, to instance.Pointed) (h Assignment, exists, ok bool)
 	// PutHom memoizes a Find result.
-	PutHom(from, to instance.Pointed, h Assignment, exists bool)
+	PutHom(ctx context.Context, from, to instance.Pointed, h Assignment, exists bool)
 	// GetCore returns a memoized core.
-	GetCore(p instance.Pointed) (instance.Pointed, bool)
+	GetCore(ctx context.Context, p instance.Pointed) (instance.Pointed, bool)
 	// PutCore memoizes a core.
-	PutCore(p, core instance.Pointed)
+	PutCore(ctx context.Context, p, core instance.Pointed)
 }
 
 // cacheKey is the context key under which a Cache travels. The cache is

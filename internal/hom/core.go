@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/solve"
 )
 
@@ -23,17 +24,20 @@ func Core(p instance.Pointed) instance.Pointed {
 // check ctx so cancellation stops work promptly.
 func CoreCtx(ctx context.Context, p instance.Pointed) instance.Pointed {
 	if c := cacheFrom(ctx); c != nil {
-		if core, ok := c.GetCore(p); ok {
+		if core, ok := c.GetCore(ctx, p); ok {
 			return core
 		}
 		core := coreUncached(ctx, p)
-		c.PutCore(p, core)
+		c.PutCore(ctx, p, core)
 		return core
 	}
 	return coreUncached(ctx, p)
 }
 
 func coreUncached(ctx context.Context, p instance.Pointed) instance.Pointed {
+	rec := obs.FromContext(ctx)
+	sp := rec.StartSpan(obs.PhaseCore)
+	defer sp.End()
 	cur := p.Clone()
 	for {
 		solve.Check(ctx)
@@ -57,6 +61,7 @@ func coreUncached(ctx context.Context, p instance.Pointed) instance.Pointed {
 			// they occurred before (retraction fixes them, so facts over
 			// them must survive the restriction to be mappable).
 			if h, ok := retraction(ctx, cur, target); ok {
+				rec.Add(obs.CtrCoreRetractions, 1)
 				cur = imageOf(cur, h)
 				dropped = true
 				break

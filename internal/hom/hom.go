@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/solve"
 )
 
@@ -43,17 +44,21 @@ func Find(from, to instance.Pointed) (Assignment, bool) {
 // promptly (the unwind is a solve sentinel; see package solve).
 func FindCtx(ctx context.Context, from, to instance.Pointed) (Assignment, bool) {
 	if c := cacheFrom(ctx); c != nil {
-		if h, exists, ok := c.GetHom(from, to); ok {
+		if h, exists, ok := c.GetHom(ctx, from, to); ok {
 			return h, exists
 		}
 		h, exists := findUncached(ctx, from, to)
-		c.PutHom(from, to, h, exists)
+		c.PutHom(ctx, from, to, h, exists)
 		return h, exists
 	}
 	return findUncached(ctx, from, to)
 }
 
 func findUncached(ctx context.Context, from, to instance.Pointed) (Assignment, bool) {
+	rec := obs.FromContext(ctx)
+	rec.Add(obs.CtrHomSearches, 1)
+	sp := rec.StartSpan(obs.PhaseHomSearch)
+	defer sp.End()
 	s, ok := newSearch(ctx, from, to)
 	if !ok {
 		return nil, false
@@ -73,6 +78,10 @@ func FindAll(from, to instance.Pointed, yield func(Assignment) bool) {
 // ctx at every node, so deadlines and cancellation stop it between
 // answers (the unwind is a solve sentinel; see package solve).
 func FindAllCtx(ctx context.Context, from, to instance.Pointed, yield func(Assignment) bool) {
+	rec := obs.FromContext(ctx)
+	rec.Add(obs.CtrHomSearches, 1)
+	sp := rec.StartSpan(obs.PhaseHomSearch)
+	defer sp.End()
 	s, ok := newSearch(ctx, from, to)
 	if !ok {
 		return
@@ -137,6 +146,7 @@ func ExistsToAllCtx(ctx context.Context, from instance.Pointed, ts []instance.Po
 
 type search struct {
 	ctx      context.Context
+	rec      *obs.Recorder // job trace recorder (nil when untraced)
 	from, to instance.Pointed
 	vars     []instance.Value                    // adom(from), sorted
 	domains  map[instance.Value][]instance.Value // candidate targets
@@ -151,6 +161,7 @@ func newSearch(ctx context.Context, from, to instance.Pointed) (*search, bool) {
 	}
 	s := &search{
 		ctx:     ctx,
+		rec:     obs.FromContext(ctx),
 		from:    from,
 		to:      to,
 		domains: make(map[instance.Value][]instance.Value),
@@ -208,6 +219,7 @@ func (s *search) solve() (Assignment, bool) {
 // within one propagation round.
 func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
 	solve.Check(s.ctx)
+	s.rec.Add(obs.CtrHomNodes, 1)
 	v, ok := pickVar(s.vars, dom)
 	if !ok {
 		// All singleton: extract and verify.
@@ -218,6 +230,7 @@ func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
 		if validHom(s.from.I, s.to.I, a) {
 			return a
 		}
+		s.rec.Add(obs.CtrHomBacktracks, 1)
 		return nil
 	}
 	for _, w := range dom[v] {
@@ -231,6 +244,8 @@ func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
 			return res
 		}
 	}
+	// Every candidate for v failed: this subtree is a dead end.
+	s.rec.Add(obs.CtrHomBacktracks, 1)
 	return nil
 }
 
@@ -246,6 +261,7 @@ func (s *search) enumerate(yield func(Assignment) bool) {
 // enumRec returns false if enumeration should stop.
 func (s *search) enumRec(dom map[instance.Value][]instance.Value, yield func(Assignment) bool) bool {
 	solve.Check(s.ctx)
+	s.rec.Add(obs.CtrHomNodes, 1)
 	v, ok := pickVar(s.vars, dom)
 	if !ok {
 		a := make(Assignment, len(dom))
@@ -324,9 +340,11 @@ func (s *search) propagate(from, to *instance.Instance, dom map[instance.Value][
 					}
 				}
 				if len(kept) == 0 {
+					s.rec.Add(obs.CtrHomPrunings, int64(len(dom[v])))
 					return nil, false
 				}
 				if len(kept) != len(dom[v]) {
+					s.rec.Add(obs.CtrHomPrunings, int64(len(dom[v])-len(kept)))
 					dom[v] = kept
 					changed = true
 				}

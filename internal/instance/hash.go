@@ -95,10 +95,12 @@ func writeString(w io.Writer, s string) {
 // is consulted by ProductCtx with the two (validated) operands; the
 // methods may be called concurrently, so implementations must be safe
 // for concurrent use, and GetProduct must return an instance the caller
-// may freely use (i.e. one not shared with other callers).
+// may freely use (i.e. one not shared with other callers). The querying
+// job's context is passed through so implementations can attribute
+// traffic (hits, misses, spill fault-ins) to the job's trace recorder.
 type ProductCache interface {
-	GetProduct(a, b Pointed) (Pointed, bool)
-	PutProduct(a, b, prod Pointed)
+	GetProduct(ctx context.Context, a, b Pointed) (Pointed, bool)
+	PutProduct(ctx context.Context, a, b, prod Pointed)
 }
 
 // productCacheKey is the context key under which a ProductCache travels.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"extremalcq/internal/obs"
 	"extremalcq/internal/schema"
 	"extremalcq/internal/solve"
 )
@@ -237,12 +238,12 @@ func ProductCtx(ctx context.Context, e1, e2 Pointed) (Pointed, error) {
 		return Pointed{}, fmt.Errorf("instance: product of arities %d and %d", e1.Arity(), e2.Arity())
 	}
 	if c := productCacheFrom(ctx); c != nil {
-		if prod, ok := c.GetProduct(e1, e2); ok {
+		if prod, ok := c.GetProduct(ctx, e1, e2); ok {
 			return prod, nil
 		}
 		prod, err := productUncached(ctx, e1, e2)
 		if err == nil {
-			c.PutProduct(e1, e2, prod)
+			c.PutProduct(ctx, e1, e2, prod)
 		}
 		return prod, err
 	}
@@ -250,6 +251,9 @@ func ProductCtx(ctx context.Context, e1, e2 Pointed) (Pointed, error) {
 }
 
 func productUncached(ctx context.Context, e1, e2 Pointed) (Pointed, error) {
+	rec := obs.FromContext(ctx)
+	sp := rec.StartSpan(obs.PhaseProduct)
+	defer sp.End()
 	out := New(e1.I.Schema())
 	e1.I.buildByRel()
 	e2.I.buildByRel()
@@ -270,6 +274,7 @@ func productUncached(ctx context.Context, e1, e2 Pointed) (Pointed, error) {
 	for i := range tuple {
 		tuple[i] = PairValue(e1.Tuple[i], e2.Tuple[i])
 	}
+	rec.Add(obs.CtrProductFacts, int64(out.Size()))
 	return Pointed{I: out, Tuple: tuple}, nil
 }
 

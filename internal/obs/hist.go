@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket duration histogram with atomic counters,
+// suitable for cumulative Prometheus exposition (le-labeled bucket
+// series plus _sum and _count). Observe is lock-free; Snapshot gives a
+// consistent-enough view for scraping (buckets are read one by one, so
+// a scrape racing an Observe may be off by one observation — the usual
+// contract for lock-free metrics).
+type Histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending
+	counts []atomic.Int64
+	inf    atomic.Int64 // observations above the last bound
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+// DefBuckets are the default latency bounds in seconds, spanning
+// sub-millisecond memo hits to multi-second adversarial jobs.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (seconds). With no bounds, DefBuckets is used.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	secs := d.Seconds()
+	placed := false
+	for i, b := range h.bounds {
+		if secs <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy for exposition. Counts are
+// per-bucket (not cumulative); Count includes the implicit +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"` // upper bounds in seconds
+	Counts []int64   `json:"counts"` // per-bucket observation counts, len(Bounds)
+	Inf    int64     `json:"inf"`    // observations above the last bound
+	Sum    float64   `json:"sum"`    // total observed seconds
+	Count  int64     `json:"count"`  // total observations
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Inf:    h.inf.Load(),
+		Sum:    time.Duration(h.sumNS.Load()).Seconds(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

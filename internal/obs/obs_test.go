@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	sp := r.StartSpan(PhaseHomSearch)
+	sp.End()
+	r.Add(CtrHomNodes, 5)
+	if got := r.Count(CtrHomNodes); got != 0 {
+		t.Fatalf("nil recorder counted %d", got)
+	}
+	rep := r.Report()
+	if rep == nil || len(rep.Phases) != 0 || rep.TotalMS != 0 {
+		t.Fatalf("nil recorder report = %+v", rep)
+	}
+	if r.PhaseTotals() != nil {
+		t.Fatal("nil recorder phase totals should be nil")
+	}
+}
+
+func TestSpanNestingSelfTime(t *testing.T) {
+	r := NewRecorder()
+	root := r.StartSpan(PhaseSolve)
+	outer := r.StartSpan(PhaseCore)
+	inner := r.StartSpan(PhaseHomSearch)
+	time.Sleep(5 * time.Millisecond)
+	inner.End()
+	outer.End()
+	root.End()
+
+	rep := r.Report()
+	if rep.Partial {
+		t.Fatal("all spans closed; report should not be partial")
+	}
+	stats := make(map[string]PhaseStat)
+	for _, p := range rep.Phases {
+		stats[p.Phase] = p
+	}
+	if stats["solve"].Count != 1 || stats["core"].Count != 1 || stats["hom_search"].Count != 1 {
+		t.Fatalf("phase counts wrong: %+v", rep.Phases)
+	}
+	// The hom search held the clock; core and solve self time must
+	// exclude it.
+	if stats["hom_search"].SelfMS < 4 {
+		t.Fatalf("hom_search self = %v, want >= ~5ms", stats["hom_search"].SelfMS)
+	}
+	if stats["core"].TotalMS < stats["hom_search"].TotalMS {
+		t.Fatalf("core total %v < nested hom total %v", stats["core"].TotalMS, stats["hom_search"].TotalMS)
+	}
+	if stats["core"].SelfMS > stats["core"].TotalMS-stats["hom_search"].TotalMS+1 {
+		t.Fatalf("core self %v should exclude nested hom time %v", stats["core"].SelfMS, stats["hom_search"].TotalMS)
+	}
+	// Self times sum to the root's total.
+	var sumSelf float64
+	for _, p := range rep.Phases {
+		sumSelf += p.SelfMS
+	}
+	if sumSelf < rep.TotalMS*0.99 || sumSelf > rep.TotalMS*1.01 {
+		t.Fatalf("self times sum to %v, root total %v", sumSelf, rep.TotalMS)
+	}
+	// Depths: root 0, core 1, hom 2.
+	if stats["hom_search"].MaxDepth != 2 || stats["core"].MaxDepth != 1 {
+		t.Fatalf("depths wrong: %+v", rep.Phases)
+	}
+	// Root listed first.
+	if rep.Phases[0].Phase != "solve" {
+		t.Fatalf("root phase not first: %+v", rep.Phases)
+	}
+}
+
+func TestUnendedSpansAreClosedByAncestor(t *testing.T) {
+	r := NewRecorder()
+	root := r.StartSpan(PhaseSolve)
+	r.StartSpan(PhaseEnum) // never ended (simulates a missed End)
+	root.End()
+	rep := r.Report()
+	if rep.Partial {
+		t.Fatal("root End should have closed the dangling child")
+	}
+	var sawEnum bool
+	for _, p := range rep.Phases {
+		if p.Phase == "enum" {
+			sawEnum = true
+		}
+	}
+	if !sawEnum {
+		t.Fatalf("dangling span not attributed: %+v", rep.Phases)
+	}
+}
+
+func TestPartialReportWhileRunning(t *testing.T) {
+	r := NewRecorder()
+	_ = r.StartSpan(PhaseSolve)
+	r.Add(CtrHomNodes, 3)
+	rep := r.Report()
+	if !rep.Partial {
+		t.Fatal("open span should mark the report partial")
+	}
+	if rep.Counters["hom_nodes"] != 3 {
+		t.Fatalf("counters = %v", rep.Counters)
+	}
+}
+
+func TestCountersAndClone(t *testing.T) {
+	r := NewRecorder()
+	r.Add(CtrHomNodes, 2)
+	r.Add(CtrHomNodes, 3)
+	r.Add(CtrMemoHomHits, 1)
+	if r.Count(CtrHomNodes) != 5 {
+		t.Fatalf("count = %d", r.Count(CtrHomNodes))
+	}
+	rep := r.Report()
+	if rep.Counters["hom_nodes"] != 5 || rep.Counters["memo_hom_hits"] != 1 {
+		t.Fatalf("counters = %v", rep.Counters)
+	}
+	if _, ok := rep.Counters["sim_rounds"]; ok {
+		t.Fatal("zero counters should be omitted")
+	}
+
+	cl := rep.Clone()
+	cl.Shared = true
+	cl.Counters["hom_nodes"] = 99
+	if rep.Shared || rep.Counters["hom_nodes"] != 5 {
+		t.Fatal("clone mutated the original")
+	}
+	if (*Report)(nil).Clone() != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+}
+
+func TestSlowestSpansBounded(t *testing.T) {
+	r := NewRecorder()
+	root := r.StartSpan(PhaseSolve)
+	for i := 0; i < maxSlowest+5; i++ {
+		sp := r.StartSpan(PhaseHomSearch)
+		sp.End()
+	}
+	root.End()
+	rep := r.Report()
+	if len(rep.SlowestSpans) > maxSlowest {
+		t.Fatalf("slowest table has %d entries", len(rep.SlowestSpans))
+	}
+	for i := 1; i < len(rep.SlowestSpans); i++ {
+		if rep.SlowestSpans[i].MS > rep.SlowestSpans[i-1].MS {
+			t.Fatal("slowest table not sorted descending")
+		}
+	}
+	for _, s := range rep.SlowestSpans {
+		if s.Phase == "solve" {
+			t.Fatal("root span must be excluded from the slowest table")
+		}
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no recorder")
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("nil context should carry no recorder")
+	}
+	r := NewRecorder()
+	ctx := WithRecorder(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Fatal("recorder did not round-trip")
+	}
+	if WithRecorder(context.Background(), nil) != context.Background() {
+		t.Fatal("nil recorder should leave ctx unchanged")
+	}
+}
+
+// TestUntracedPathAllocatesNothing is the acceptance gate for the
+// disabled-tracing hot path: pulling a (missing) recorder out of a
+// context and reporting into it must not allocate.
+func TestUntracedPathAllocatesNothing(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := FromContext(ctx)
+		sp := r.StartSpan(PhaseHomSearch)
+		r.Add(CtrHomNodes, 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	h.Observe(5 * time.Millisecond)   // bucket 0
+	h.Observe(50 * time.Millisecond)  // bucket 1
+	h.Observe(500 * time.Millisecond) // bucket 2
+	h.Observe(2 * time.Second)        // +Inf
+	h.Observe(-time.Second)           // clamped to 0, bucket 0
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Inf != 1 {
+		t.Fatalf("inf bucket = %d", s.Inf)
+	}
+	if s.Sum < 2.5 || s.Sum > 2.6 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram()
+	if len(h.bounds) != len(DefBuckets) {
+		t.Fatalf("default bounds = %v", h.bounds)
+	}
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i] <= h.bounds[i-1] {
+			t.Fatal("default bounds not ascending")
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"extremalcq/internal/genex"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/solve"
 )
 
@@ -157,10 +158,14 @@ func ForEachWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts fitting.S
 	if err := checkExamples(e); err != nil {
 		return err
 	}
+	rec := obs.FromContext(ctx)
+	sp := rec.StartSpan(obs.PhaseEnum)
+	defer sp.End()
 	seen := enum.NewIndex(SimEquivalentCtx)
 	var firstErr error
 	genex.EnumerateDataExamples(e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
 		solve.Check(ctx)
+		rec.Add(obs.CtrEnumCandidates, 1)
 		q, err := cq.FromExample(ex)
 		if err != nil || !IsTreeCQ(q) {
 			return true

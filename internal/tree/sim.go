@@ -16,6 +16,7 @@ import (
 	"context"
 
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/solve"
 )
 
@@ -48,6 +49,9 @@ func GreatestSimulation(src, dst *instance.Instance) *Simulation {
 // refinement round checks ctx, so cancellation stops the fixpoint on
 // large products promptly.
 func greatestSimulation(ctx context.Context, src, dst *instance.Instance) *Simulation {
+	rec := obs.FromContext(ctx)
+	sp := rec.StartSpan(obs.PhaseSim)
+	defer sp.End()
 	s := &Simulation{pairs: make(map[simKey]bool)}
 	srcDom, dstDom := src.Dom(), dst.Dom()
 
@@ -74,6 +78,7 @@ func greatestSimulation(ctx context.Context, src, dst *instance.Instance) *Simul
 	changed := true
 	for changed {
 		solve.Check(ctx)
+		rec.Add(obs.CtrSimRounds, 1)
 		changed = false
 		for k := range s.pairs {
 			if !s.supported(k, src, dst) {

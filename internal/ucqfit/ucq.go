@@ -18,6 +18,7 @@ import (
 	"extremalcq/internal/genex"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
 	"extremalcq/internal/schema"
 	"extremalcq/internal/solve"
 )
@@ -354,9 +355,13 @@ func ForEachMostGeneralCandidateCtx(ctx context.Context, e Examples, opts fittin
 	if !ExistsCtx(ctx, e) {
 		return nil
 	}
+	rec := obs.FromContext(ctx)
+	sp := rec.StartSpan(obs.PhaseEnum)
+	defer sp.End()
 	seen := enum.NewIndex(nil)
 	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
 		solve.Check(ctx)
+		rec.Add(obs.CtrEnumCandidates, 1)
 		if hom.ExistsToAnyCtx(ctx, ex, e.Neg) {
 			return true
 		}
