@@ -45,7 +45,7 @@ var rpqSchema = MustSchema(
 // Row "Any Fitting" / Verification (DP-complete; Thm 3.1): the
 // exact-4-colorability workload.
 func BenchmarkT1AnyVerify(b *testing.B) {
-	e := fitting.MustExamples(genex.SchemaR, 0,
+	e := fitting.MustExamples(genex.SchemaR(), 0,
 		[]Example{genex.Clique(4)}, []Example{genex.Clique(3)})
 	q := cq.MustFromExample(genex.Clique(4))
 	b.ResetTimer()
@@ -62,7 +62,7 @@ func BenchmarkT1AnyVerify(b *testing.B) {
 func BenchmarkT1AnyExistence(b *testing.B) {
 	for n := 2; n <= 4; n++ {
 		pos, neg := genex.PrimeCycleFamily(n)
-		e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+		e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 		b.Run(fmt.Sprintf("primes=%d", n), func(b *testing.B) {
 			var size int
 			for i := 0; i < b.N; i++ {
@@ -83,7 +83,7 @@ func BenchmarkT1MostSpecificVerify(b *testing.B) {
 	j := genex.DirectedCycle(6)
 	u1, _ := instance.DisjointUnion(genex.DirectedCycle(2), j)
 	u2, _ := instance.DisjointUnion(genex.DirectedCycle(3), j)
-	e := fitting.MustExamples(genex.SchemaR, 0, []Example{u1, u2}, nil)
+	e := fitting.MustExamples(genex.SchemaR(), 0, []Example{u1, u2}, nil)
 	q := cq.MustFromExample(j)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -120,7 +120,7 @@ func BenchmarkT1WMGExistence(b *testing.B) {
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, found, err := fitting.SearchWeaklyMostGeneral(e, fitting.DefaultSearch)
+		_, found, err := fitting.SearchWeaklyMostGeneral(e, fitting.DefaultSearch())
 		if err != nil || !found {
 			b.Fatal("a weakly most-general fitting exists")
 		}
@@ -156,7 +156,7 @@ func BenchmarkT1BasisExistence(b *testing.B) {
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		basis, found, err := fitting.SearchBasis(e, fitting.DefaultSearch)
+		basis, found, err := fitting.SearchBasis(e, fitting.DefaultSearch())
 		if err != nil || !found || len(basis) != 2 {
 			b.Fatal("basis of size 2 must be found")
 		}
@@ -166,11 +166,11 @@ func BenchmarkT1BasisExistence(b *testing.B) {
 // Row "Unique" / Verification + Existence (NExpTime-c; Thm 3.35):
 // Example 3.33.
 func BenchmarkT1UniqueExistence(b *testing.B) {
-	i := instance.MustFromFacts(genex.SchemaR,
+	i := instance.MustFromFacts(genex.SchemaR(),
 		instance.NewFact("R", "a", "b"),
 		instance.NewFact("R", "b", "a"),
 		instance.NewFact("R", "b", "b"))
-	e := fitting.MustExamples(genex.SchemaR, 1,
+	e := fitting.MustExamples(genex.SchemaR(), 1,
 		[]Example{instance.NewPointed(i, "b")},
 		[]Example{instance.NewPointed(i, "a")})
 	b.ResetTimer()
@@ -187,7 +187,7 @@ func BenchmarkT1UniqueExistence(b *testing.B) {
 func BenchmarkSizeLowerBoundCQ(b *testing.B) {
 	for n := 2; n <= 5; n++ {
 		pos, neg := genex.PrimeCycleFamily(n)
-		e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+		e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var vars, input int
 			for i := 0; i < b.N; i++ {
@@ -256,7 +256,7 @@ func BenchmarkBasisCardinality(b *testing.B) {
 // Rows "Any"/"Most-Specific" (coNP-c existence, PTime construction,
 // DP-c verification; Thm 4.6): graph-homomorphism workload.
 func BenchmarkT2AnyUCQ(b *testing.B) {
-	e := fitting.MustExamples(genex.SchemaR, 0,
+	e := fitting.MustExamples(genex.SchemaR(), 0,
 		[]Example{genex.DirectedCycle(3)},
 		[]Example{genex.DirectedCycle(2)})
 	b.ResetTimer()
@@ -273,7 +273,7 @@ func BenchmarkT2AnyUCQ(b *testing.B) {
 
 // Row "Most-General" (NP-c existence via dismantling; Thm 4.6(2)).
 func BenchmarkT2MostGeneralUCQ(b *testing.B) {
-	e := fitting.MustExamples(genex.SchemaR, 0,
+	e := fitting.MustExamples(genex.SchemaR(), 0,
 		nil, []Example{genex.TransitiveTournament(3)})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -320,7 +320,7 @@ func BenchmarkHomDual(b *testing.B) {
 
 var lraExamples = func() fitting.Examples {
 	pos, neg := genex.DoubleExpTreeFamily(1)
-	return fitting.MustExamples(genex.SchemaLRA, 1, pos, neg)
+	return fitting.MustExamples(genex.SchemaLRA(), 1, pos, neg)
 }()
 
 // Row "Any Fitting" / Verification (PTime; Thm 5.9).
@@ -424,7 +424,7 @@ func BenchmarkT3BasisTree(b *testing.B) {
 func BenchmarkSizeLowerBoundTreeCQ(b *testing.B) {
 	for n := 1; n <= 3; n++ {
 		pos, neg := genex.DoubleExpTreeFamily(n)
-		e := fitting.MustExamples(genex.SchemaLRA, 1, pos, neg)
+		e := fitting.MustExamples(genex.SchemaLRA(), 1, pos, neg)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			var depth, dagNodes int
 			var size uint64
@@ -451,7 +451,7 @@ func BenchmarkSizeLowerBoundTreeCQ(b *testing.B) {
 // product-dominated) as an engine job.
 func engineT1Job() engine.Job {
 	pos, neg := genex.PrimeCycleFamily(3)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	return engine.Job{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: e}
 }
 
@@ -515,7 +515,7 @@ func BenchmarkEngineWarmCache(b *testing.B) {
 func BenchmarkEngineBatchVsSequential(b *testing.B) {
 	const n = 16
 	pos, neg := genex.PrimeCycleFamily(3)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 
 	b.Run("sequential-direct", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -719,9 +719,9 @@ func BenchmarkDualConstruction(b *testing.B) {
 
 // The fitting automaton of Theorem 3.20: construction plus emptiness.
 func BenchmarkFittingAutomaton(b *testing.B) {
-	e := fitting.MustExamples(genex.SchemaR, 0,
-		[]Example{mustPointed(genex.SchemaR, "R(a,b)")},
-		[]Example{instance.NewPointed(instance.New(genex.SchemaR))})
+	e := fitting.MustExamples(genex.SchemaR(), 0,
+		[]Example{mustPointed(genex.SchemaR(), "R(a,b)")},
+		[]Example{instance.NewPointed(instance.New(genex.SchemaR()))})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		auto, err := cqtree.FittingAutomaton(e, 2, 4000)

@@ -186,7 +186,7 @@ func streamingTable() {
 func memoSpillTable() {
 	fmt.Println("Memo spill (novel job after restart)")
 	pos, neg := genex.PrimeCycleFamily(4)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	jobA := engine.Job{Kind: engine.KindCQ, Task: engine.TaskConstruct, Examples: e}
 	jobB := engine.Job{Kind: engine.KindCQ, Task: engine.TaskExists, Examples: e}
 	computations := func(c engine.CacheStats) int64 {
@@ -267,7 +267,7 @@ func memoSpillTable() {
 func phaseBreakdownTable() {
 	fmt.Println("Solver phase breakdown (traced prime-cycle existence)")
 	pos, neg := genex.PrimeCycleFamily(5)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	job := engine.Job{Kind: engine.KindCQ, Task: engine.TaskExists, Examples: e, Trace: true}
 	eng := engine.New(engine.Options{Workers: 1})
 	defer eng.Close()
@@ -311,7 +311,7 @@ func mustParsePointed(sch *extremalcq.Schema, s string) extremalcq.Example {
 
 func table1() {
 	fmt.Println("Table 1 (CQs)")
-	binR := genex.SchemaR
+	binR := genex.SchemaR()
 
 	// Any fitting: exact-4-colorability verification.
 	e4 := fitting.MustExamples(binR, 0, []extremalcq.Example{genex.Clique(4)}, []extremalcq.Example{genex.Clique(3)})
@@ -341,7 +341,7 @@ func table1() {
 	iP, _ := instance.ParsePointed(rpq, "P(a)")
 	iQ, _ := instance.ParsePointed(rpq, "Q(a)")
 	e2 := fitting.MustExamples(rpq, 0, nil, []extremalcq.Example{iP, iQ})
-	basis, found, err := fitting.SearchBasis(e2, fitting.DefaultSearch)
+	basis, found, err := fitting.SearchBasis(e2, fitting.DefaultSearch())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -354,7 +354,7 @@ func table1() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, basisFound, err := fitting.SearchBasis(e3, fitting.DefaultSearch)
+	_, basisFound, err := fitting.SearchBasis(e3, fitting.DefaultSearch())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -405,7 +405,7 @@ func table2() {
 	row("Extremal (Ex 4.1)", "canonical UCQ is ms+mg+unique",
 		fmt.Sprintf("ms=%v mg=%v unique=%v", msOK, mgOK, uqOK))
 
-	binR := genex.SchemaR
+	binR := genex.SchemaR()
 	eK2 := fitting.MustExamples(binR, 0,
 		[]extremalcq.Example{genex.DirectedCycle(3)}, []extremalcq.Example{genex.DirectedCycle(2)})
 	row("Most-General/Exist", "fails for E- = {K2} (no duality)",
@@ -459,7 +459,7 @@ func sizeTheorems() {
 	fmt.Println("Size theorems")
 	for n := 2; n <= 5; n++ {
 		pos, neg := genex.PrimeCycleFamily(n)
-		e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+		e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 		q, _, err := fitting.Construct(e)
 		if err != nil {
 			log.Fatal(err)
@@ -481,7 +481,7 @@ func sizeTheorems() {
 	row("Thm 3.42 n=1", "minimal basis has 2^(2^n)=4 members", fmt.Sprintf("constructed %d members", len(members)))
 	for n := 1; n <= 3; n++ {
 		pos, neg := genex.DoubleExpTreeFamily(n)
-		e := fitting.MustExamples(genex.SchemaLRA, 1, pos, neg)
+		e := fitting.MustExamples(genex.SchemaLRA(), 1, pos, neg)
 		dag, _, err := tree.Construct(e)
 		if err != nil {
 			log.Fatal(err)

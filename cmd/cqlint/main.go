@@ -1,0 +1,27 @@
+// Command cqlint runs this repository's custom static analyzers: the
+// machine-enforced concurrency and cancellation invariants of the
+// solver, engine and store layers (ctxloop, noglobals, mutexheld,
+// spanbalance — see CONTRIBUTING.md).
+//
+// Run it standalone over package patterns:
+//
+//	go run ./cmd/cqlint ./...
+//
+// or install it and plug it into go vet, which is what CI does:
+//
+//	go build -o "$(go env GOPATH)/bin/cqlint" ./cmd/cqlint
+//	go vet -vettool="$(go env GOPATH)/bin/cqlint" ./...
+//
+// Suppressions require an inline directive with a mandatory reason:
+//
+//	//cqlint:ignore mutexheld -- the send is the close fence; see Close
+package main
+
+import (
+	"extremalcq/internal/lint"
+	"extremalcq/internal/lint/driver"
+)
+
+func main() {
+	driver.Main(lint.Analyzers()...)
+}

@@ -70,7 +70,7 @@ func main() {
 	fmt.Printf("q1(EmpInfo) = %v\n\n", q1.Evaluate(db))
 
 	// A weakly most-general fitting: nothing weaker still separates.
-	wmg, found, err := extremalcq.SearchWeaklyMostGeneral(E, extremalcq.DefaultSearch)
+	wmg, found, err := extremalcq.SearchWeaklyMostGeneral(E, extremalcq.DefaultSearch())
 	if err != nil {
 		log.Fatal(err)
 	}

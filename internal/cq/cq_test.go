@@ -11,7 +11,7 @@ import (
 	"extremalcq/internal/schema"
 )
 
-var binR = genex.SchemaR
+var binR = genex.SchemaR()
 
 var rps = schema.MustNew(
 	schema.Relation{Name: "R", Arity: 2},

@@ -14,7 +14,7 @@ import (
 	"extremalcq/internal/schema"
 )
 
-var binR = genex.SchemaR
+var binR = genex.SchemaR()
 
 var rp = schema.MustNew(
 	schema.Relation{Name: "R", Arity: 2},

@@ -43,20 +43,24 @@ type Caps struct {
 	MaxDuals    int // total number of structures in the dual set
 }
 
-// DefaultCaps are generous enough for all paper workloads.
-var DefaultCaps = Caps{MaxElements: 4096, MaxDuals: 512}
+// DefaultCaps returns caps generous enough for all paper workloads. It
+// is a function rather than a package-level variable (cqlint:noglobals):
+// a shared mutable default would couple every engine in the process.
+func DefaultCaps() Caps {
+	return Caps{MaxElements: 4096, MaxDuals: 512}
+}
 
 // DualOf computes a finite set D of pointed instances such that
 // ({e}, D) is a homomorphism duality: for every data example x of the
 // same schema and arity, x maps into some member of D iff e does not map
 // into x. Requires the core of e to be c-acyclic and the schema binary.
 func DualOf(e instance.Pointed) ([]instance.Pointed, error) {
-	return DualOfCaps(e, DefaultCaps)
+	return DualOfCaps(e, DefaultCaps())
 }
 
 // DualOfCtx is DualOf under a solver context (see DualOfCaps).
 func DualOfCtx(ctx context.Context, e instance.Pointed) ([]instance.Pointed, error) {
-	return dualOfCaps(ctx, e, DefaultCaps)
+	return dualOfCaps(ctx, e, DefaultCaps())
 }
 
 // DualOfCaps is DualOf with explicit size caps.

@@ -11,7 +11,7 @@ import (
 	"extremalcq/internal/schema"
 )
 
-var binR = genex.SchemaR
+var binR = genex.SchemaR()
 
 var pqr = schema.MustNew(
 	schema.Relation{Name: "P", Arity: 1},

@@ -14,12 +14,12 @@ import (
 // cores over a binary schema): D consists of the products of one dual
 // per member (proof of Theorem 3.31).
 func DualOfSet(F []instance.Pointed) ([]instance.Pointed, error) {
-	return dualOfSetCaps(context.Background(), F, DefaultCaps)
+	return dualOfSetCaps(context.Background(), F, DefaultCaps())
 }
 
 // DualOfSetCtx is DualOfSet under a solver context.
 func DualOfSetCtx(ctx context.Context, F []instance.Pointed) ([]instance.Pointed, error) {
-	return dualOfSetCaps(ctx, F, DefaultCaps)
+	return dualOfSetCaps(ctx, F, DefaultCaps())
 }
 
 // DualOfSetCaps is DualOfSet with explicit caps.

@@ -608,9 +608,11 @@ func (e *Engine) runSolver(ctx context.Context, j Job) Result {
 	e.solverRuns.Add(1)
 	go func() {
 		defer e.solvers.Add(-1)
-		sp := rec.StartSpan(obs.PhaseSolve)
-		res := run(solveCtx, j)
-		sp.End()
+		res := func() Result {
+			sp := rec.StartSpan(obs.PhaseSolve)
+			defer sp.End()
+			return run(solveCtx, j)
+		}()
 		ch <- res
 	}()
 	select {

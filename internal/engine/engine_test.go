@@ -129,7 +129,7 @@ func TestJobTimeout(t *testing.T) {
 	defer eng.Close()
 
 	pos, neg := genex.PrimeCycleFamily(4)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	res := eng.Do(context.Background(), Job{
 		Kind: KindCQ, Task: TaskConstruct, Examples: e,
 		Timeout: time.Microsecond,
@@ -145,7 +145,7 @@ func TestJobTimeout(t *testing.T) {
 func TestClosePromptWithInflightJob(t *testing.T) {
 	eng := New(Options{Workers: 1})
 	pos, neg := genex.PrimeCycleFamily(5)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	p := eng.Submit(context.Background(), Job{Kind: KindCQ, Task: TaskConstruct, Examples: e})
 	time.Sleep(100 * time.Millisecond) // let the worker pick it up
 	start := time.Now()
@@ -229,7 +229,7 @@ func TestTwoEnginesIsolatedCaches(t *testing.T) {
 // state: cached cores and assignments are copied on get.
 func TestMemoCopies(t *testing.T) {
 	m := NewMemo(16)
-	sch := genex.SchemaR
+	sch := genex.SchemaR()
 	p, err := instance.ParsePointed(sch, "R(a,b). R(b,a) @ a")
 	if err != nil {
 		t.Fatal(err)
@@ -315,7 +315,7 @@ func TestEngineCachingDisabled(t *testing.T) {
 func adversarialJob(t *testing.T, timeout time.Duration) Job {
 	t.Helper()
 	pos, neg := genex.PrimeCycleFamily(4)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	return Job{Label: "prime4", Kind: KindCQ, Task: TaskConstruct, Examples: e, Timeout: timeout}
 }
 
@@ -376,7 +376,7 @@ func TestTimeoutStopsSolverPromptly(t *testing.T) {
 // while the first flight is still live.
 func TestSingleFlightDedup(t *testing.T) {
 	pos, neg := genex.PrimeCycleFamily(5)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	job := Job{Kind: KindCQ, Task: TaskExists, Examples: e}
 
 	// Baseline: one job on a fresh engine establishes the cold-cache

@@ -44,10 +44,10 @@ func dispatch(ctx context.Context, j Job) (res Result, err error) {
 	// Per Job.Opts: a zero bound selects the default; negative bounds
 	// pass through (disabling enumeration for that dimension).
 	if j.Opts.MaxAtoms == 0 {
-		j.Opts.MaxAtoms = fitting.DefaultSearch.MaxAtoms
+		j.Opts.MaxAtoms = fitting.DefaultSearch().MaxAtoms
 	}
 	if j.Opts.MaxVars == 0 {
-		j.Opts.MaxVars = fitting.DefaultSearch.MaxVars
+		j.Opts.MaxVars = fitting.DefaultSearch().MaxVars
 	}
 	switch j.Kind {
 	case KindCQ:
@@ -210,10 +210,10 @@ func dispatchStream(ctx context.Context, j Job, emit func(string)) (res Result, 
 		return res, nil
 	}
 	if j.Opts.MaxAtoms == 0 {
-		j.Opts.MaxAtoms = fitting.DefaultSearch.MaxAtoms
+		j.Opts.MaxAtoms = fitting.DefaultSearch().MaxAtoms
 	}
 	if j.Opts.MaxVars == 0 {
-		j.Opts.MaxVars = fitting.DefaultSearch.MaxVars
+		j.Opts.MaxVars = fitting.DefaultSearch().MaxVars
 	}
 	enumerating := j.Task == TaskWeaklyMostGeneral || j.Task == TaskBasis
 	if !enumerating {

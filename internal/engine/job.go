@@ -71,7 +71,7 @@ type Job struct {
 	// Query is the query text for TaskVerify, in the cq/ucq text format.
 	Query string
 	// Opts bounds the synthesis searches. A zero field selects the
-	// corresponding fitting.DefaultSearch bound; a negative field
+	// corresponding fitting.DefaultSearch() bound; a negative field
 	// disables candidate enumeration for that dimension (only canonical
 	// candidates are considered).
 	Opts fitting.SearchOpts
@@ -154,13 +154,13 @@ func (j Job) digest(withTimeout bool) string {
 	ws(string(j.Task))
 	ws(j.Query)
 	// The same normalization run applies before execution: zero bounds
-	// select the defaults, so Opts{} and DefaultSearch coincide.
+	// select the defaults, so Opts{} and DefaultSearch() coincide.
 	opts := j.Opts
 	if opts.MaxAtoms == 0 {
-		opts.MaxAtoms = fitting.DefaultSearch.MaxAtoms
+		opts.MaxAtoms = fitting.DefaultSearch().MaxAtoms
 	}
 	if opts.MaxVars == 0 {
-		opts.MaxVars = fitting.DefaultSearch.MaxVars
+		opts.MaxVars = fitting.DefaultSearch().MaxVars
 	}
 	wi(int64(opts.MaxAtoms))
 	wi(int64(opts.MaxVars))
@@ -260,7 +260,7 @@ func ParseSchema(s string) (*schema.Schema, error) {
 
 // Build parses the spec into an executable Job. Kind defaults to cq and
 // task to construct. Zero (or omitted) search bounds select the
-// fitting.DefaultSearch bounds at execution time; negative bounds
+// fitting.DefaultSearch() bounds at execution time; negative bounds
 // disable candidate enumeration (see Job.Opts).
 func (s JobSpec) Build() (Job, error) {
 	sch, err := ParseSchema(s.Schema)

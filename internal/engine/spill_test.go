@@ -19,7 +19,7 @@ import (
 func primeJobs(t *testing.T) (construct, exists Job) {
 	t.Helper()
 	pos, neg := genex.PrimeCycleFamily(3)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	construct = Job{Label: "prime-construct", Kind: KindCQ, Task: TaskConstruct, Examples: e}
 	exists = Job{Label: "prime-exists", Kind: KindCQ, Task: TaskExists, Examples: e}
 	return construct, exists
@@ -294,7 +294,7 @@ func TestMemoSpillEntriesSharedBudget(t *testing.T) {
 // confounded by machine noise.
 func BenchmarkNovelJobColdVsMemoWarm(b *testing.B) {
 	pos, neg := genex.PrimeCycleFamily(3)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	construct := Job{Kind: KindCQ, Task: TaskConstruct, Examples: e}
 	exists := Job{Kind: KindCQ, Task: TaskExists, Examples: e}
 

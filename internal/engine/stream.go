@@ -374,9 +374,11 @@ func (e *Engine) runStreamSolver(ctx context.Context, j Job, emit func(string)) 
 	e.solvers.Add(1)
 	e.solverRuns.Add(1)
 	defer e.solvers.Add(-1)
-	sp := rec.StartSpan(obs.PhaseSolve)
-	res := runStream(solveCtx, j, emit)
-	sp.End()
+	res := func() Result {
+		sp := rec.StartSpan(obs.PhaseSolve)
+		defer sp.End()
+		return runStream(solveCtx, j, emit)
+	}()
 	res.Trace = e.finishTrace(rec)
 	return res
 }

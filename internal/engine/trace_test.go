@@ -17,7 +17,7 @@ import (
 func tracedHardJob(t *testing.T) Job {
 	t.Helper()
 	pos, neg := genex.PrimeCycleFamily(5)
-	e := fitting.MustExamples(genex.SchemaR, 0, pos, neg)
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
 	return Job{Kind: KindCQ, Task: TaskExists, Examples: e, Trace: true}
 }
 

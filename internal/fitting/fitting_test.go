@@ -10,7 +10,7 @@ import (
 	"extremalcq/internal/schema"
 )
 
-var binR = genex.SchemaR
+var binR = genex.SchemaR()
 
 var rpq = schema.MustNew(
 	schema.Relation{Name: "R", Arity: 2},
@@ -174,7 +174,7 @@ func TestExample310(t *testing.T) {
 	if !ok {
 		t.Error("(1) {R(x,y)} should be a singleton basis (strongly most-general)")
 	}
-	q, found, err := SearchStronglyMostGeneral(e1, DefaultSearch)
+	q, found, err := SearchStronglyMostGeneral(e1, DefaultSearch())
 	if err != nil || !found {
 		t.Fatalf("(1) SearchStronglyMostGeneral: %v %v", found, err)
 	}
@@ -199,7 +199,7 @@ func TestExample310(t *testing.T) {
 	if ok {
 		t.Error("(2) {R(x,y)} alone is not a basis")
 	}
-	basis, found, err := SearchBasis(e2, DefaultSearch)
+	basis, found, err := SearchBasis(e2, DefaultSearch())
 	if err != nil || !found {
 		t.Fatalf("(2) SearchBasis: %v %v", found, err)
 	}
@@ -226,7 +226,7 @@ func TestExample310(t *testing.T) {
 	if wmg {
 		t.Error("(3) C3 is not weakly most-general (blow up the cycle)")
 	}
-	if _, found, _ := SearchWeaklyMostGeneral(eK2, DefaultSearch); found {
+	if _, found, _ := SearchWeaklyMostGeneral(eK2, DefaultSearch()); found {
 		t.Error("(3) no weakly most-general fitting should be found")
 	}
 
@@ -240,7 +240,7 @@ func TestExample310(t *testing.T) {
 	if !wmg {
 		t.Error("(4) P∧Q should be weakly most-general")
 	}
-	if _, found, err := SearchBasis(e4, DefaultSearch); err != nil {
+	if _, found, err := SearchBasis(e4, DefaultSearch()); err != nil {
 		t.Fatal(err)
 	} else if found {
 		t.Error("(4) no basis of most-general fittings exists")

@@ -23,8 +23,13 @@ type SearchOpts struct {
 	MaxVars  int
 }
 
-// DefaultSearch covers all of the paper's worked examples.
-var DefaultSearch = SearchOpts{MaxAtoms: 3, MaxVars: 4}
+// DefaultSearch returns bounds that cover all of the paper's worked
+// examples. It is a function rather than a package-level variable
+// (cqlint:noglobals): a shared mutable default would couple every
+// engine in the process.
+func DefaultSearch() SearchOpts {
+	return SearchOpts{MaxAtoms: 3, MaxVars: 4}
+}
 
 // SearchWeaklyMostGeneral looks for a weakly most-general fitting CQ for
 // E among (i) the core of the canonical fitting (the positive product)
@@ -134,7 +139,7 @@ func forEachWMG(ctx context.Context, e Examples, opts SearchOpts, yield func(*cq
 			return firstErr
 		}
 	}
-	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+	genex.EnumerateDataExamplesCtx(ctx, e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
 		return tryCandidate(ex, true)
 	})
 	return firstErr

@@ -188,6 +188,7 @@ func (n *replicaNamer) fresh(key, base string) instance.Value {
 		return v
 	}
 	cand := instance.Value(base)
+	//cqlint:ignore ctxloop -- terminates once cand outgrows the finite taken set (one tick per member)
 	for n.taken[cand] {
 		cand += "'"
 	}

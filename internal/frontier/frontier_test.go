@@ -12,7 +12,7 @@ import (
 	"extremalcq/internal/schema"
 )
 
-var binR = genex.SchemaR
+var binR = genex.SchemaR()
 
 var rs = schema.MustNew(
 	schema.Relation{Name: "R", Arity: 2},

@@ -1,11 +1,13 @@
 package genex
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"extremalcq/internal/instance"
 	"extremalcq/internal/schema"
+	"extremalcq/internal/solve"
 )
 
 // EnumerateInstances enumerates non-empty instances over sch with at
@@ -19,6 +21,14 @@ import (
 // (canonical relabelings are reachable by construction); occasional
 // duplicates across classes are possible and harmless for search uses.
 func EnumerateInstances(sch *schema.Schema, maxFacts, maxVars int, yield func(*instance.Instance) bool) {
+	EnumerateInstancesCtx(context.Background(), sch, maxFacts, maxVars, yield)
+}
+
+// EnumerateInstancesCtx is EnumerateInstances under a solver context.
+// The candidate space is exponential in the bounds and pruned branches
+// never reach yield, so cancellation is checked at the worklist itself,
+// not only per emitted instance.
+func EnumerateInstancesCtx(ctx context.Context, sch *schema.Schema, maxFacts, maxVars int, yield func(*instance.Instance) bool) {
 	pool := make([]instance.Value, maxVars)
 	for i := range pool {
 		pool[i] = instance.Value(fmt.Sprintf("v%d", i))
@@ -80,6 +90,7 @@ func EnumerateInstances(sch *schema.Schema, maxFacts, maxVars int, yield func(*i
 	for size := 1; size <= maxFacts; size++ {
 		stack := []state{{lastIdx: -1, maxUsed: -1}}
 		for len(stack) > 0 {
+			solve.Check(ctx)
 			st := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if len(st.facts) == size {
@@ -118,7 +129,13 @@ func EnumerateInstances(sch *schema.Schema, maxFacts, maxVars int, yield func(*i
 // domain (the unique names property is required by the frontier-based
 // verifiers downstream).
 func EnumerateDataExamples(sch *schema.Schema, k, maxFacts, maxVars int, yield func(instance.Pointed) bool) {
-	EnumerateInstances(sch, maxFacts, maxVars, func(in *instance.Instance) bool {
+	EnumerateDataExamplesCtx(context.Background(), sch, k, maxFacts, maxVars, yield)
+}
+
+// EnumerateDataExamplesCtx is EnumerateDataExamples under a solver
+// context (see EnumerateInstancesCtx).
+func EnumerateDataExamplesCtx(ctx context.Context, sch *schema.Schema, k, maxFacts, maxVars int, yield func(instance.Pointed) bool) {
+	EnumerateInstancesCtx(ctx, sch, maxFacts, maxVars, func(in *instance.Instance) bool {
 		dom := in.Dom()
 		if len(dom) < k {
 			return true

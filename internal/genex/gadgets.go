@@ -191,7 +191,7 @@ func BasisMembers(n int) []instance.Pointed {
 // are linked by both an L-fact and an R-fact, and the last element
 // carries A.
 func LRACycle(j int) instance.Pointed {
-	in := instance.New(SchemaLRA)
+	in := instance.New(SchemaLRA())
 	for k := 0; k < j-1; k++ {
 		must(in.AddFact("R", val("d", k), val("d", k+1)))
 		must(in.AddFact("L", val("d", k), val("d", k+1)))
@@ -205,7 +205,7 @@ func LRACycle(j int) instance.Pointed {
 // LRAInstance returns the negative-example instance I of Figure 5
 // (Theorem 5.37) with domain {01, 10, 11, b}.
 func LRAInstance() *instance.Instance {
-	in := instance.New(SchemaLRA)
+	in := instance.New(SchemaLRA())
 	v01, v10, v11, b := instance.Value("01"), instance.Value("10"), instance.Value("11"), instance.Value("b")
 	must(in.AddFact("L", v10, v11))
 	must(in.AddFact("R", v10, v01))

@@ -13,16 +13,24 @@ import (
 	"extremalcq/internal/schema"
 )
 
-// SchemaR is the fixed schema with a single binary relation R, used by
-// most lower-bound constructions.
-var SchemaR = schema.MustNew(schema.Relation{Name: "R", Arity: 2})
+// SchemaR returns the fixed schema with a single binary relation R,
+// used by most lower-bound constructions. It is a function rather than
+// a package-level variable (cqlint:noglobals): *schema.Schema is
+// mutable, and a shared instance would couple every engine in the
+// process.
+func SchemaR() *schema.Schema {
+	return schema.MustNew(schema.Relation{Name: "R", Arity: 2})
+}
 
-// SchemaLRA is the fixed binary schema {L/2, R/2, A/1} of Theorem 5.37.
-var SchemaLRA = schema.MustNew(
-	schema.Relation{Name: "L", Arity: 2},
-	schema.Relation{Name: "R", Arity: 2},
-	schema.Relation{Name: "A", Arity: 1},
-)
+// SchemaLRA returns the fixed binary schema {L/2, R/2, A/1} of
+// Theorem 5.37 (see SchemaR for why this is a function).
+func SchemaLRA() *schema.Schema {
+	return schema.MustNew(
+		schema.Relation{Name: "L", Arity: 2},
+		schema.Relation{Name: "R", Arity: 2},
+		schema.Relation{Name: "A", Arity: 1},
+	)
+}
 
 func val(prefix string, i int) instance.Value {
 	return instance.Value(fmt.Sprintf("%s%d", prefix, i))
@@ -31,7 +39,7 @@ func val(prefix string, i int) instance.Value {
 // Clique returns K_n: the n-clique with a symmetric irreflexive binary
 // relation R (used in the exact-4-colorability reduction, Theorem 3.1).
 func Clique(n int) instance.Pointed {
-	in := instance.New(SchemaR)
+	in := instance.New(SchemaR())
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
@@ -45,7 +53,7 @@ func Clique(n int) instance.Pointed {
 // DirectedPath returns the directed path with n edges (n+1 nodes):
 // e_n in Example 2.14.
 func DirectedPath(n int) instance.Pointed {
-	in := instance.New(SchemaR)
+	in := instance.New(SchemaR())
 	for i := 0; i < n; i++ {
 		must(in.AddFact("R", val("p", i), val("p", i+1)))
 	}
@@ -54,7 +62,7 @@ func DirectedPath(n int) instance.Pointed {
 
 // DirectedCycle returns the directed cycle with n nodes.
 func DirectedCycle(n int) instance.Pointed {
-	in := instance.New(SchemaR)
+	in := instance.New(SchemaR())
 	for i := 0; i < n; i++ {
 		must(in.AddFact("R", val("c", i), val("c", (i+1)%n)))
 	}
@@ -64,7 +72,7 @@ func DirectedCycle(n int) instance.Pointed {
 // TransitiveTournament returns the strict linear order on n elements
 // (e'_n in Example 2.14: edges (i,j) for i<j).
 func TransitiveTournament(n int) instance.Pointed {
-	in := instance.New(SchemaR)
+	in := instance.New(SchemaR())
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			must(in.AddFact("R", val("t", i), val("t", j)))
@@ -76,6 +84,7 @@ func TransitiveTournament(n int) instance.Pointed {
 // Primes returns the first n primes (p_1 = 2).
 func Primes(n int) []int {
 	out := make([]int, 0, n)
+	//cqlint:ignore ctxloop -- stops at the n-th prime; n is a small caller-fixed constant
 	for x := 2; len(out) < n; x++ {
 		prime := true
 		for _, p := range out {

@@ -90,10 +90,10 @@ func TestLRAFamily(t *testing.T) {
 func TestEnumerateInstances(t *testing.T) {
 	count := 0
 	foundLoop, foundEdge, foundPath := false, false, false
-	EnumerateInstances(SchemaR, 2, 3, func(in *instance.Instance) bool {
+	EnumerateInstances(SchemaR(), 2, 3, func(in *instance.Instance) bool {
 		count++
-		loop := instance.MustFromFacts(SchemaR, instance.NewFact("R", "v0", "v0"))
-		edge := instance.MustFromFacts(SchemaR, instance.NewFact("R", "v0", "v1"))
+		loop := instance.MustFromFacts(SchemaR(), instance.NewFact("R", "v0", "v0"))
+		edge := instance.MustFromFacts(SchemaR(), instance.NewFact("R", "v0", "v1"))
 		if in.Equal(loop) {
 			foundLoop = true
 		}
@@ -102,7 +102,7 @@ func TestEnumerateInstances(t *testing.T) {
 		}
 		if in.Size() == 2 {
 			p := instance.NewPointed(in)
-			path := instance.NewPointed(instance.MustFromFacts(SchemaR,
+			path := instance.NewPointed(instance.MustFromFacts(SchemaR(),
 				instance.NewFact("R", "x", "y"), instance.NewFact("R", "y", "z")))
 			if hom.Equivalent(p, path) && instance.Isomorphic(p, path) {
 				foundPath = true
@@ -115,7 +115,7 @@ func TestEnumerateInstances(t *testing.T) {
 	}
 	// Early stop works.
 	n := 0
-	EnumerateInstances(SchemaR, 2, 3, func(*instance.Instance) bool {
+	EnumerateInstances(SchemaR(), 2, 3, func(*instance.Instance) bool {
 		n++
 		return n < 3
 	})
@@ -127,7 +127,7 @@ func TestEnumerateInstances(t *testing.T) {
 func TestEnumerateDataExamples(t *testing.T) {
 	seenArity := true
 	n := 0
-	EnumerateDataExamples(SchemaR, 1, 2, 3, func(p instance.Pointed) bool {
+	EnumerateDataExamples(SchemaR(), 1, 2, 3, func(p instance.Pointed) bool {
 		n++
 		if p.Arity() != 1 || !p.IsDataExample() {
 			seenArity = false
@@ -142,11 +142,11 @@ func TestEnumerateDataExamples(t *testing.T) {
 func TestRandomGenerators(t *testing.T) {
 	// Smoke: random instances respect bounds.
 	rng := newRand()
-	in := RandomInstance(rng, SchemaR, 3, 5)
+	in := RandomInstance(rng, SchemaR(), 3, 5)
 	if in.DomSize() > 3 {
 		t.Error("domain bound violated")
 	}
-	p := RandomPointed(rng, SchemaR, 3, 5, 2)
+	p := RandomPointed(rng, SchemaR(), 3, 5, 2)
 	if p.Arity() != 2 {
 		t.Error("arity wrong")
 	}

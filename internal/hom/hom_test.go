@@ -9,7 +9,7 @@ import (
 	"extremalcq/internal/schema"
 )
 
-var binR = genex.SchemaR
+var binR = genex.SchemaR()
 
 func pointed(t *testing.T, sch *schema.Schema, s string) instance.Pointed {
 	t.Helper()

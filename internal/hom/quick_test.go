@@ -22,7 +22,7 @@ type quickExample struct {
 func (quickExample) Generate(r *rand.Rand, size int) reflect.Value {
 	dom := 2 + r.Intn(3)
 	facts := 1 + r.Intn(5)
-	in := genex.RandomInstance(r, genex.SchemaR, dom, facts)
+	in := genex.RandomInstance(r, genex.SchemaR(), dom, facts)
 	return reflect.ValueOf(quickExample{P: instance.NewPointed(in)})
 }
 
@@ -34,7 +34,7 @@ type quickRooted struct {
 func (quickRooted) Generate(r *rand.Rand, size int) reflect.Value {
 	dom := 2 + r.Intn(3)
 	facts := 1 + r.Intn(4)
-	in := genex.RandomInstance(r, genex.SchemaR, dom, facts)
+	in := genex.RandomInstance(r, genex.SchemaR(), dom, facts)
 	d := in.Dom()
 	root := d[r.Intn(len(d))]
 	return reflect.ValueOf(quickRooted{P: instance.NewPointed(in, root)})

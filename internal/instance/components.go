@@ -24,6 +24,7 @@ func Components(p Pointed) []Pointed {
 	}
 	var find func(int) int
 	find = func(x int) int {
+		//cqlint:ignore ctxloop -- union-find path halving strictly shortens the chain each step
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
@@ -104,6 +105,7 @@ func CAcyclic(p Pointed) bool {
 	}
 	var find func(int) int
 	find = func(x int) int {
+		//cqlint:ignore ctxloop -- union-find path halving strictly shortens the chain each step
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]

@@ -1,0 +1,144 @@
+// Package analysis is a deliberately small, API-compatible subset of
+// golang.org/x/tools/go/analysis, carrying exactly what the cqlint
+// analyzers need: an Analyzer with a Run function over a typechecked
+// package (Pass), diagnostics, and package-crossing object facts.
+//
+// The build environment bakes in the Go toolchain but no module proxy,
+// so the real x/tools module cannot be a dependency. The shapes here
+// mirror it closely enough that an analyzer written against this
+// package ports to the upstream framework by changing one import path;
+// the driver side (the `go vet -vettool` unit-checker protocol) lives
+// in internal/lint/driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a package and reports diagnostics
+	// through the pass. The returned value is ignored by the cqlint
+	// driver (kept for upstream API compatibility).
+	Run func(*Pass) (any, error)
+
+	// FactTypes lists the types of facts the analyzer produces or
+	// consumes. Analyzers with facts run on every dependency package so
+	// their facts flow to importers (the go vet vetx mechanism).
+	FactTypes []Fact
+}
+
+// A Fact is a serializable observation about a package-level object,
+// exported by the pass that analyzes the object's package and visible
+// to passes analyzing packages that import it. Implementations must be
+// gob-encodable pointer types.
+type Fact interface {
+	// AFact marks the type as a fact (and pins the pointer receiver).
+	AFact()
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass is the interface between one analyzer and one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits a diagnostic. Analyzers usually call Reportf.
+	Report func(Diagnostic)
+
+	// ImportObjectFactFn and ExportObjectFactFn are installed by the
+	// driver; analyzers use the ImportObjectFact/ExportObjectFact
+	// methods.
+	ImportObjectFactFn func(obj types.Object, ptr Fact) bool
+	ExportObjectFactFn func(obj types.Object, f Fact)
+}
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ImportObjectFact fills ptr with the fact of ptr's type previously
+// exported for obj (possibly by a pass over another package) and
+// reports whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.ImportObjectFactFn == nil {
+		return false
+	}
+	return p.ImportObjectFactFn(obj, ptr)
+}
+
+// ExportObjectFact records a fact about obj, an object of the package
+// under analysis, for passes over importing packages.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if p.ExportObjectFactFn != nil {
+		p.ExportObjectFactFn(obj, f)
+	}
+}
+
+// ObjectFactKey returns the stable cross-process key under which facts
+// about obj are stored: the object's package path plus a package-scoped
+// object key ("Func" for a package-level function or variable,
+// "Type.Method" for a method). ok is false for objects facts cannot be
+// attached to (locals, interface methods, struct fields).
+func ObjectFactKey(obj types.Object) (pkgPath, objKey string, ok bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	pkgPath = obj.Pkg().Path()
+	switch o := obj.(type) {
+	case *types.Func:
+		o = o.Origin() // generic instantiations share the origin's facts
+		sig := o.Type().(*types.Signature)
+		recv := sig.Recv()
+		if recv == nil {
+			if o.Parent() != o.Pkg().Scope() {
+				return "", "", false // local function value
+			}
+			return pkgPath, o.Name(), true
+		}
+		named := namedOf(recv.Type())
+		if named == nil {
+			return "", "", false // interface or unnamed receiver
+		}
+		return pkgPath, named.Obj().Name() + "." + o.Name(), true
+	case *types.Var:
+		if o.Parent() != o.Pkg().Scope() {
+			return "", "", false
+		}
+		return pkgPath, o.Name(), true
+	}
+	return "", "", false
+}
+
+// namedOf unwraps pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, okp := t.(*types.Pointer); okp {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n != nil {
+		return n.Origin()
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+// Package analysistest runs a cqlint analyzer over golden fixture
+// packages and compares its diagnostics against the fixtures' // want
+// comments, in the style of golang.org/x/tools' analysistest (which
+// the build environment cannot fetch; this is a compact equivalent
+// wired to cqlint's own driver, so fixtures also exercise the
+// suppression directives exactly as production runs do).
+//
+// Fixtures live under root/src/<importpath>/*.go. Imports between
+// fixture packages resolve within that tree (so a fixture named
+// "hom" can import a fixture "solve" and the scope rules match on the
+// package-path base as they do in the real repository); all other
+// imports resolve from the standard library. Dependencies are analyzed
+// first and their exported facts flow to importers through a shared
+// fact store, which is how the interprocedural cases are tested.
+//
+// A // want comment holds one or more quoted regular expressions and
+// asserts that this line produces exactly one diagnostic matching each:
+//
+//	for { // want `infinite for loop lacks a cancellation checkpoint`
+//
+// Every diagnostic must be matched by a want and every want by a
+// diagnostic; mismatches fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"extremalcq/internal/lint/analysis"
+	"extremalcq/internal/lint/driver"
+)
+
+// Run loads each fixture package from root/src/<path> (dependencies
+// first), runs a over it through the cqlint driver, and compares the
+// diagnostics of the named packages against their // want comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader{
+		t:     t,
+		root:  root,
+		fset:  token.NewFileSet(),
+		a:     a,
+		std:   importer.ForCompiler(token.NewFileSet(), "source", nil),
+		facts: driver.NewFactStore(),
+		pkgs:  make(map[string]*result),
+	}
+	for _, path := range paths {
+		r := l.load(path)
+		checkWants(t, l.fset, r)
+	}
+}
+
+type result struct {
+	path  string
+	pkg   *types.Package
+	files []*ast.File
+	diags []driver.Diag
+}
+
+type loader struct {
+	t     *testing.T
+	root  string
+	fset  *token.FileSet
+	a     *analysis.Analyzer
+	std   types.Importer
+	facts *driver.FactStore
+	pkgs  map[string]*result
+}
+
+// load parses, typechecks and analyzes one fixture package, loading
+// (and analyzing) fixture dependencies first so their facts are in the
+// store when the importer's pass asks for them.
+func (l *loader) load(path string) *result {
+	l.t.Helper()
+	if r, ok := l.pkgs[path]; ok {
+		return r
+	}
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Fatalf("fixture package %s: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("fixture package %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.t.Fatalf("fixture package %s: no Go files in %s", path, dir)
+	}
+
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if fi, err := os.Stat(filepath.Join(l.root, "src", filepath.FromSlash(importPath))); err == nil && fi.IsDir() {
+			return l.load(importPath).pkg, nil
+		}
+		return l.std.Import(importPath)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		l.t.Fatalf("fixture package %s: typecheck: %v", path, err)
+	}
+
+	r := &result{
+		path:  path,
+		pkg:   pkg,
+		files: files,
+		diags: driver.RunAnalyzers([]*analysis.Analyzer{l.a}, l.fset, files, pkg, info, l.facts),
+	}
+	l.pkgs[path] = r
+	return r
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// want is one expected diagnostic: a regexp anchored to a file line.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares a package's diagnostics against its // want
+// comments, one-to-one.
+func checkWants(t *testing.T, fset *token.FileSet, r *result) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*want)
+	for _, f := range r.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// A want marker may trail other comment text on the same
+				// line (e.g. a malformed-directive fixture asserts the
+				// diagnostic of the very comment that carries it).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				text := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, pat := range parsePatterns(t, pos, text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range r.diags {
+		k := lineKey{d.Position.Filename, d.Position.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Position, d.Message, d.Analyzer)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// parsePatterns extracts the quoted regexps of a want comment,
+// accepting both backquoted and double-quoted forms.
+func parsePatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			out = append(out, s[1:1+end])
+			s = s[2+end:]
+		case '"':
+			rest := s[1:]
+			end := strings.IndexByte(rest, '"')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, s)
+			}
+			pat, err := strconv.Unquote(s[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", pos, s, err)
+			}
+			out = append(out, pat)
+			s = rest[end+1:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got %q", pos, s)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package ctxloop implements the cqlint analyzer enforcing PR 2's
+// cancellation invariant: in the solver packages, every loop that can
+// iterate unboundedly must reach a cancellation checkpoint, so that a
+// canceled job stops burning CPU within one iteration of whatever
+// exponential search it is inside.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"extremalcq/internal/lint/analysis"
+	"extremalcq/internal/lint/scope"
+)
+
+// Analyzer flags potentially unbounded loops in solver packages whose
+// bodies reach no cancellation checkpoint.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: `solver loops must reach a cancellation checkpoint
+
+In the solver packages every for loop that can iterate unboundedly —
+infinite and condition-driven loops (worklists, fixpoints, backtracking
+drivers) and ranges over channels or iterator functions; counted
+for-i loops are exempt — must reach a cancellation checkpoint in its
+body: a call to solve.Check(ctx), a ctx.Err()/ctx.Done() check, or a
+call to a function that itself checks (tracked interprocedurally via
+facts, so a loop calling hom.ExistsCtx passes).`,
+	FactTypes: []analysis.Fact{(*ChecksCancel)(nil)},
+	Run:       run,
+}
+
+// ChecksCancel marks a function whose call reaches a cancellation
+// checkpoint, so loops calling it need no checkpoint of their own.
+type ChecksCancel struct{}
+
+// AFact implements analysis.Fact.
+func (*ChecksCancel) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Phase 1 (every package): determine which functions of this
+	// package check cancellation, directly or through their callees,
+	// and export facts so importing packages see them. This runs even
+	// outside the solver packages — an engine helper can be a
+	// checkpoint for a solver loop.
+	fns := collectFuncs(pass)
+	checks := make(map[*types.Func]bool)
+	for fn, decl := range fns {
+		if hasCheckpoint(pass, decl.Body, nil) {
+			checks[fn] = true
+		}
+	}
+	// Propagate through same-package static calls to a fixpoint
+	// (imported facts are already final).
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range fns {
+			if checks[fn] {
+				continue
+			}
+			if hasCheckpoint(pass, decl.Body, func(callee *types.Func) bool {
+				return checks[callee] || importedChecks(pass, callee)
+			}) {
+				checks[fn] = true
+				changed = true
+			}
+		}
+	}
+	for fn := range checks {
+		pass.ExportObjectFact(fn, &ChecksCancel{})
+	}
+
+	// Phase 2 (solver packages only): flag unbounded loops that reach
+	// no checkpoint.
+	if !scope.IsSolver(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	isChecker := func(callee *types.Func) bool {
+		return checks[callee] || importedChecks(pass, callee)
+	}
+	for _, file := range pass.Files {
+		if scope.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			kind, unbounded := unboundedKind(pass, n)
+			if !unbounded {
+				return true
+			}
+			body := loopBody(n)
+			if hasCheckpoint(pass, body, isChecker) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "%s lacks a cancellation checkpoint: call solve.Check(ctx), check ctx.Err(), or call a helper that does", kind)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectFuncs maps this package's declared functions and methods to
+// their declarations.
+func collectFuncs(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	fns := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				fns[fn] = fd
+			}
+		}
+	}
+	return fns
+}
+
+// importedChecks reports whether another package exported a
+// ChecksCancel fact for callee.
+func importedChecks(pass *analysis.Pass, callee *types.Func) bool {
+	if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.Pkg {
+		return false
+	}
+	return pass.ImportObjectFact(callee, new(ChecksCancel))
+}
+
+// hasCheckpoint reports whether body contains a cancellation
+// checkpoint outside nested function literals: a solve.Check call, a
+// ctx.Err()/ctx.Done() use, or (when isChecker is non-nil) a static
+// call to a function isChecker accepts. Closures are excluded because
+// nothing guarantees the loop iteration invokes them.
+func hasCheckpoint(pass *analysis.Pass, body ast.Node, isChecker func(*types.Func) bool) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isContextCheck(pass, call) {
+			found = true
+			return false
+		}
+		callee := staticCallee(pass, call)
+		if callee == nil {
+			return true
+		}
+		if isSolveCheck(callee) || (isChecker != nil && isChecker(callee)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSolveCheck matches the canonical checkpoint, solve.Check.
+func isSolveCheck(fn *types.Func) bool {
+	return fn.Name() == "Check" && fn.Pkg() != nil && scope.Base(fn.Pkg().Path()) == "solve"
+}
+
+// isContextCheck matches ctx.Err() and ctx.Done() calls on a
+// context.Context value.
+func isContextCheck(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.TypeString(tv.Type, nil) == "context.Context"
+}
+
+// staticCallee resolves a call to the function or method it statically
+// invokes, or nil (interface methods, function values, conversions).
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// Interface method calls have a Selection of kind MethodVal on
+		// an interface receiver; those have no usable fact key and are
+		// handled by isContextCheck where they matter.
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			return nil
+		}
+	}
+	return fn.Origin()
+}
+
+// loopBody returns the body of a for or range statement.
+func loopBody(n ast.Node) ast.Node {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// unboundedKind classifies n: it returns a description and true when n
+// is a loop that can iterate unboundedly. Counted for-i loops (the
+// post statement steps the variable the condition tests) and ranges
+// over finite data are exempt; everything else — infinite loops,
+// condition-driven worklist/fixpoint loops, ranges over channels or
+// iterator functions — is in.
+func unboundedKind(pass *analysis.Pass, n ast.Node) (string, bool) {
+	switch l := n.(type) {
+	case *ast.RangeStmt:
+		tv, ok := pass.TypesInfo.Types[l.X]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Chan:
+			return "range over a channel", true
+		case *types.Signature:
+			return "range over an iterator function", true
+		}
+		return "", false
+	case *ast.ForStmt:
+		if l.Cond == nil {
+			return "infinite for loop", true
+		}
+		if countedLoop(pass, l) {
+			return "", false
+		}
+		return "condition-driven for loop", true
+	}
+	return "", false
+}
+
+// countedLoop reports whether l is a classic counted loop: its post
+// statement increments or decrements a variable that its condition
+// compares, so the iteration count is bounded by the loop bound.
+func countedLoop(pass *analysis.Pass, l *ast.ForStmt) bool {
+	v := steppedVar(pass, l.Post)
+	if v == nil {
+		return false
+	}
+	cond, ok := l.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return false
+	}
+	return usesVar(pass, cond.X, v) || usesVar(pass, cond.Y, v)
+}
+
+// steppedVar returns the variable a loop post statement steps by a
+// fixed amount (i++, i--, i += k, i -= k), or nil.
+func steppedVar(pass *analysis.Pass, post ast.Stmt) *types.Var {
+	var id *ast.Ident
+	switch p := post.(type) {
+	case *ast.IncDecStmt:
+		id, _ = ast.Unparen(p.X).(*ast.Ident)
+	case *ast.AssignStmt:
+		if len(p.Lhs) != 1 || (p.Tok != token.ADD_ASSIGN && p.Tok != token.SUB_ASSIGN) {
+			return nil
+		}
+		id, _ = ast.Unparen(p.Lhs[0]).(*ast.Ident)
+	default:
+		return nil
+	}
+	if id == nil {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// usesVar reports whether expr mentions v.
+func usesVar(pass *analysis.Pass, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,96 @@
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"extremalcq/internal/lint/analysis"
+)
+
+// The suppression directive is
+//
+//	//cqlint:ignore name1[,name2] -- reason
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory: a suppression without
+// one is itself reported (and cannot be suppressed), so every escape
+// hatch in the tree carries its justification next to it.
+const directivePrefix = "//cqlint:ignore"
+
+// directive is one parsed suppression comment.
+type directive struct {
+	names map[string]bool
+	line  int // line the comment sits on
+}
+
+// Directives indexes the suppression comments of a package's files.
+type Directives struct {
+	fset   *token.FileSet
+	byFile map[string][]directive
+	bad    []analysis.Diagnostic
+}
+
+// ParseDirectives scans the files' comments for cqlint:ignore
+// directives. Malformed directives (no analyzer names, or a missing
+// `-- reason`) are returned as diagnostics via Bad.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byFile: make(map[string][]directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := c.Text[len(directivePrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //cqlint:ignored — not ours
+				}
+				pos := fset.Position(c.Pos())
+				names, reason, ok := splitDirective(rest)
+				if !ok {
+					d.bad = append(d.bad, analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed cqlint:ignore directive: want `//cqlint:ignore analyzer[,analyzer] -- reason` (the reason is mandatory)",
+					})
+					continue
+				}
+				_ = reason
+				d.byFile[pos.Filename] = append(d.byFile[pos.Filename], directive{names: names, line: pos.Line})
+			}
+		}
+	}
+	return d
+}
+
+// splitDirective parses " name1,name2 -- reason" into its parts.
+func splitDirective(rest string) (names map[string]bool, reason string, ok bool) {
+	namePart, reason, found := strings.Cut(rest, "--")
+	reason = strings.TrimSpace(reason)
+	if !found || reason == "" {
+		return nil, "", false
+	}
+	names = make(map[string]bool)
+	for _, n := range strings.FieldsFunc(namePart, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		names[n] = true
+	}
+	if len(names) == 0 {
+		return nil, "", false
+	}
+	return names, reason, true
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a directive on the same line or the line above.
+func (d *Directives) Suppressed(name string, pos token.Pos) bool {
+	p := d.fset.Position(pos)
+	for _, dir := range d.byFile[p.Filename] {
+		if (dir.line == p.Line || dir.line == p.Line-1) && dir.names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// Bad returns diagnostics for malformed directives.
+func (d *Directives) Bad() []analysis.Diagnostic { return d.bad }

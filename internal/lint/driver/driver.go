@@ -1,0 +1,356 @@
+// Package driver runs cqlint's analyzers under the `go vet -vettool`
+// unit-checker protocol, with no dependency outside the standard
+// library (the build environment has no module proxy, so the upstream
+// golang.org/x/tools unitchecker cannot be used; this is a compact
+// reimplementation of the same contract).
+//
+// The protocol, as spoken by cmd/go:
+//
+//	cqlint -V=full        print a version fingerprint (build caching)
+//	cqlint -flags         describe supported flags as JSON
+//	cqlint [flags] x.cfg  analyze the compilation unit described by the
+//	                      JSON config: typecheck from the compiler's
+//	                      export data, read dependency facts from vetx
+//	                      files, write this package's facts, print
+//	                      diagnostics to stderr and exit nonzero on any
+//
+// Invoked with package patterns instead of a .cfg file, the driver
+// re-executes itself through `go vet -vettool=<self>`, which is what
+// makes `cqlint ./...` work standalone with full build-cache sharing.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+
+	"extremalcq/internal/lint/analysis"
+)
+
+// Config mirrors the JSON compilation-unit description that cmd/go
+// hands to a vet tool (one file per package, extension .cfg).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of the cqlint executable.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := "cqlint"
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Var(versionFlag{progname}, "V", "print version and exit (-V=full, for the go command)")
+	flagsF := flag.Bool("flags", false, "print flags in JSON (for the go command)")
+	jsonF := flag.Bool("json", false, "emit JSON output")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, false, "enable only named analyzers: "+firstLine(a.Doc))
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [packages]   # runs via go vet -vettool\n       %s unit.cfg      # invoked by go vet\n\nanalyzers:\n", progname, progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		os.Exit(2)
+	}
+	flag.Parse()
+
+	if *flagsF {
+		printFlags()
+		return
+	}
+
+	// Honor `-name` analyzer selection the way vet does: if any
+	// analyzer flag is set, run only those.
+	var selected []*analysis.Analyzer
+	any := false
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			any = true
+			selected = append(selected, a)
+		}
+	}
+	if !any {
+		selected = analyzers
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := RunUnit(args[0], selected)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(diags) > 0 {
+			reportDiagnostics(os.Stderr, diags, *jsonF)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Standalone mode: delegate to go vet so package loading, build
+	// caching and fact propagation all come from the toolchain.
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vetArgs := append([]string{"vet", "-vettool=" + self}, args...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+// Diag is one printable diagnostic: a position, the analyzer that
+// produced it, and the message.
+type Diag struct {
+	Position token.Position `json:"posn"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s [cqlint:%s]", d.Position, d.Message, d.Analyzer)
+}
+
+func reportDiagnostics(w io.Writer, diags []Diag, asJSON bool) {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(diags)
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+}
+
+// RunUnit analyzes the single compilation unit described by cfgFile
+// and returns the surviving (non-suppressed) diagnostics.
+func RunUnit(cfgFile string, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgFile, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	// Standard-library units carry no cqlint-relevant facts and no
+	// diagnostics; skip the work but keep the protocol (an importing
+	// unit tolerates a missing vetx file).
+	if cfg.Standard[cfg.ImportPath] {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not a source import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	facts := NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if err := facts.ReadVetx(vetx); err != nil {
+			return nil, err
+		}
+	}
+
+	diags := RunAnalyzers(analyzers, fset, files, pkg, info, facts)
+
+	if cfg.VetxOutput != "" {
+		if err := facts.WriteVetx(cfg.VetxOutput); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return diags, nil
+}
+
+// RunAnalyzers runs each analyzer over one typechecked package,
+// applies the suppression directives, and returns what survives
+// (including diagnostics for malformed directives, which cannot be
+// suppressed). Facts are read from and exported into facts.
+func RunAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) []Diag {
+	dirs := ParseDirectives(fset, files)
+	var out []Diag
+	for _, bad := range dirs.Bad() {
+		out = append(out, Diag{Position: fset.Position(bad.Pos), Analyzer: "directive", Message: bad.Message})
+	}
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				if dirs.Suppressed(a.Name, d.Pos) {
+					return
+				}
+				out = append(out, Diag{Position: fset.Position(d.Pos), Analyzer: a.Name, Message: d.Message})
+			},
+			ImportObjectFactFn: facts.Importer(a),
+			ExportObjectFactFn: facts.Exporter(a),
+		}
+		if _, err := a.Run(pass); err != nil {
+			out = append(out, Diag{Position: fset.Position(token.NoPos), Analyzer: a.Name, Message: "analyzer failed: " + err.Error()})
+		}
+	}
+	return out
+}
+
+// newTypesInfo allocates the full set of type-info maps the analyzers
+// consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// versionFlag speaks the -V=full protocol: the go command records the
+// printed line to key its build cache, so it embeds a content hash of
+// the executable — editing an analyzer invalidates prior vet results.
+type versionFlag struct{ progname string }
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+
+func (v versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	printVersion(v.progname)
+	os.Exit(0)
+	return nil
+}
+
+func printVersion(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version cqlint-%x\n", progname, h.Sum(nil)[:12])
+}
+
+// printFlags describes the flags in the JSON shape cmd/go expects from
+// `vettool -flags`.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

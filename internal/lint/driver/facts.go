@@ -1,0 +1,125 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"os"
+	"reflect"
+
+	"extremalcq/internal/lint/analysis"
+)
+
+// factRecord is the serialized form of one object fact. A package's
+// vetx file holds the facts exported while analyzing it plus every
+// fact imported from its dependencies, so facts reach transitive
+// importers even when the build system only forwards direct
+// dependencies' vetx files.
+type factRecord struct {
+	PkgPath  string
+	Object   string // package-scoped object key (analysis.ObjectFactKey)
+	Analyzer string
+	Data     []byte // gob of the concrete fact value
+}
+
+type factKey struct {
+	pkgPath  string
+	object   string
+	analyzer string
+}
+
+// FactStore accumulates and serves object facts for one driver run.
+// It implements the Import/ExportObjectFact halves of analysis.Pass.
+type FactStore struct {
+	m map[factKey][]byte
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey][]byte)}
+}
+
+// ReadVetx merges the fact records in file (written by a prior run
+// over a dependency) into the store. A missing file is not an error: a
+// dependency without facts writes none.
+func (s *FactStore) ReadVetx(file string) error {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return s.merge(data)
+}
+
+func (s *FactStore) merge(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var recs []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, r := range recs {
+		s.m[factKey{r.PkgPath, r.Object, r.Analyzer}] = r.Data
+	}
+	return nil
+}
+
+// WriteVetx serializes every fact in the store to file.
+func (s *FactStore) WriteVetx(file string) error {
+	data, err := s.encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(file, data, 0o666)
+}
+
+func (s *FactStore) encode() ([]byte, error) {
+	recs := make([]factRecord, 0, len(s.m))
+	for k, d := range s.m {
+		recs = append(recs, factRecord{PkgPath: k.pkgPath, Object: k.object, Analyzer: k.analyzer, Data: d})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Exporter returns the ExportObjectFact hook for one analyzer's pass.
+func (s *FactStore) Exporter(a *analysis.Analyzer) func(types.Object, analysis.Fact) {
+	return func(obj types.Object, f analysis.Fact) {
+		pkgPath, objKey, ok := analysis.ObjectFactKey(obj)
+		if !ok {
+			return
+		}
+		var buf bytes.Buffer
+		// Encode the concrete value (not the interface) so decoding
+		// into a typed pointer needs no gob type registration.
+		if err := gob.NewEncoder(&buf).Encode(reflect.ValueOf(f).Elem().Interface()); err != nil {
+			panic(fmt.Sprintf("lint: encoding %T fact for %s.%s: %v", f, pkgPath, objKey, err))
+		}
+		s.m[factKey{pkgPath, objKey, a.Name}] = buf.Bytes()
+	}
+}
+
+// Importer returns the ImportObjectFact hook for one analyzer's pass.
+func (s *FactStore) Importer(a *analysis.Analyzer) func(types.Object, analysis.Fact) bool {
+	return func(obj types.Object, ptr analysis.Fact) bool {
+		pkgPath, objKey, ok := analysis.ObjectFactKey(obj)
+		if !ok {
+			return false
+		}
+		data, found := s.m[factKey{pkgPath, objKey, a.Name}]
+		if !found {
+			return false
+		}
+		if err := gob.NewDecoder(bytes.NewReader(data)).DecodeValue(reflect.ValueOf(ptr).Elem()); err != nil {
+			return false
+		}
+		return true
+	}
+}

@@ -1,0 +1,38 @@
+package lint_test
+
+import (
+	"testing"
+
+	"extremalcq/internal/lint/analysistest"
+	"extremalcq/internal/lint/ctxloop"
+	"extremalcq/internal/lint/mutexheld"
+	"extremalcq/internal/lint/noglobals"
+	"extremalcq/internal/lint/spanbalance"
+)
+
+// The golden fixtures under testdata/src pin each analyzer's behavior:
+// positive cases assert the diagnostics via // want comments, negative
+// cases assert silence by their absence. Passing a fixture package to
+// Run with no want comments asserts the analyzer stays quiet there.
+
+func TestCtxloopGolden(t *testing.T) {
+	// hom is solver scope (positives + exemptions); util is out of
+	// scope; helpers and solve must analyze clean while exporting the
+	// facts hom's interprocedural cases consume.
+	analysistest.Run(t, "testdata", ctxloop.Analyzer, "hom", "util", "helpers", "solve")
+}
+
+func TestNoglobalsGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", noglobals.Analyzer, "fitting", "util")
+}
+
+func TestMutexheldGolden(t *testing.T) {
+	// store exercises the lenient store-mode rules, engine the strict
+	// serving-tier rules (and the store-API check across packages).
+	analysistest.Run(t, "testdata", mutexheld.Analyzer, "store", "engine")
+}
+
+func TestSpanbalanceGolden(t *testing.T) {
+	// The obs fixture is the recorder itself, which the analyzer skips.
+	analysistest.Run(t, "testdata", spanbalance.Analyzer, "spanuser", "obs")
+}

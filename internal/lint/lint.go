@@ -1,0 +1,23 @@
+// Package lint assembles the cqlint analyzer suite: the custom static
+// checks that machine-enforce this repository's concurrency and
+// cancellation invariants (see CONTRIBUTING.md). The driver protocol
+// lives in internal/lint/driver; cmd/cqlint is the executable.
+package lint
+
+import (
+	"extremalcq/internal/lint/analysis"
+	"extremalcq/internal/lint/ctxloop"
+	"extremalcq/internal/lint/mutexheld"
+	"extremalcq/internal/lint/noglobals"
+	"extremalcq/internal/lint/spanbalance"
+)
+
+// Analyzers returns the full cqlint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxloop.Analyzer,
+		noglobals.Analyzer,
+		mutexheld.Analyzer,
+		spanbalance.Analyzer,
+	}
+}

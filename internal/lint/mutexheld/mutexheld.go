@@ -1,0 +1,280 @@
+// Package mutexheld implements the cqlint analyzer for the bug class
+// the store and engine reviews kept catching by hand: blocking work
+// performed while a sync.Mutex or RWMutex is held. In the engine
+// (serving tier) no file I/O, channel send or store-API call may run
+// under any lock; in the store, the append to the active segment under
+// the store mutex is the log's serialization point and is allowed, but
+// read-path and bulk I/O (reads, renames, directory scans) under the
+// mutex would stall every concurrent Get and is flagged.
+package mutexheld
+
+import (
+	"go/ast"
+	"go/types"
+
+	"extremalcq/internal/lint/analysis"
+	"extremalcq/internal/lint/scope"
+)
+
+// Analyzer flags blocking operations performed while a mutex is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexheld",
+	Doc: `no blocking I/O, channel sends or store calls while a mutex is held
+
+Between a Lock/RLock and its Unlock (or to the end of the function
+after a deferred Unlock) the analyzer flags, in the engine: channel
+sends, os.* calls, *os.File methods and calls into the store API; in
+the store: channel sends and read-path/bulk I/O (file reads, renames,
+directory scans). The tracking is per function and syntactic — locks
+taken and released across call boundaries are not modeled.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	strict, in := scope.LockedIO(pass.Pkg.Path())
+	if !in {
+		return nil, nil
+	}
+	c := &checker{pass: pass, strict: strict}
+	for _, file := range pass.Files {
+		if scope.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.block(fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	strict bool // engine rules (any I/O) vs store rules (read-path I/O)
+}
+
+// block scans a statement list in order, tracking which mutexes are
+// held. Nested control flow is scanned with a copy of the held set, so
+// an early-unlock-and-return branch does not unlock the fallthrough
+// path; a branch's own Lock likewise stays local to it.
+func (c *checker) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		if mu, op, ok := c.lockOp(stmt); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[mu] = true
+			case "Unlock", "RUnlock":
+				delete(held, mu)
+			}
+			continue
+		}
+		if d, ok := stmt.(*ast.DeferStmt); ok {
+			// a deferred Unlock keeps the mutex held for the rest of
+			// the function; anything else deferred runs after the
+			// function body and is scanned against the current set.
+			if _, _, isLockOp := c.lockCall(d.Call); isLockOp {
+				continue
+			}
+		}
+		if len(held) > 0 {
+			c.inspect(stmt, held)
+		}
+		c.children(stmt, held)
+	}
+}
+
+// children recurses into the nested statement blocks of stmt with a
+// copy of the held set.
+func (c *checker) children(stmt ast.Stmt, held map[string]bool) {
+	recurse := func(body *ast.BlockStmt) {
+		if body != nil {
+			c.block(body.List, copySet(held))
+		}
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		c.block(s.List, copySet(held))
+	case *ast.IfStmt:
+		recurse(s.Body)
+		if s.Else != nil {
+			c.children(s.Else, held)
+		}
+	case *ast.ForStmt:
+		recurse(s.Body)
+	case *ast.RangeStmt:
+		recurse(s.Body)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.block(cl.Body, copySet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				c.block(cl.Body, copySet(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok && cl.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, cc := range s.Body.List {
+			cl, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// A comm send in a select with a default clause never
+			// blocks (the engine's close-fence idiom relies on this);
+			// without a default it blocks like a bare send.
+			if cl.Comm != nil && !hasDefault && len(held) > 0 {
+				c.inspect(cl.Comm, held)
+			}
+			c.block(cl.Body, copySet(held))
+		}
+	case *ast.LabeledStmt:
+		c.children(s.Stmt, held)
+	}
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// lockOp matches a bare `mu.Lock()`-style statement and returns the
+// receiver's source form and the operation.
+func (c *checker) lockOp(stmt ast.Stmt) (mu, op string, ok bool) {
+	es, isExpr := stmt.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	return c.lockCall(call)
+}
+
+// lockCall matches a call to sync.(RW)Mutex.(R)Lock/(R)Unlock and
+// returns the receiver's source form and the method name.
+func (c *checker) lockCall(call *ast.CallExpr) (mu, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// inspect flags forbidden operations inside stmt (excluding nested
+// statement blocks, which block handles with their own held sets, and
+// function literals, which run on their own stacks).
+func (c *checker) inspect(stmt ast.Stmt, held map[string]bool) {
+	name := heldName(held)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			return false // scanned by children with its own held set
+		case *ast.SendStmt:
+			c.pass.Reportf(n.Pos(), "channel send while %s is held can block every other holder; move it outside the critical section", name)
+			return true
+		case *ast.CallExpr:
+			if why := c.forbiddenCall(n); why != "" {
+				c.pass.Reportf(n.Pos(), "%s while %s is held; move it outside the critical section", why, name)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func heldName(held map[string]bool) string {
+	name := ""
+	for mu := range held {
+		if name == "" || mu < name {
+			name = mu
+		}
+	}
+	return name
+}
+
+// storeReadFuncs are the package functions flagged in both modes
+// (strict mode flags the whole os package).
+var storeReadFuncs = map[string]map[string]bool{
+	"os": {"ReadFile": true, "ReadDir": true, "Rename": true, "Open": true, "OpenFile": true},
+	"io": {"ReadAll": true, "Copy": true},
+}
+
+// fileReadMethods are the *os.File methods flagged in store mode.
+var fileReadMethods = map[string]bool{"Read": true, "ReadAt": true, "ReadFrom": true}
+
+// forbiddenCall classifies a call made while a lock is held; it
+// returns a description of the violation, or "".
+func (c *checker) forbiddenCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil {
+			recvName := named.Obj().Name()
+			recvPkg := ""
+			if named.Obj().Pkg() != nil {
+				recvPkg = named.Obj().Pkg().Path()
+			}
+			if recvPkg == "os" && recvName == "File" {
+				if c.strict || fileReadMethods[fn.Name()] {
+					return "file I/O (" + recvName + "." + fn.Name() + ")"
+				}
+				return ""
+			}
+			if c.strict && scope.Base(recvPkg) == "store" && recvName == "Store" {
+				return "store API call (Store." + fn.Name() + ")"
+			}
+		}
+		return ""
+	}
+	pkgPath := fn.Pkg().Path()
+	if c.strict && pkgPath == "os" {
+		return "file I/O (os." + fn.Name() + ")"
+	}
+	if set, ok := storeReadFuncs[pkgPath]; ok && set[fn.Name()] {
+		return "file I/O (" + scope.Base(pkgPath) + "." + fn.Name() + ")"
+	}
+	return ""
+}
+
+// namedOf unwraps pointers to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,73 @@
+// Package noglobals implements the cqlint analyzer guarding PR 2's
+// deletion of the solver packages' global cache hooks: solver state is
+// carried through the context (hom.WithCache, obs.WithRecorder), never
+// through package-level variables, so two engines in one process stay
+// fully isolated.
+package noglobals
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"extremalcq/internal/lint/analysis"
+	"extremalcq/internal/lint/scope"
+)
+
+// Analyzer forbids package-level mutable state in solver packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "noglobals",
+	Doc: `no package-level mutable state in solver packages
+
+Package-level variables in the solver packages are shared between every
+engine and tenant in the process; solver state must be carried through
+the context instead. Only blank assignments (interface-satisfaction
+assertions) and initialized error sentinels are allowed.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.IsSolver(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if scope.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if errorSentinel(pass, vs, i, name) {
+						continue
+					}
+					pass.Reportf(name.Pos(), "package-level var %s is mutable state in a solver package: make it a constant or a function, or thread it through the context", name.Name)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// errorSentinel reports whether the i'th name of vs declares an
+// initialized error value (`var ErrX = errors.New(...)`): the one
+// package-level var idiom the invariant tolerates, because sentinel
+// identity is the API.
+func errorSentinel(pass *analysis.Pass, vs *ast.ValueSpec, i int, name *ast.Ident) bool {
+	obj := pass.TypesInfo.Defs[name]
+	if obj == nil || !types.Identical(obj.Type(), errorType) {
+		return false
+	}
+	// Require an initializer: `var ErrX error` is a mutable slot, not
+	// a sentinel.
+	return len(vs.Values) > i
+}
+
+var errorType = types.Universe.Lookup("error").Type()

@@ -1,0 +1,60 @@
+// Package scope centralizes which packages each cqlint analyzer
+// applies to, so the analyzer set and the documentation cannot drift
+// apart. Matching is by the package path's last element, which keeps
+// the analyzers testable against small fixture packages carrying the
+// same base names.
+package scope
+
+import (
+	"go/token"
+	"strings"
+)
+
+// solverPackages are the packages holding the potentially-exponential
+// search loops of the fitting algorithms: every loop that can iterate
+// unboundedly must reach a cancellation checkpoint (PR 2), and no
+// package-level mutable state is allowed (multi-tenant isolation).
+var solverPackages = map[string]bool{
+	"hom":      true,
+	"tree":     true,
+	"fitting":  true,
+	"frontier": true,
+	"ucqfit":   true,
+	"duality":  true,
+	"instance": true,
+	"genex":    true,
+}
+
+// lockedIOPackages are the packages where holding a mutex across
+// blocking I/O, channel sends or store-API calls has repeatedly been
+// caught in review (the engine's write-behind fence, the store's
+// compaction): Base -> true means the stricter engine rules apply.
+var lockedIOPackages = map[string]bool{
+	"engine": true,  // serving tier: no I/O, sends or store calls under any lock
+	"store":  false, // log append under the store mutex is the design; read-path I/O is not
+}
+
+// Base returns the last element of a package path.
+func Base(pkgPath string) string {
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[i+1:]
+	}
+	return pkgPath
+}
+
+// IsSolver reports whether pkgPath is one of the solver packages.
+func IsSolver(pkgPath string) bool { return solverPackages[Base(pkgPath)] }
+
+// LockedIO reports whether pkgPath is in mutexheld's scope, and if so
+// whether the strict (engine) rules apply.
+func LockedIO(pkgPath string) (strict, in bool) {
+	strict, in = lockedIOPackages[Base(pkgPath)]
+	return strict, in
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The
+// concurrency invariants guard production code; tests hold no locks
+// over request paths and are free to use package-level fixtures.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,47 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCqlintCleanOnRepo is the meta-test for the suite: it builds the
+// real cqlint executable and runs it over the entire repository via
+// `go vet -vettool`, exactly as CI does. Zero diagnostics is the
+// contract — any violation of a machine-enforced invariant must either
+// be fixed or carry an inline //cqlint:ignore directive with a reason.
+func TestCqlintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole repository")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "cqlint")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cqlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cqlint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("cqlint reports violations (fix them or suppress with a reasoned //cqlint:ignore):\n%s", out)
+	}
+}
+
+// moduleRoot locates the repository root from the go.mod path.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not in a module")
+	}
+	return filepath.Dir(gomod)
+}

@@ -1,0 +1,138 @@
+// Package spanbalance implements the cqlint analyzer protecting the
+// explain reports of PR 6: obs phase spans attribute exclusive (self)
+// time through a strict LIFO stack, which only holds if every span
+// opened in a function is closed by a deferred End in that same
+// function — deferred Ends also fire during a solve.Check cancellation
+// unwind, so spans close even when the solver stack panics away.
+package spanbalance
+
+import (
+	"go/ast"
+	"go/types"
+
+	"extremalcq/internal/lint/analysis"
+	"extremalcq/internal/lint/scope"
+)
+
+// Analyzer requires every obs span begin to be paired with a deferred
+// end in the same function.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanbalance",
+	Doc: `every obs span must be closed by a deferred End in the same function
+
+A span opened with StartSpan must either be stored in a local that a
+defer in the same function closes (sp := rec.StartSpan(p); defer
+sp.End()) or be chained directly (defer rec.StartSpan(p).End()).
+Non-deferred Ends leak the frame on a cancellation unwind and corrupt
+the LIFO self-time attribution of every enclosing span.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if scope.Base(pass.Pkg.Path()) == "obs" {
+		return nil, nil // the recorder's own implementation and tests
+	}
+	for _, file := range pass.Files {
+		if scope.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkScope(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkScope analyzes one function scope (a declaration or literal),
+// recursing into nested literals as their own scopes: the pairing
+// invariant is per function, because that is the frame a defer runs
+// against.
+func checkScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Map each span-typed local assigned from StartSpan to its
+	// variable, then verify a defer closes it.
+	type openSpan struct {
+		call *ast.CallExpr
+		v    *types.Var
+	}
+	var opened []openSpan
+	closed := make(map[*types.Var]bool)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkScope(pass, n.Body)
+			return false
+		case *ast.DeferStmt:
+			// defer sp.End() / defer rec.StartSpan(p).End()
+			if sel, ok := n.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				switch recv := ast.Unparen(sel.X).(type) {
+				case *ast.Ident:
+					if v, ok := pass.TypesInfo.Uses[recv].(*types.Var); ok {
+						closed[v] = true
+						return false
+					}
+				case *ast.CallExpr:
+					if isStartSpan(pass, recv) {
+						return false // chained: begun and deferred-closed in one statement
+					}
+				}
+			}
+			// Other defers may contain StartSpan calls; fall through.
+			return true
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && isStartSpan(pass, call) {
+					if len(n.Lhs) == 1 {
+						if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+							var v *types.Var
+							if d, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+								v = d
+							} else if u, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+								v = u
+							}
+							if v != nil {
+								opened = append(opened, openSpan{call: call, v: v})
+								return false
+							}
+						}
+					}
+					pass.Reportf(call.Pos(), "obs span handle must be stored in a local closed by `defer sp.End()` in this function")
+					return false
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if isStartSpan(pass, n) {
+				pass.Reportf(n.Pos(), "obs span is opened without a paired `defer sp.End()` in this function (LIFO self-time attribution breaks on unwind)")
+				return false
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for _, sp := range opened {
+		if !closed[sp.v] {
+			pass.Reportf(sp.call.Pos(), "obs span %s is not closed by `defer %s.End()` in this function (LIFO self-time attribution breaks on unwind)", sp.v.Name(), sp.v.Name())
+		}
+	}
+}
+
+// isStartSpan matches calls to the obs recorder's StartSpan method.
+func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return scope.Base(fn.Pkg().Path()) == "obs"
+}

@@ -1,0 +1,109 @@
+// Package engine is a fixture for the mutexheld analyzer's strict
+// mode: no file I/O, channel send or store-API call may run while any
+// lock is held in the serving tier.
+package engine
+
+import (
+	"os"
+	"sync"
+
+	"store"
+)
+
+type E struct {
+	mu      sync.Mutex
+	stateMu sync.RWMutex
+	ch      chan int
+	st      *store.Store
+}
+
+func (e *E) sendHeld() {
+	e.mu.Lock()
+	e.ch <- 1 // want `channel send while e\.mu is held`
+	e.mu.Unlock()
+}
+
+func (e *E) sendAfterUnlock() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.ch <- 1
+}
+
+func (e *E) sendUnderDeferredUnlock() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ch <- 1 // want `channel send while e\.mu is held`
+}
+
+func (e *E) rlockCounts() {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	e.ch <- 1 // want `channel send while e\.stateMu is held`
+}
+
+func (e *E) fileIOHeld(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	os.ReadFile(name) // want `file I/O \(os\.ReadFile\) while e\.mu is held`
+}
+
+func (e *E) anyOSCallIsStrict(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	os.WriteFile(name, nil, 0o666) // want `file I/O \(os\.WriteFile\) while e\.mu is held`
+}
+
+func (e *E) storeCallHeld(key string, val []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.st.PutKind("k", key, val) // want `store API call \(Store\.PutKind\) while e\.mu is held`
+}
+
+// A send in a select with a default clause never blocks: this is the
+// engine's close-fence idiom and is allowed.
+func (e *E) nonBlockingSend() bool {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	select {
+	case e.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// Without a default clause the comm send blocks like a bare send.
+func (e *E) blockingSelectSend(done chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case e.ch <- 1: // want `channel send while e\.mu is held`
+	case <-done:
+	}
+}
+
+// A goroutine body runs on its own stack, after the critical section.
+func (e *E) goroutineIsFine() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() { e.ch <- 1 }()
+}
+
+// A branch that unlocks early does not unlock the fallthrough path.
+func (e *E) branchUnlockStaysLocal(fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		e.ch <- 1
+		return
+	}
+	e.ch <- 1 // want `channel send while e\.mu is held`
+	e.mu.Unlock()
+}
+
+func (e *E) suppressedFence() {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	//cqlint:ignore mutexheld -- fixture: the send is the close fence
+	e.ch <- 1
+}

@@ -1,0 +1,28 @@
+// Package fitting is a solver-scope fixture for the noglobals
+// analyzer: package-level mutable state is forbidden here.
+package fitting
+
+import "errors"
+
+// Opts is the kind of value the analyzer wants passed around instead
+// of being stored globally.
+type Opts struct{ MaxAtoms int }
+
+var Defaults = Opts{MaxAtoms: 3} // want `package-level var Defaults is mutable state in a solver package`
+
+var counter int // want `package-level var counter is mutable state in a solver package`
+
+// An initialized error sentinel is the one tolerated var idiom.
+var ErrNotFound = errors.New("fitting: not found")
+
+// An uninitialized error var is a mutable slot, not a sentinel.
+var ErrSlot error // want `package-level var ErrSlot is mutable state in a solver package`
+
+// Blank assignments (interface-satisfaction assertions) are fine.
+var _ = Opts{}
+
+// Constants are fine.
+const MaxDepth = 8
+
+//cqlint:ignore noglobals -- fixture: demonstrates a justified escape hatch
+var Tolerated = Opts{MaxAtoms: 5}

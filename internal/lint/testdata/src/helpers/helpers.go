@@ -1,0 +1,20 @@
+// Package helpers is a non-solver fixture package whose exported
+// function checks cancellation: analyzing it must export a
+// ChecksCancel fact that solver fixtures importing it can rely on
+// (the interprocedural half of ctxloop).
+package helpers
+
+import (
+	"context"
+
+	"solve"
+)
+
+// Checked reaches a cancellation checkpoint, so callers' loops need no
+// checkpoint of their own.
+func Checked(ctx context.Context) {
+	solve.Check(ctx)
+}
+
+// Unchecked does not check cancellation.
+func Unchecked() {}

@@ -1,0 +1,122 @@
+// Package hom is a solver-scope fixture for the ctxloop analyzer: its
+// package-path base matches a solver package, so every potentially
+// unbounded loop here must reach a cancellation checkpoint.
+package hom
+
+import (
+	"context"
+
+	"helpers"
+	"solve"
+)
+
+func work() {}
+
+func infinite() {
+	for { // want `infinite for loop lacks a cancellation checkpoint`
+		work()
+	}
+}
+
+func worklist(items []int) {
+	for len(items) > 0 { // want `condition-driven for loop lacks a cancellation checkpoint`
+		items = items[1:]
+	}
+}
+
+func overChannel(ch chan int) {
+	for range ch { // want `range over a channel lacks a cancellation checkpoint`
+		work()
+	}
+}
+
+func overIterator(seq func(func(int) bool)) {
+	for range seq { // want `range over an iterator function lacks a cancellation checkpoint`
+		work()
+	}
+}
+
+// A checkpoint inside a nested function literal does not count: nothing
+// guarantees the loop body invokes it.
+func closureDoesNotCount(ctx context.Context) {
+	for { // want `infinite for loop lacks a cancellation checkpoint`
+		f := func() { solve.Check(ctx) }
+		_ = f
+	}
+}
+
+// Counted for-i loops are exempt: the bound caps the iteration count.
+func counted(n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+
+// Ranges over finite data are exempt.
+func overSlice(items []int) {
+	for range items {
+		work()
+	}
+}
+
+func directCheck(ctx context.Context, items []int) {
+	for len(items) > 0 {
+		solve.Check(ctx)
+		items = items[1:]
+	}
+}
+
+func viaCtxErr(ctx context.Context, items []int) {
+	for len(items) > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		items = items[1:]
+	}
+}
+
+// localCheck is recognized through the same-package fixpoint: it only
+// checks indirectly, through another local helper.
+func viaLocalHelper(ctx context.Context, items []int) {
+	for len(items) > 0 {
+		localCheck(ctx)
+		items = items[1:]
+	}
+}
+
+func localCheck(ctx context.Context) { localCheck2(ctx) }
+
+func localCheck2(ctx context.Context) { solve.Check(ctx) }
+
+// helpers.Checked is recognized through its imported ChecksCancel fact.
+func viaImportedHelper(ctx context.Context, items []int) {
+	for len(items) > 0 {
+		helpers.Checked(ctx)
+		items = items[1:]
+	}
+}
+
+// An imported helper that does not check is no checkpoint.
+func viaUncheckedHelper(items []int) {
+	for len(items) > 0 { // want `condition-driven for loop lacks a cancellation checkpoint`
+		helpers.Unchecked()
+		items = items[1:]
+	}
+}
+
+// A suppression directive with a reason silences the finding.
+func suppressed(items []int) {
+	//cqlint:ignore ctxloop -- fixture: bounded by construction
+	for len(items) > 0 {
+		items = items[1:]
+	}
+}
+
+// A directive without a reason suppresses nothing and is itself
+// reported.
+func badDirective(items []int) {
+	//cqlint:ignore ctxloop // want `malformed cqlint:ignore directive`
+	for len(items) > 0 { // want `condition-driven for loop lacks a cancellation checkpoint`
+		items = items[1:]
+	}
+}

@@ -1,0 +1,13 @@
+// Package solve mimics the repository's cancellation package: cqlint
+// matches the canonical checkpoint by package-path base and function
+// name, so this fixture stands in for extremalcq/internal/solve.
+package solve
+
+import "context"
+
+// Check is the canonical cancellation checkpoint.
+func Check(ctx context.Context) {
+	if err := ctx.Err(); err != nil {
+		panic(err)
+	}
+}

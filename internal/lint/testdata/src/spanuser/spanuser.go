@@ -1,0 +1,62 @@
+// Package spanuser is a fixture for the spanbalance analyzer: every
+// obs span opened in a function must be closed by a deferred End in
+// that same function.
+package spanuser
+
+import "obs"
+
+func work() {}
+
+func deferredClose(rec *obs.Recorder) {
+	sp := rec.StartSpan(obs.PhaseSolve)
+	defer sp.End()
+	work()
+}
+
+func chainedClose(rec *obs.Recorder) {
+	defer rec.StartSpan(obs.PhaseSolve).End()
+	work()
+}
+
+func discarded(rec *obs.Recorder) {
+	rec.StartSpan(obs.PhaseSolve) // want `obs span is opened without a paired`
+	work()
+}
+
+func blankAssigned(rec *obs.Recorder) {
+	_ = rec.StartSpan(obs.PhaseSolve) // want `obs span handle must be stored in a local`
+}
+
+func nonDeferredEnd(rec *obs.Recorder) {
+	sp := rec.StartSpan(obs.PhaseSolve) // want `obs span sp is not closed by`
+	work()
+	sp.End()
+}
+
+// A literal's defer runs against the literal's frame, not this one.
+func closedOnlyInLiteral(rec *obs.Recorder) {
+	sp := rec.StartSpan(obs.PhaseSolve) // want `obs span sp is not closed by`
+	f := func() { sp.End() }
+	f()
+}
+
+// Literals are their own scopes: a balanced literal inside an
+// unbalanced function (and vice versa) is judged per frame.
+func literalScopes(rec *obs.Recorder) {
+	f := func() {
+		sp := rec.StartSpan(obs.PhaseSolve)
+		defer sp.End()
+		work()
+	}
+	f()
+	g := func() {
+		rec.StartSpan(obs.PhaseSolve) // want `obs span is opened without a paired`
+	}
+	g()
+}
+
+func suppressed(rec *obs.Recorder) {
+	//cqlint:ignore spanbalance -- fixture: closed by the caller
+	sp := rec.StartSpan(obs.PhaseSolve)
+	_ = sp
+}

@@ -1,0 +1,45 @@
+// Package store is a fixture for the mutexheld analyzer's store mode:
+// the append to the active segment under the store mutex is the log's
+// serialization point and is allowed, but read-path and bulk I/O under
+// the mutex stalls every concurrent reader and is flagged.
+package store
+
+import (
+	"os"
+	"sync"
+)
+
+// Store mimics the repository's segment-log store type; engine-scope
+// fixtures flag calls into it while their own locks are held.
+type Store struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// PutKind appends under the lock: allowed in store mode (writes are
+// the serialization point).
+func (s *Store) PutKind(kind, key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.f.WriteAt(val, 0)
+	return err
+}
+
+func (s *Store) readHeld(p []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.ReadAt(p, 0) // want `file I/O \(File\.ReadAt\) while s\.mu is held`
+}
+
+func (s *Store) renameHeld(a, b string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Rename(a, b) // want `file I/O \(os\.Rename\) while s\.mu is held`
+}
+
+func (s *Store) readOffLock(p []byte) {
+	s.mu.Lock()
+	off := int64(0)
+	s.mu.Unlock()
+	s.f.ReadAt(p, off)
+}

@@ -1,0 +1,12 @@
+// Package util is an out-of-scope fixture: ctxloop and noglobals only
+// apply to solver packages, so nothing here is flagged.
+package util
+
+// Spin loops forever without a checkpoint — legal outside the solver.
+func Spin() {
+	for {
+	}
+}
+
+// Counter is package-level mutable state — legal outside the solver.
+var Counter int

@@ -190,6 +190,20 @@ func TestUntracedPathAllocatesNothing(t *testing.T) {
 	}
 }
 
+// BenchmarkUntracedSpan is the benchstat-friendly form of the
+// nil-recorder guard: compare runs with `benchstat old.txt new.txt`
+// and watch the allocs/op column stay at zero.
+func BenchmarkUntracedSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := FromContext(ctx)
+		sp := r.StartSpan(PhaseHomSearch)
+		r.Add(CtrHomNodes, 1)
+		sp.End()
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(0.01, 0.1, 1)
 	h.Observe(5 * time.Millisecond)   // bucket 0

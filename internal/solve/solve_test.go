@@ -1,0 +1,68 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestCheckNilAndBackground(t *testing.T) {
+	Check(nil)
+	Check(context.Background())
+}
+
+func TestCheckPanicsWhenDoneAndCatchConverts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := func() (err error) {
+		defer Catch(&err)
+		Check(ctx)
+		return nil
+	}()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCatchRethrowsForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the foreign panic", r)
+		}
+	}()
+	var err error
+	defer Catch(&err)
+	panic("boom")
+}
+
+// TestCheckFastPathAllocatesNothing is the acceptance gate for the
+// checkpoint hot path: Check sits at the iteration head of every
+// solver inner loop, so the not-canceled case must not allocate.
+func TestCheckFastPathAllocatesNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, tc := range []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"nil", nil},
+		{"background", context.Background()},
+		{"cancelable", ctx},
+	} {
+		if allocs := testing.AllocsPerRun(1000, func() { Check(tc.ctx) }); allocs != 0 {
+			t.Errorf("Check(%s ctx) allocates %.1f per op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// BenchmarkCheckpoint is the benchstat-friendly form of the fast-path
+// guard: compare runs with `benchstat old.txt new.txt` and watch the
+// allocs/op column stay at zero.
+func BenchmarkCheckpoint(b *testing.B) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Check(ctx)
+	}
+}

@@ -117,7 +117,7 @@ func SearchWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts fitting.Se
 	}
 	var found *cq.CQ
 	var firstErr error
-	genex.EnumerateDataExamples(e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+	genex.EnumerateDataExamplesCtx(ctx, e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
 		solve.Check(ctx)
 		q, err := cq.FromExample(ex)
 		if err != nil || !IsTreeCQ(q) {
@@ -163,7 +163,7 @@ func ForEachWeaklyMostGeneralCtx(ctx context.Context, e Examples, opts fitting.S
 	defer sp.End()
 	seen := enum.NewIndex(SimEquivalentCtx)
 	var firstErr error
-	genex.EnumerateDataExamples(e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+	genex.EnumerateDataExamplesCtx(ctx, e.Schema, 1, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
 		solve.Check(ctx)
 		rec.Add(obs.CtrEnumCandidates, 1)
 		q, err := cq.FromExample(ex)
@@ -363,6 +363,7 @@ func removeSubtree(ex instance.Pointed, v instance.Value) instance.Pointed {
 	// BFS from the root avoiding v: keep reached values.
 	keep := map[instance.Value]bool{ex.Tuple[0]: true}
 	queue := []instance.Value{ex.Tuple[0]}
+	//cqlint:ignore ctxloop -- keep-set-guarded BFS visits each instance value at most once
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]

@@ -20,7 +20,7 @@ type quickRooted struct {
 func (quickRooted) Generate(r *rand.Rand, size int) reflect.Value {
 	dom := 2 + r.Intn(3)
 	facts := 1 + r.Intn(4)
-	in := genex.RandomInstance(r, genex.SchemaR, dom, facts)
+	in := genex.RandomInstance(r, genex.SchemaR(), dom, facts)
 	d := in.Dom()
 	return reflect.ValueOf(quickRooted{P: instance.NewPointed(in, d[r.Intn(len(d))])})
 }

@@ -12,7 +12,7 @@ import (
 	"extremalcq/internal/schema"
 )
 
-var binR = genex.SchemaR
+var binR = genex.SchemaR()
 
 var rpq = schema.MustNew(
 	schema.Relation{Name: "R", Arity: 2},
@@ -373,7 +373,7 @@ func TestBasisSingleton(t *testing.T) {
 func TestDoubleExpTreeFamily(t *testing.T) {
 	for n := 1; n <= 2; n++ {
 		pos, neg := genex.DoubleExpTreeFamily(n)
-		e := fitting.MustExamples(genex.SchemaLRA, 1, pos, neg)
+		e := fitting.MustExamples(genex.SchemaLRA(), 1, pos, neg)
 		dag, ok, err := Construct(e)
 		if err != nil {
 			t.Fatal(err)

@@ -1,10 +1,12 @@
 package tree
 
 import (
+	"context"
 	"fmt"
 
 	"extremalcq/internal/cq"
 	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
 )
 
 // IsTreeCQ reports whether q is a tree CQ in the sense of Section 5: a
@@ -73,6 +75,13 @@ func UnaryLabels(in *instance.Instance, v instance.Value) []string {
 // is a tree (Section 5's m-unraveling, with depth counted in edges).
 // Paths are materialized as fresh node names.
 func Unravel(e instance.Pointed, depth int) (instance.Pointed, error) {
+	return UnravelCtx(context.Background(), e, depth)
+}
+
+// UnravelCtx is Unravel under a solver context. The unraveling is
+// exponential in depth (every path from the root is materialized), so
+// cancellation is checked per dequeued node.
+func UnravelCtx(ctx context.Context, e instance.Pointed, depth int) (instance.Pointed, error) {
 	if e.Arity() != 1 {
 		return instance.Pointed{}, fmt.Errorf("tree: unraveling needs a unary pointed instance")
 	}
@@ -95,6 +104,7 @@ func Unravel(e instance.Pointed, depth int) (instance.Pointed, error) {
 	}
 	queue := []node{{name: rootName, elem: root, d: 0}}
 	for len(queue) > 0 {
+		solve.Check(ctx)
 		cur := queue[0]
 		queue = queue[1:]
 		for _, u := range UnaryLabels(e.I, cur.elem) {
@@ -140,6 +150,7 @@ func (d *DAG) NumNodes() int {
 		dep  int
 	}
 	stack := []st{{d.Source.Tuple[0], 0}}
+	//cqlint:ignore ctxloop -- seen-set-guarded DFS visits each (element,depth) node at most once
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]

@@ -359,7 +359,7 @@ func ForEachMostGeneralCandidateCtx(ctx context.Context, e Examples, opts fittin
 	sp := rec.StartSpan(obs.PhaseEnum)
 	defer sp.End()
 	seen := enum.NewIndex(nil)
-	genex.EnumerateDataExamples(e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
+	genex.EnumerateDataExamplesCtx(ctx, e.Schema, e.Arity, opts.MaxAtoms, opts.MaxVars, func(ex instance.Pointed) bool {
 		solve.Check(ctx)
 		rec.Add(obs.CtrEnumCandidates, 1)
 		if hom.ExistsToAnyCtx(ctx, ex, e.Neg) {
