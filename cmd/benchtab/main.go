@@ -69,11 +69,12 @@ type phaseBreakdownRecord struct {
 
 // benchReport is the -json output shape.
 type benchReport struct {
-	Title          string                `json:"title"`
-	Rows           []benchRow            `json:"rows"`
-	Streaming      streamingRecord       `json:"streaming"`
-	MemoSpill      memoSpillRecord       `json:"memo_spill"`
-	PhaseBreakdown *phaseBreakdownRecord `json:"phase_breakdown"`
+	Title           string                `json:"title"`
+	Rows            []benchRow            `json:"rows"`
+	Streaming       streamingRecord       `json:"streaming"`
+	MemoSpill       memoSpillRecord       `json:"memo_spill"`
+	PhaseBreakdown  *phaseBreakdownRecord `json:"phase_breakdown"`
+	AcyclicDispatch acyclicDispatchRecord `json:"acyclic_dispatch"`
 }
 
 var report benchReport
@@ -92,6 +93,7 @@ func main() {
 	streamingTable()
 	memoSpillTable()
 	phaseBreakdownTable()
+	acyclicDispatchTable()
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")

@@ -214,6 +214,92 @@ func TestEngineAnswersVerifyIndependently(t *testing.T) {
 	}
 }
 
+// TestDispatchPathsAgree runs the same randomized collections through
+// an auto-dispatch engine (join-tree fast path engaged for α-acyclic
+// hom-search sources) and a ForceBacktrack engine, and requires the two
+// to agree: identical Found verdicts on construct/exists, and
+// weakly-most-general answer sets equal up to CQ equivalence (witnesses
+// and cores may differ textually between paths, so textual equality is
+// the wrong contract — every answer is instead re-verified against the
+// hom-level fitting contract and matched to an equivalent answer from
+// the other engine).
+func TestDispatchPathsAgree(t *testing.T) {
+	auto := engine.New(engine.Options{Workers: 2})
+	defer auto.Close()
+	forced := engine.New(engine.Options{Workers: 2, ForceBacktrack: true})
+	defer forced.Close()
+	ctx := context.Background()
+
+	for seed := int64(200); seed < 212; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			e := randomExamples(t, rng, int(seed%2))
+			for _, task := range []engine.Task{engine.TaskConstruct, engine.TaskExists} {
+				job := engine.Job{Kind: engine.KindCQ, Task: task, Examples: e, Opts: smallBounds}
+				ra, rf := auto.Do(ctx, job), forced.Do(ctx, job)
+				if ra.Err != nil || rf.Err != nil {
+					t.Fatalf("%s: auto err=%v forced err=%v", task, ra.Err, rf.Err)
+				}
+				if ra.Found != rf.Found {
+					t.Errorf("%s: auto Found=%v, forced Found=%v", task, ra.Found, rf.Found)
+				}
+				for _, qt := range ra.Queries {
+					checkFits(t, e, qt, string(task)+"-auto")
+				}
+				for _, qt := range rf.Queries {
+					checkFits(t, e, qt, string(task)+"-forced")
+				}
+			}
+
+			// Weakly-most-general enumeration: both paths must produce the
+			// same answer set up to equivalence.
+			wmg := engine.Job{Kind: engine.KindCQ, Task: engine.TaskWeaklyMostGeneral, Examples: e, Opts: smallBounds}
+			collect := func(eng *engine.Engine, origin string) []*cq.CQ {
+				var qs []*cq.CQ
+				res := eng.DoStream(ctx, wmg, func(a engine.Answer) bool {
+					qs = append(qs, checkFits(t, e, a.Query, origin))
+					return true
+				})
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				return qs
+			}
+			qa, qf := collect(auto, "wmg-auto"), collect(forced, "wmg-forced")
+			if len(qa) != len(qf) {
+				t.Errorf("wmg answer counts differ: auto=%d forced=%d", len(qa), len(qf))
+			}
+			for i, q := range qa {
+				matched := false
+				for _, q2 := range qf {
+					if q.EquivalentTo(q2) {
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("auto wmg answer %d has no equivalent forced answer", i)
+				}
+			}
+		})
+	}
+
+	// The probe must actually have routed work both ways: the forced
+	// engine never takes the join-tree path, the auto engine takes it
+	// whenever a hom-search source is α-acyclic (canonical examples of
+	// small CQs routinely are).
+	sa, sf := auto.Stats(), forced.Stats()
+	if sf.Dispatch.JoinTree != 0 {
+		t.Errorf("ForceBacktrack engine took the join-tree path %d times", sf.Dispatch.JoinTree)
+	}
+	if sf.Dispatch.Backtrack == 0 {
+		t.Error("forced engine recorded no dispatch decisions")
+	}
+	if sa.Dispatch.JoinTree == 0 {
+		t.Error("auto engine never took the join-tree path across the sweep")
+	}
+}
+
 // TestMemoSpillWarmRunsMatchCold replays randomized collections against
 // a memo-spill store across a restart: novel warm jobs (same problem,
 // different search-bound fingerprint, so the result store cannot serve

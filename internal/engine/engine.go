@@ -29,6 +29,7 @@ import (
 
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/hom"
+	"extremalcq/internal/hypergraph"
 	"extremalcq/internal/instance"
 	"extremalcq/internal/obs"
 	"extremalcq/internal/store"
@@ -80,6 +81,11 @@ type Options struct {
 	// is ignored. Callers exposing this as configuration should reject
 	// the dead combinations loudly (cqfitd and cqfit do).
 	MemoSpill bool
+	// ForceBacktrack disables the acyclicity-aware join-tree fast path,
+	// routing every hom search through the generic backtracking solver.
+	// Mainly for conformance runs that cross-check the two dispatch
+	// paths, and for apples-to-apples benchmarking.
+	ForceBacktrack bool
 }
 
 // Engine is a concurrent fitting-job scheduler. Create with New, release
@@ -94,6 +100,12 @@ type Engine struct {
 	wg    sync.WaitGroup
 	close sync.Once
 	start time.Time
+
+	// decomp memoizes hypergraph acyclicity verdicts and join forests
+	// per instance fingerprint; dispatch counts which hom-search path
+	// each probe selected. Both are engine-owned, like the memo.
+	decomp   *hypergraph.Cache
+	dispatch hom.DispatchStats
 
 	// rootCtx is canceled by Close; every job's solver context is linked
 	// to it, so in-flight searches unwind promptly on shutdown.
@@ -233,6 +245,7 @@ func New(opts Options) *Engine {
 		flights:    make(map[string]*flight),
 		streams:    make(map[string]*streamFlight),
 		tasks:      make(map[string]*taskAgg),
+		decomp:     hypergraph.NewCache(0),
 		jobDur:     obs.NewHistogram(),
 		queueWait:  obs.NewHistogram(),
 		taskDur:    make(map[string]*obs.Histogram),
@@ -594,10 +607,7 @@ func (e *Engine) jobContext(parent context.Context, j Job) (context.Context, con
 // still yields a (partial) report — the recorder is snapshot-safe
 // against the unwinding goroutine.
 func (e *Engine) runSolver(ctx context.Context, j Job) Result {
-	solveCtx := ctx
-	if e.memo != nil {
-		solveCtx = withEngineCaches(solveCtx, e.memo)
-	}
+	solveCtx := e.solverContext(ctx)
 	var rec *obs.Recorder
 	if j.Trace {
 		rec = obs.NewRecorder()
@@ -653,6 +663,22 @@ func (e *Engine) finishTrace(rec *obs.Recorder) *obs.Report {
 func withEngineCaches(ctx context.Context, m *Memo) context.Context {
 	ctx = hom.WithCache(ctx, m)
 	return instance.WithProductCache(ctx, m)
+}
+
+// solverContext attaches every piece of engine-owned solver state to a
+// job's context: the memo (when enabled), the hypergraph decomposition
+// cache, and the dispatch-path counters. ForceBacktrack pins the hom
+// dispatch mode so the join-tree fast path never engages.
+func (e *Engine) solverContext(ctx context.Context) context.Context {
+	if e.memo != nil {
+		ctx = withEngineCaches(ctx, e.memo)
+	}
+	ctx = hypergraph.WithCache(ctx, e.decomp)
+	ctx = hom.WithDispatchStats(ctx, &e.dispatch)
+	if e.opts.ForceBacktrack {
+		ctx = hom.WithDispatchMode(ctx, hom.DispatchBacktrack)
+	}
+	return ctx
 }
 
 // closeErr maps a context failure observed during Close to ErrClosed
@@ -759,9 +785,19 @@ type Stats struct {
 	// spilled out to the persistent store); nil unless Options.MemoSpill
 	// is active.
 	MemoSpill *SpillStats `json:"memo_spill,omitempty"`
+	// Dispatch reports how many hom searches each dispatch path served:
+	// the join-tree fast path for α-acyclic sources vs the generic
+	// backtracking solver.
+	Dispatch DispatchStats `json:"hom_dispatch"`
 	// Durations holds the fixed-bucket latency histograms (cqfitd turns
 	// them into Prometheus histogram families).
 	Durations DurationStats `json:"durations"`
+}
+
+// DispatchStats counts hom-search dispatch decisions per path.
+type DispatchStats struct {
+	JoinTree  int64 `json:"jointree"`
+	Backtrack int64 `json:"backtrack"`
 }
 
 // DurationStats groups the engine's fixed-bucket latency histograms.
@@ -862,6 +898,7 @@ func (e *Engine) Stats() Stats {
 		Active:  e.streamsActive.Load(),
 		Results: e.streamResults.Load(),
 	}
+	s.Dispatch.JoinTree, s.Dispatch.Backtrack = e.dispatch.Snapshot()
 	s.Durations.Job = e.jobDur.Snapshot()
 	s.Durations.Queue = e.queueWait.Snapshot()
 	for phase, h := range e.phaseDur {

@@ -479,3 +479,40 @@ func TestTrySubmitQueueFull(t *testing.T) {
 		t.Fatal("invalid job must carry its validation error")
 	}
 }
+
+// TestDispatchStatsAndForceBacktrack checks the engine surfaces its
+// hom-dispatch decisions: a default engine routes the acyclic sources
+// of a simple exists job through the join-tree path and reports it in
+// Stats.Dispatch, while a ForceBacktrack engine records backtracking
+// dispatches only — with identical job outcomes.
+func TestDispatchStatsAndForceBacktrack(t *testing.T) {
+	pos := []instance.Pointed{genex.DirectedPath(3)}
+	neg := []instance.Pointed{genex.TransitiveTournament(2)}
+	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
+	job := Job{Kind: KindCQ, Task: TaskExists, Examples: e}
+
+	auto := New(Options{Workers: 1})
+	defer auto.Close()
+	forced := New(Options{Workers: 1, ForceBacktrack: true})
+	defer forced.Close()
+
+	ra := auto.Do(context.Background(), job)
+	rf := forced.Do(context.Background(), job)
+	if ra.Err != nil || rf.Err != nil {
+		t.Fatalf("auto err=%v forced err=%v", ra.Err, rf.Err)
+	}
+	if ra.Found != rf.Found {
+		t.Fatalf("auto Found=%v, forced Found=%v", ra.Found, rf.Found)
+	}
+
+	sa, sf := auto.Stats(), forced.Stats()
+	if sa.Dispatch.JoinTree == 0 {
+		t.Errorf("auto engine recorded no join-tree dispatches: %+v", sa.Dispatch)
+	}
+	if sf.Dispatch.JoinTree != 0 {
+		t.Errorf("forced engine took the join-tree path %d times", sf.Dispatch.JoinTree)
+	}
+	if sf.Dispatch.Backtrack == 0 {
+		t.Errorf("forced engine recorded no dispatch decisions: %+v", sf.Dispatch)
+	}
+}

@@ -362,10 +362,7 @@ func (e *Engine) leadStream(ctx context.Context, key string, f *streamFlight, j 
 // enumeration algorithms check ctx inside their loops, so cancellation
 // stops the stream between answers.
 func (e *Engine) runStreamSolver(ctx context.Context, j Job, emit func(string)) Result {
-	solveCtx := ctx
-	if e.memo != nil {
-		solveCtx = withEngineCaches(solveCtx, e.memo)
-	}
+	solveCtx := e.solverContext(ctx)
 	var rec *obs.Recorder
 	if j.Trace {
 		rec = obs.NewRecorder()

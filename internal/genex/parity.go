@@ -1,0 +1,84 @@
+package genex
+
+import (
+	"extremalcq/internal/instance"
+	"extremalcq/internal/schema"
+)
+
+// This file is the parity-chain family used to separate the two hom
+// dispatch paths. Plain binary paths do not separate them — arc
+// consistency is complete for berge-acyclic binary structures — so the
+// links are 4-ary facts sharing variable PAIRS: under the parity target
+// every variable keeps its full domain after GAC (each T-link projects
+// onto every argument fully), yet the instance is unsatisfiable, so the
+// backtracking search explores ~2^n assignments while the join-tree
+// evaluator empties a relation after one linear semi-join pass.
+
+// SchemaParity returns the {T/4, P/2, A/2} schema of the parity-chain
+// family (see SchemaR for why this is a function).
+func SchemaParity() *schema.Schema {
+	return schema.MustNew(
+		schema.Relation{Name: "T", Arity: 4},
+		schema.Relation{Name: "P", Arity: 2},
+		schema.Relation{Name: "A", Arity: 2},
+	)
+}
+
+// ParityChain returns the α-acyclic parity chain with n T-links:
+//
+//	P(x_1,y_1), T(x_i,y_i,x_{i+1},y_{i+1}) for i=1..n, A(x_{n+1},y_{n+1})
+//
+// Its query hypergraph is a path of 4-ary edges overlapping in variable
+// pairs, so GYO reduces it (each end link is an ear) and the join-tree
+// path applies.
+func ParityChain(n int) instance.Pointed {
+	in := instance.New(SchemaParity())
+	must(in.AddFact("P", val("x", 1), val("y", 1)))
+	for i := 1; i <= n; i++ {
+		must(in.AddFact("T", val("x", i), val("y", i), val("x", i+1), val("y", i+1)))
+	}
+	must(in.AddFact("A", val("x", n+1), val("y", n+1)))
+	return instance.NewPointed(in)
+}
+
+// ParityCycle is ParityChain plus the closing link
+// T(x_{n+1},y_{n+1},x_1,y_1); for n >= 2 the hypergraph cycle has no
+// ear, so GYO gets stuck and dispatch falls back to backtracking.
+func ParityCycle(n int) instance.Pointed {
+	p := ParityChain(n)
+	must(p.I.AddFact("T", val("x", n+1), val("y", n+1), val("x", 1), val("y", 1)))
+	return p
+}
+
+// ParityTarget returns the two-element parity structure the chain is
+// evaluated against: T holds the 8 parity-preserving quadruples
+// (a⊕b = c⊕d), P the odd pairs, A the even pairs. P forces parity 1
+// onto (x_1,y_1), every T-link preserves pair parity, and A demands
+// parity 0 — so no homomorphism exists from either chain or cycle, yet
+// GAC prunes nothing (every relation projects fully onto each column).
+func ParityTarget() instance.Pointed {
+	bit := func(b int) instance.Value {
+		if b == 0 {
+			return "0"
+		}
+		return "1"
+	}
+	in := instance.New(SchemaParity())
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			if a^b == 1 {
+				must(in.AddFact("P", bit(a), bit(b)))
+			} else {
+				must(in.AddFact("A", bit(a), bit(b)))
+			}
+			for c := 0; c < 2; c++ {
+				for d := 0; d < 2; d++ {
+					if a^b == c^d {
+						must(in.AddFact("T", bit(a), bit(b), bit(c), bit(d)))
+					}
+				}
+			}
+		}
+	}
+	return instance.NewPointed(in)
+}

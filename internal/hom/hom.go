@@ -63,6 +63,9 @@ func findUncached(ctx context.Context, from, to instance.Pointed) (Assignment, b
 	if !ok {
 		return nil, false
 	}
+	if hg, forest, acyclic := s.probeJoinTree(); acyclic {
+		return s.solveJoinTree(hg, forest)
+	}
 	return s.solve()
 }
 
@@ -84,6 +87,10 @@ func FindAllCtx(ctx context.Context, from, to instance.Pointed, yield func(Assig
 	defer sp.End()
 	s, ok := newSearch(ctx, from, to)
 	if !ok {
+		return
+	}
+	if hg, forest, acyclic := s.probeJoinTree(); acyclic {
+		s.enumerateJoinTree(hg, forest, yield)
 		return
 	}
 	s.enumerate(yield)
@@ -150,6 +157,7 @@ type search struct {
 	from, to instance.Pointed
 	vars     []instance.Value                    // adom(from), sorted
 	domains  map[instance.Value][]instance.Value // candidate targets
+	pinned   Assignment                          // distinguished elements inside adom(from)
 	fixed    Assignment                          // distinguished elements outside adom(from)
 }
 
@@ -165,6 +173,7 @@ func newSearch(ctx context.Context, from, to instance.Pointed) (*search, bool) {
 		from:    from,
 		to:      to,
 		domains: make(map[instance.Value][]instance.Value),
+		pinned:  make(Assignment),
 		fixed:   make(Assignment),
 	}
 	// Required images of distinguished elements; h is a function, so
@@ -186,6 +195,7 @@ func newSearch(ctx context.Context, from, to instance.Pointed) (*search, bool) {
 				return nil, false
 			}
 			s.domains[v] = []instance.Value{b}
+			s.pinned[v] = b
 			continue
 		}
 		s.domains[v] = append([]instance.Value(nil), toDom...)

@@ -1,0 +1,80 @@
+package hypergraph
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"extremalcq/internal/instance"
+)
+
+// edgesFromBytes decodes fuzz input into a hypergraph: every 2 bytes
+// form a 16-bit mask over vertices v0..v15, each non-zero mask one
+// edge. At most 16 edges, so GYO always runs in a trivial amount of
+// time and the fuzzer explores structure, not size.
+func edgesFromBytes(data []byte) [][]instance.Value {
+	var sets [][]instance.Value
+	for i := 0; i+1 < len(data) && len(sets) < 16; i += 2 {
+		mask := uint16(data[i])<<8 | uint16(data[i+1])
+		if mask == 0 {
+			continue
+		}
+		var set []instance.Value
+		for b := 0; b < 16; b++ {
+			if mask&(1<<b) != 0 {
+				set = append(set, instance.Value(fmt.Sprintf("v%02d", b)))
+			}
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+// permute returns a deterministic non-trivial reordering of sets
+// (rotate by one, then reverse) — enough to exercise GYO's claimed
+// order-independence without a randomness source.
+func permute(sets [][]instance.Value) [][]instance.Value {
+	n := len(sets)
+	out := make([][]instance.Value, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sets[(i+1)%n])
+	}
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// FuzzGYOReduction checks, for arbitrary edge sets: Decompose never
+// panics, the acyclicity verdict is stable under edge permutation (GYO
+// confluence), and any produced forest passes the full structural
+// oracle (parent sanity, removal order, running intersection).
+func FuzzGYOReduction(f *testing.F) {
+	f.Add([]byte{0x00, 0x03, 0x00, 0x06, 0x00, 0x0c})             // path ab-bc-cd
+	f.Add([]byte{0x00, 0x03, 0x00, 0x06, 0x00, 0x05})             // triangle
+	f.Add([]byte{0x00, 0x03, 0x00, 0x06, 0x00, 0x05, 0x00, 0x07}) // covered triangle
+	f.Add([]byte{0xff, 0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sets := edgesFromBytes(data)
+		fo, acyclic := Decompose(context.Background(), sets)
+		if acyclic {
+			if err := fo.Validate(); err != nil {
+				t.Fatalf("acyclic forest fails validation: %v", err)
+			}
+		} else if fo != nil {
+			t.Fatal("cyclic verdict returned a non-nil forest")
+		}
+		if len(sets) == 0 {
+			return
+		}
+		fo2, acyclic2 := Decompose(context.Background(), permute(sets))
+		if acyclic2 != acyclic {
+			t.Fatalf("verdict flipped under permutation: %v vs %v", acyclic, acyclic2)
+		}
+		if acyclic2 {
+			if err := fo2.Validate(); err != nil {
+				t.Fatalf("permuted forest fails validation: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package hypergraph
+
+import (
+	"context"
+	"fmt"
+
+	"extremalcq/internal/instance"
+	"extremalcq/internal/solve"
+)
+
+// Forest is a rooted join forest over a hypergraph's edges, produced by
+// GYO reduction of an α-acyclic hypergraph. One tree per connected
+// component (edges sharing a vertex always land in the same tree); the
+// running-intersection property holds: for every vertex, the edges
+// containing it form a connected subtree.
+type Forest struct {
+	// Sets are the edge var sets the forest was built over, aligned
+	// with the decomposed hypergraph's edges.
+	Sets [][]instance.Value
+	// Parent maps each edge to its join-tree parent (-1 for roots).
+	Parent []int
+	// Children is the inverse of Parent.
+	Children [][]int
+	// Order is the GYO ear-removal order: every edge appears before its
+	// parent, so iterating Order performs a bottom-up (leaves-first)
+	// pass and iterating it in reverse a top-down pass.
+	Order []int
+}
+
+// Roots returns the indices of the forest's root edges.
+func (fo *Forest) Roots() []int {
+	var roots []int
+	for e, p := range fo.Parent {
+		if p < 0 {
+			roots = append(roots, e)
+		}
+	}
+	return roots
+}
+
+// Decompose runs GYO reduction (ear removal) over the edge var sets:
+// an edge is an ear when its vertices shared with other live edges are
+// all contained in a single witness edge, which becomes its join-tree
+// parent; an edge sharing no vertex with any live edge is a free ear
+// and becomes a root. The hypergraph is α-acyclic iff the reduction
+// removes every edge; acyclic=false returns a nil forest. The verdict
+// is order-independent (GYO is confluent), though the tree shape may
+// vary with edge order. The fixpoint loop checks ctx, so large probes
+// cannot delay cancellation.
+func Decompose(ctx context.Context, sets [][]instance.Value) (fo *Forest, acyclic bool) {
+	n := len(sets)
+	occ := make(map[instance.Value]int)
+	for _, set := range sets {
+		for _, v := range set {
+			occ[v]++
+		}
+	}
+	live := make([]bool, n)
+	for i := range live {
+		live[i] = true
+	}
+	parent := make([]int, n)
+	order := make([]int, 0, n)
+	remaining := n
+	var shared []instance.Value
+	for progress := true; progress && remaining > 0; {
+		solve.Check(ctx)
+		progress = false
+		for e := 0; e < n; e++ {
+			if !live[e] {
+				continue
+			}
+			shared = shared[:0]
+			for _, v := range sets[e] {
+				if occ[v] > 1 {
+					shared = append(shared, v)
+				}
+			}
+			p := -1
+			if len(shared) > 0 {
+				for w := 0; w < n; w++ {
+					if w != e && live[w] && containsAll(sets[w], shared) {
+						p = w
+						break
+					}
+				}
+				if p < 0 {
+					continue // not an ear (yet)
+				}
+			}
+			parent[e] = p
+			live[e] = false
+			for _, v := range sets[e] {
+				occ[v]--
+			}
+			order = append(order, e)
+			remaining--
+			progress = true
+		}
+	}
+	if remaining > 0 {
+		return nil, false
+	}
+	fo = &Forest{Sets: sets, Parent: parent, Children: make([][]int, n), Order: order}
+	for e, p := range parent {
+		if p >= 0 {
+			fo.Children[p] = append(fo.Children[p], e)
+		}
+	}
+	return fo, true
+}
+
+// Validate checks the structural invariants the evaluator and the
+// GYO-correctness arguments rely on; it is the oracle of the fuzz and
+// property tests. It verifies parent sanity (in range, no self-loops,
+// acyclic parent chains), that Order is a permutation placing every
+// edge before its parent, and the running-intersection property: for
+// every vertex, the edges containing it form one connected subtree.
+func (fo *Forest) Validate() error {
+	n := len(fo.Sets)
+	if len(fo.Parent) != n || len(fo.Order) != n {
+		return fmt.Errorf("hypergraph: forest over %d edges has %d parents, %d order entries",
+			n, len(fo.Parent), len(fo.Order))
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, e := range fo.Order {
+		if e < 0 || e >= n {
+			return fmt.Errorf("hypergraph: order entry %d out of range", e)
+		}
+		if pos[e] >= 0 {
+			return fmt.Errorf("hypergraph: edge %d appears twice in order", e)
+		}
+		pos[e] = i
+	}
+	for e, p := range fo.Parent {
+		if p == e || p < -1 || p >= n {
+			return fmt.Errorf("hypergraph: edge %d has invalid parent %d", e, p)
+		}
+		if p >= 0 && pos[e] >= pos[p] {
+			return fmt.Errorf("hypergraph: edge %d removed after its parent %d", e, p)
+		}
+	}
+	// Parent chains reach a root. Provably terminating: the order check
+	// above established pos[e] < pos[parent[e]], so every hop moves
+	// strictly later in the finite removal order.
+	for e := range fo.Parent {
+		last := pos[e]
+		//cqlint:ignore ctxloop -- pos strictly increases along parent chains (checked above), so the walk ends within n hops
+		for p := fo.Parent[e]; p >= 0; p = fo.Parent[p] {
+			if pos[p] <= last {
+				return fmt.Errorf("hypergraph: parent chain from edge %d does not climb the removal order", e)
+			}
+			last = pos[p]
+		}
+	}
+	// Running intersection: the edges containing v are connected in the
+	// forest iff exactly one of them has its parent outside the set.
+	edgesOf := make(map[instance.Value][]int)
+	for e, set := range fo.Sets {
+		for _, v := range set {
+			edgesOf[v] = append(edgesOf[v], e)
+		}
+	}
+	for v, edges := range edgesOf {
+		in := make(map[int]bool, len(edges))
+		for _, e := range edges {
+			in[e] = true
+		}
+		exits := 0
+		for _, e := range edges {
+			if p := fo.Parent[e]; p < 0 || !in[p] {
+				exits++
+			}
+		}
+		if exits != 1 {
+			return fmt.Errorf("hypergraph: vertex %q spans %d disconnected forest regions", v, exits)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package hypergraph
+
+import (
+	"context"
+	"testing"
+
+	"extremalcq/internal/genex"
+	"extremalcq/internal/instance"
+)
+
+func vs(vals ...string) []instance.Value {
+	out := make([]instance.Value, len(vals))
+	for i, v := range vals {
+		out[i] = instance.Value(v)
+	}
+	return out
+}
+
+// decompose is the test-side entry: run GYO and validate the forest
+// whenever one is produced.
+func decompose(t *testing.T, sets [][]instance.Value) (*Forest, bool) {
+	t.Helper()
+	fo, acyclic := Decompose(context.Background(), sets)
+	if acyclic {
+		if err := fo.Validate(); err != nil {
+			t.Fatalf("forest fails validation: %v", err)
+		}
+	} else if fo != nil {
+		t.Fatalf("cyclic verdict returned a non-nil forest")
+	}
+	return fo, acyclic
+}
+
+func TestDecomposeAcyclic(t *testing.T) {
+	cases := map[string][][]instance.Value{
+		"empty":        {},
+		"single":       {vs("a", "b")},
+		"path":         {vs("a", "b"), vs("b", "c"), vs("c", "d")},
+		"star":         {vs("a", "b"), vs("a", "c"), vs("a", "d")},
+		"twoLoops":     {vs("a"), vs("a")}, // duplicate unary edges
+		"disconnected": {vs("a", "b"), vs("c", "d")},
+		"covered triangle": {
+			vs("a", "b"), vs("b", "c"), vs("a", "c"), vs("a", "b", "c"),
+		},
+		"4-ary chain": {
+			vs("x1", "y1"), vs("x1", "x2", "y1", "y2"), vs("x2", "x3", "y2", "y3"), vs("x3", "y3"),
+		},
+	}
+	for name, sets := range cases {
+		if _, acyclic := decompose(t, sets); !acyclic {
+			t.Errorf("%s: expected acyclic", name)
+		}
+	}
+}
+
+func TestDecomposeCyclic(t *testing.T) {
+	cases := map[string][][]instance.Value{
+		"triangle": {vs("a", "b"), vs("b", "c"), vs("a", "c")},
+		"square":   {vs("a", "b"), vs("b", "c"), vs("c", "d"), vs("a", "d")},
+		"triangle plus pendant": {
+			vs("a", "b"), vs("b", "c"), vs("a", "c"), vs("c", "d"),
+		},
+	}
+	for name, sets := range cases {
+		if _, acyclic := decompose(t, sets); acyclic {
+			t.Errorf("%s: expected cyclic", name)
+		}
+	}
+}
+
+// TestDecomposeDisconnectedForest checks that components become separate
+// trees and every edge still lands in the forest.
+func TestDecomposeDisconnectedForest(t *testing.T) {
+	sets := [][]instance.Value{
+		vs("a", "b"), vs("b", "c"), // component 1
+		vs("p", "q"), vs("q", "r"), // component 2
+		vs("z"), // component 3
+	}
+	fo, acyclic := decompose(t, sets)
+	if !acyclic {
+		t.Fatal("expected acyclic")
+	}
+	if got := len(fo.Roots()); got != 3 {
+		t.Fatalf("got %d roots, want 3 (one per component)", got)
+	}
+}
+
+// TestDecomposeFromPointed checks the instance→hypergraph bridge: edges
+// align with facts and repeated arguments collapse into one vertex.
+func TestDecomposeFromPointed(t *testing.T) {
+	p := genex.DirectedPath(3)
+	hg := FromPointed(p)
+	if len(hg.Facts) != 3 || len(hg.Sets) != 3 {
+		t.Fatalf("path with 3 edges gave %d facts, %d sets", len(hg.Facts), len(hg.Sets))
+	}
+	fo, acyclic := decompose(t, hg.Sets)
+	if !acyclic {
+		t.Fatal("directed path must be acyclic")
+	}
+	if len(fo.Roots()) != 1 {
+		t.Fatalf("connected path must give a single tree, got %d roots", len(fo.Roots()))
+	}
+
+	tri := genex.DirectedCycle(3)
+	if _, acyclic := decompose(t, FromPointed(tri).Sets); acyclic {
+		t.Fatal("triangle must be cyclic")
+	}
+
+	// Self-loop fact R(a,a): a single-vertex edge, trivially acyclic.
+	loop := genex.DirectedCycle(1)
+	hg = FromPointed(loop)
+	if len(hg.Sets[0]) != 1 {
+		t.Fatalf("R(a,a) edge set = %v, want one vertex", hg.Sets[0])
+	}
+	if _, acyclic := decompose(t, hg.Sets); !acyclic {
+		t.Fatal("self-loop must be acyclic")
+	}
+}
+
+// TestValidateRejectsCorruptForests checks the oracle itself: hand-built
+// violations of each invariant must be caught.
+func TestValidateRejectsCorruptForests(t *testing.T) {
+	sets := [][]instance.Value{vs("a", "b"), vs("b", "c")}
+	good, acyclic := Decompose(context.Background(), sets)
+	if !acyclic {
+		t.Fatal("setup: expected acyclic")
+	}
+	cases := map[string]Forest{
+		"length mismatch": {Sets: sets, Parent: []int{-1}, Order: []int{0, 1}},
+		"self parent":     {Sets: sets, Parent: []int{-1, 1}, Order: []int{1, 0}},
+		"order repeats":   {Sets: sets, Parent: good.Parent, Order: []int{0, 0}},
+		"parent before child": {
+			Sets:   sets,
+			Parent: []int{1, -1},
+			Order:  []int{1, 0}, // parent 1 removed first
+		},
+		"disconnected shared vertex": {
+			// Both edges contain b but neither is the other's parent.
+			Sets:   sets,
+			Parent: []int{-1, -1},
+			Order:  []int{0, 1},
+		},
+	}
+	for name, fo := range cases {
+		if err := fo.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt forest", name)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good forest rejected: %v", err)
+	}
+}

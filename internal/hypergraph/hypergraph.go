@@ -1,0 +1,93 @@
+// Package hypergraph is the structure-aware fast path of the hom
+// search: it models a pointed instance's source as a query hypergraph
+// (one hyperedge per fact, vertices = active-domain elements), decides
+// α-acyclicity via GYO ear removal, and — when acyclic — evaluates
+// homomorphism existence and enumeration with a Yannakakis-style
+// semi-join pass over the resulting join forest, in time polynomial in
+// source and target (Yannakakis 1981; Durand & Grandjean 2007).
+//
+// internal/hom consults this package behind a dispatch probe: acyclic
+// sources take the join-tree evaluator, everything else falls back to
+// the generic GAC backtracking search. Both paths implement the same
+// semantics (same exists verdicts, same enumerated assignment sets),
+// which the conformance and property suites cross-check.
+package hypergraph
+
+import (
+	"sort"
+
+	"extremalcq/internal/instance"
+)
+
+// Hypergraph is the query hypergraph of one source instance: edge i
+// covers the distinct values of fact Facts[i], sorted. Vertices are
+// implicit (the union of all edge sets = adom of the source).
+type Hypergraph struct {
+	Facts []instance.Fact
+	Sets  [][]instance.Value
+}
+
+// FromPointed builds the source's hypergraph. The distinguished tuple
+// plays no structural role — pinning constrains the per-edge candidate
+// relations during evaluation, not the shape of the decomposition — so
+// two pointed instances over the same facts share a decomposition.
+func FromPointed(p instance.Pointed) *Hypergraph {
+	facts := p.I.Facts()
+	hg := &Hypergraph{
+		Facts: facts,
+		Sets:  make([][]instance.Value, len(facts)),
+	}
+	for i, f := range facts {
+		hg.Sets[i] = varSet(f.Args)
+	}
+	return hg
+}
+
+// varSet returns the sorted distinct values of args.
+func varSet(args []instance.Value) []instance.Value {
+	set := append([]instance.Value(nil), args...)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	out := set[:0]
+	for i, v := range set {
+		if i == 0 || set[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sharedVars returns the sorted intersection of two sorted var sets.
+func sharedVars(a, b []instance.Value) []instance.Value {
+	var out []instance.Value
+	i, j := 0, 0
+	//cqlint:ignore ctxloop -- two-pointer merge over finite sorted slices; i+j strictly increases every iteration
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// containsAll reports whether sorted set b contains every element of
+// sorted set a.
+func containsAll(b, a []instance.Value) bool {
+	j := 0
+	for _, v := range a {
+		//cqlint:ignore ctxloop -- advances j monotonically through the finite sorted slice b
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j >= len(b) || b[j] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,343 @@
+package hypergraph
+
+import (
+	"context"
+	"strings"
+
+	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
+	"extremalcq/internal/solve"
+)
+
+// This file is the Yannakakis-style evaluator over a join forest. Per
+// edge, the candidate relation holds one tuple per target fact that
+// matches the edge's source fact (respecting repeated variables and
+// pinned images of distinguished elements). A bottom-up semi-join pass
+// in ear-removal order reduces each parent against its children, a
+// top-down pass filters each child against its reduced parent; after
+// both, every surviving tuple participates in at least one full
+// homomorphism, so witness extraction and enumeration descend the
+// forest without ever backtracking. Distinct tuple combinations always
+// disagree on some variable, so the enumeration is duplicate-free
+// without a dedup set.
+
+// tuple is one candidate assignment of an edge's var set, aligned with
+// the forest's Sets entry for that edge.
+type tuple []instance.Value
+
+// keySep separates values in join keys, matching the instance
+// package's canonical-encoding separator.
+const keySep = "\x1f"
+
+// eval is the per-call evaluator state.
+type eval struct {
+	ctx    context.Context
+	rec    *obs.Recorder
+	hg     *Hypergraph
+	fo     *Forest
+	to     *instance.Instance
+	pinned map[instance.Value]instance.Value
+
+	rels [][]tuple
+	// shared[e] lists the positions (into e's tuples) of the vars e
+	// shares with its parent, in sorted var order; parentPos[e] lists
+	// the matching positions into the parent's tuples.
+	shared    [][]int
+	parentPos [][]int
+	// newPos[e] lists the tuple positions of vars NOT shared with the
+	// parent — the vars edge e binds during descent.
+	newPos [][]int
+	// buckets[e] indexes e's reduced relation by shared-with-parent key
+	// (nil for roots).
+	buckets []map[string][]tuple
+
+	asg map[instance.Value]instance.Value
+}
+
+// Solve reports whether a homomorphism exists from the decomposed
+// source into to (with pinned images for distinguished elements inside
+// the source's domain) and returns one witness assignment over the
+// source's active domain.
+func Solve(ctx context.Context, hg *Hypergraph, fo *Forest, to *instance.Instance, pinned map[instance.Value]instance.Value) (map[instance.Value]instance.Value, bool) {
+	var witness map[instance.Value]instance.Value
+	found := false
+	run(ctx, hg, fo, to, pinned, func(h map[instance.Value]instance.Value) bool {
+		witness, found = h, true
+		return false
+	})
+	return witness, found
+}
+
+// Enumerate yields every homomorphism from the decomposed source into
+// to (a fresh copy per call) until yield returns false or the space is
+// exhausted. The enumeration checks ctx between tuples.
+func Enumerate(ctx context.Context, hg *Hypergraph, fo *Forest, to *instance.Instance, pinned map[instance.Value]instance.Value, yield func(map[instance.Value]instance.Value) bool) {
+	run(ctx, hg, fo, to, pinned, yield)
+}
+
+func run(ctx context.Context, hg *Hypergraph, fo *Forest, to *instance.Instance, pinned map[instance.Value]instance.Value, yield func(map[instance.Value]instance.Value) bool) {
+	rec := obs.FromContext(ctx)
+	rec.Add(obs.CtrJoinTreeNodes, int64(len(hg.Facts)))
+	ev := &eval{
+		ctx:    ctx,
+		rec:    rec,
+		hg:     hg,
+		fo:     fo,
+		to:     to,
+		pinned: pinned,
+		asg:    make(map[instance.Value]instance.Value),
+	}
+	if !ev.buildRelations() || !ev.reduce() {
+		return
+	}
+	ev.index()
+	ev.enumSeq(fo.Roots(), 0, func() bool {
+		out := make(map[instance.Value]instance.Value, len(ev.asg))
+		for v, w := range ev.asg {
+			out[v] = w
+		}
+		return yield(out)
+	})
+}
+
+// buildRelations seeds each edge's candidate relation from the target
+// facts of the edge's relation symbol. ok=false means some edge has no
+// candidates, so no homomorphism exists.
+func (ev *eval) buildRelations() bool {
+	n := len(ev.hg.Facts)
+	ev.rels = make([][]tuple, n)
+	for e := 0; e < n; e++ {
+		solve.Check(ev.ctx)
+		f := ev.hg.Facts[e]
+		vars := ev.fo.Sets[e]
+		pos := make(map[instance.Value]int, len(vars))
+		for i, v := range vars {
+			pos[v] = i
+		}
+		set := make([]bool, len(vars))
+		var rel []tuple
+		for _, g := range ev.to.FactsOf(f.Rel) {
+			t := make(tuple, len(vars))
+			for i := range set {
+				set[i] = false
+			}
+			ok := true
+			for j, v := range f.Args {
+				w := g.Args[j]
+				if pin, pinnedVar := ev.pinned[v]; pinnedVar && pin != w {
+					ok = false
+					break
+				}
+				k := pos[v]
+				if set[k] && t[k] != w {
+					ok = false // repeated source variable, unequal images
+					break
+				}
+				t[k], set[k] = w, true
+			}
+			if ok {
+				rel = append(rel, t)
+			}
+		}
+		if len(rel) == 0 {
+			return false
+		}
+		ev.rels[e] = rel
+	}
+	return true
+}
+
+// sharedPositions precomputes, for every non-root edge, the tuple
+// positions of the vars shared with its parent (both sides) and of the
+// vars the edge newly binds.
+func (ev *eval) sharedPositions() {
+	n := len(ev.fo.Sets)
+	ev.shared = make([][]int, n)
+	ev.parentPos = make([][]int, n)
+	ev.newPos = make([][]int, n)
+	for e := 0; e < n; e++ {
+		p := ev.fo.Parent[e]
+		if p < 0 {
+			ev.newPos[e] = identity(len(ev.fo.Sets[e]))
+			continue
+		}
+		sh := sharedVars(ev.fo.Sets[e], ev.fo.Sets[p])
+		ev.shared[e] = positionsOf(ev.fo.Sets[e], sh)
+		ev.parentPos[e] = positionsOf(ev.fo.Sets[p], sh)
+		ev.newPos[e] = complementPositions(len(ev.fo.Sets[e]), ev.shared[e])
+	}
+}
+
+// reduce runs the bottom-up then top-down semi-join passes. ok=false
+// means some relation emptied: no homomorphism exists.
+func (ev *eval) reduce() bool {
+	ev.sharedPositions()
+	// Bottom-up (ear-removal order: children precede parents): parent
+	// keeps only tuples matched by every child.
+	for _, e := range ev.fo.Order {
+		p := ev.fo.Parent[e]
+		if p < 0 {
+			continue
+		}
+		solve.Check(ev.ctx)
+		keys := make(map[string]bool, len(ev.rels[e]))
+		for _, t := range ev.rels[e] {
+			keys[joinKey(t, ev.shared[e])] = true
+		}
+		if !ev.semijoin(p, ev.parentPos[e], keys) {
+			return false
+		}
+	}
+	// Top-down (reverse order: parents precede children): child keeps
+	// only tuples matched by its reduced parent.
+	for i := len(ev.fo.Order) - 1; i >= 0; i-- {
+		e := ev.fo.Order[i]
+		p := ev.fo.Parent[e]
+		if p < 0 {
+			continue
+		}
+		solve.Check(ev.ctx)
+		keys := make(map[string]bool, len(ev.rels[p]))
+		for _, t := range ev.rels[p] {
+			keys[joinKey(t, ev.parentPos[e])] = true
+		}
+		if !ev.semijoin(e, ev.shared[e], keys) {
+			return false
+		}
+	}
+	return true
+}
+
+// semijoin keeps only edge e's tuples whose projection onto pos is in
+// keys, recording removals; ok=false when the relation empties.
+func (ev *eval) semijoin(e int, pos []int, keys map[string]bool) bool {
+	kept := ev.rels[e][:0:0]
+	for _, t := range ev.rels[e] {
+		if keys[joinKey(t, pos)] {
+			kept = append(kept, t)
+		}
+	}
+	ev.rec.Add(obs.CtrSemijoinReductions, int64(len(ev.rels[e])-len(kept)))
+	ev.rels[e] = kept
+	return len(kept) > 0
+}
+
+// index builds, per non-root edge, the reduced relation's bucket map
+// keyed by shared-with-parent projection, for the descent phase.
+func (ev *eval) index() {
+	n := len(ev.fo.Sets)
+	ev.buckets = make([]map[string][]tuple, n)
+	for e := 0; e < n; e++ {
+		if ev.fo.Parent[e] < 0 {
+			continue
+		}
+		b := make(map[string][]tuple, len(ev.rels[e]))
+		for _, t := range ev.rels[e] {
+			k := joinKey(t, ev.shared[e])
+			b[k] = append(b[k], t)
+		}
+		ev.buckets[e] = b
+	}
+}
+
+// enumSeq enumerates the subtrees rooted at list[j:] in sequence,
+// invoking k once per consistent combination. Returns false when the
+// enumeration should stop.
+func (ev *eval) enumSeq(list []int, j int, k func() bool) bool {
+	if j == len(list) {
+		return k()
+	}
+	return ev.enumEdge(list[j], func() bool { return ev.enumSeq(list, j+1, k) })
+}
+
+// enumEdge tries every tuple of edge e consistent with the current
+// partial assignment (by running intersection, consistency with the
+// parent's shared vars suffices), binds the edge's new vars, and
+// recurses through its children before invoking k.
+func (ev *eval) enumEdge(e int, k func() bool) bool {
+	var cands []tuple
+	if p := ev.fo.Parent[e]; p < 0 {
+		cands = ev.rels[e]
+	} else {
+		cands = ev.buckets[e][ev.asgKey(e)]
+	}
+	vars := ev.fo.Sets[e]
+	stop := false
+	for _, t := range cands {
+		solve.Check(ev.ctx)
+		for _, i := range ev.newPos[e] {
+			ev.asg[vars[i]] = t[i]
+		}
+		if !ev.enumSeq(ev.fo.Children[e], 0, k) {
+			stop = true
+			break
+		}
+	}
+	for _, i := range ev.newPos[e] {
+		delete(ev.asg, vars[i])
+	}
+	return !stop
+}
+
+// asgKey projects the current assignment onto edge e's shared-with-
+// parent vars (all bound by the time e is visited).
+func (ev *eval) asgKey(e int) string {
+	vars := ev.fo.Sets[e]
+	var sb strings.Builder
+	for n, i := range ev.shared[e] {
+		if n > 0 {
+			sb.WriteString(keySep)
+		}
+		sb.WriteString(string(ev.asg[vars[i]]))
+	}
+	return sb.String()
+}
+
+// joinKey projects t onto pos and joins the values.
+func joinKey(t tuple, pos []int) string {
+	var sb strings.Builder
+	for n, i := range pos {
+		if n > 0 {
+			sb.WriteString(keySep)
+		}
+		sb.WriteString(string(t[i]))
+	}
+	return sb.String()
+}
+
+// positionsOf maps each var of sub (a subset of sorted set) to its
+// position in set.
+func positionsOf(set, sub []instance.Value) []int {
+	out := make([]int, 0, len(sub))
+	j := 0
+	for i, v := range set {
+		if j < len(sub) && sub[j] == v {
+			out = append(out, i)
+			j++
+		}
+	}
+	return out
+}
+
+// complementPositions returns 0..n-1 minus the sorted positions in in.
+func complementPositions(n int, in []int) []int {
+	out := make([]int, 0, n-len(in))
+	j := 0
+	for i := 0; i < n; i++ {
+		if j < len(in) && in[j] == i {
+			j++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// identity returns positions 0..n-1.
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

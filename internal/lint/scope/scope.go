@@ -15,14 +15,15 @@ import (
 // unboundedly must reach a cancellation checkpoint (PR 2), and no
 // package-level mutable state is allowed (multi-tenant isolation).
 var solverPackages = map[string]bool{
-	"hom":      true,
-	"tree":     true,
-	"fitting":  true,
-	"frontier": true,
-	"ucqfit":   true,
-	"duality":  true,
-	"instance": true,
-	"genex":    true,
+	"hom":        true,
+	"tree":       true,
+	"fitting":    true,
+	"frontier":   true,
+	"ucqfit":     true,
+	"duality":    true,
+	"instance":   true,
+	"genex":      true,
+	"hypergraph": true,
 }
 
 // lockedIOPackages are the packages where holding a mutex across

@@ -43,18 +43,26 @@ const (
 	// PhaseEnum covers one candidate-enumeration loop (weakly most
 	// general searches, UCQ disjunct enumeration, tree search).
 	PhaseEnum
+	// PhaseHypergraphDecompose covers one structure probe of a hom
+	// search's source: hypergraph construction plus GYO reduction.
+	PhaseHypergraphDecompose
+	// PhaseSemijoin covers one Yannakakis semi-join evaluation over a
+	// join forest (the acyclic hom-search fast path).
+	PhaseSemijoin
 
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
-	PhaseSolve:     "solve",
-	PhaseHomSearch: "hom_search",
-	PhaseCore:      "core",
-	PhaseProduct:   "product",
-	PhaseSim:       "sim",
-	PhaseFrontier:  "frontier",
-	PhaseEnum:      "enum",
+	PhaseSolve:               "solve",
+	PhaseHomSearch:           "hom_search",
+	PhaseCore:                "core",
+	PhaseProduct:             "product",
+	PhaseSim:                 "sim",
+	PhaseFrontier:            "frontier",
+	PhaseEnum:                "enum",
+	PhaseHypergraphDecompose: "hypergraph_decompose",
+	PhaseSemijoin:            "semijoin",
 }
 
 // String returns the stable snake_case name used in reports and metric
@@ -108,28 +116,42 @@ const (
 	CtrFaultHom
 	CtrFaultCore
 	CtrFaultProduct
+	// Hom-search dispatch decisions: jointree is the acyclic fast path,
+	// backtrack the generic GAC search (forced or cyclic source).
+	CtrDispatchJoinTree
+	CtrDispatchBacktrack
+	// CtrJoinTreeNodes counts join-forest nodes (hyperedges) evaluated
+	// by the semi-join fast path.
+	CtrJoinTreeNodes
+	// CtrSemijoinReductions counts candidate tuples removed by the
+	// bottom-up and top-down semi-join passes.
+	CtrSemijoinReductions
 
 	numCounters
 )
 
 var counterNames = [numCounters]string{
-	CtrHomSearches:       "hom_searches",
-	CtrHomNodes:          "hom_nodes",
-	CtrHomBacktracks:     "hom_backtracks",
-	CtrHomPrunings:       "hom_prunings",
-	CtrCoreRetractions:   "core_retractions",
-	CtrProductFacts:      "product_facts",
-	CtrSimRounds:         "sim_rounds",
-	CtrEnumCandidates:    "enum_candidates",
-	CtrMemoHomHits:       "memo_hom_hits",
-	CtrMemoHomMisses:     "memo_hom_misses",
-	CtrMemoCoreHits:      "memo_core_hits",
-	CtrMemoCoreMisses:    "memo_core_misses",
-	CtrMemoProductHits:   "memo_product_hits",
-	CtrMemoProductMisses: "memo_product_misses",
-	CtrFaultHom:          "fault_hom",
-	CtrFaultCore:         "fault_core",
-	CtrFaultProduct:      "fault_product",
+	CtrHomSearches:        "hom_searches",
+	CtrHomNodes:           "hom_nodes",
+	CtrHomBacktracks:      "hom_backtracks",
+	CtrHomPrunings:        "hom_prunings",
+	CtrCoreRetractions:    "core_retractions",
+	CtrProductFacts:       "product_facts",
+	CtrSimRounds:          "sim_rounds",
+	CtrEnumCandidates:     "enum_candidates",
+	CtrMemoHomHits:        "memo_hom_hits",
+	CtrMemoHomMisses:      "memo_hom_misses",
+	CtrMemoCoreHits:       "memo_core_hits",
+	CtrMemoCoreMisses:     "memo_core_misses",
+	CtrMemoProductHits:    "memo_product_hits",
+	CtrMemoProductMisses:  "memo_product_misses",
+	CtrFaultHom:           "fault_hom",
+	CtrFaultCore:          "fault_core",
+	CtrFaultProduct:       "fault_product",
+	CtrDispatchJoinTree:   "dispatch_jointree",
+	CtrDispatchBacktrack:  "dispatch_backtrack",
+	CtrJoinTreeNodes:      "jointree_nodes",
+	CtrSemijoinReductions: "semijoin_reductions",
 }
 
 // String returns the stable snake_case name used in reports.
