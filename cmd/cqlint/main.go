@@ -1,7 +1,10 @@
 // Command cqlint runs this repository's custom static analyzers: the
 // machine-enforced concurrency and cancellation invariants of the
-// solver, engine and store layers (ctxloop, noglobals, mutexheld,
-// spanbalance — see CONTRIBUTING.md).
+// solver, engine and store layers (see CONTRIBUTING.md). The
+// syntactic analyzers (ctxloop, noglobals, mutexheld, spanbalance)
+// are joined by the flow-sensitive suite (lockorder, goroleak,
+// errflow) built on the internal/lint/cfg control-flow graphs and the
+// internal/lint/dataflow worklist solver.
 //
 // Run it standalone over package patterns:
 //
@@ -11,6 +14,10 @@
 //
 //	go build -o "$(go env GOPATH)/bin/cqlint" ./cmd/cqlint
 //	go vet -vettool="$(go env GOPATH)/bin/cqlint" ./...
+//
+// List the registered analyzers with their one-line docs:
+//
+//	cqlint -list
 //
 // Suppressions require an inline directive with a mandatory reason:
 //

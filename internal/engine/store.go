@@ -59,7 +59,8 @@ func (e *Engine) storeWriter() {
 		if w.encode != nil {
 			val = w.encode()
 		}
-		e.opts.Store.PutKind(w.kind, w.key, val) // PutKind counts its own errors
+		//cqlint:ignore errflow -- PutKind counts its own failures in Stats.PutErrors; the write-behind queue has no caller to return to
+		e.opts.Store.PutKind(w.kind, w.key, val)
 	}
 }
 

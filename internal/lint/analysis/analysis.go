@@ -39,13 +39,20 @@ type Analyzer struct {
 	FactTypes []Fact
 }
 
-// A Fact is a serializable observation about a package-level object,
-// exported by the pass that analyzes the object's package and visible
-// to passes analyzing packages that import it. Implementations must be
-// gob-encodable pointer types.
+// A Fact is a serializable observation about a package-level object or
+// a whole package, exported by the pass that analyzes the package and
+// visible to passes analyzing packages that import it. Implementations
+// must be gob-encodable pointer types.
 type Fact interface {
 	// AFact marks the type as a fact (and pins the pointer receiver).
 	AFact()
+}
+
+// A PackageFact pairs a package path with a fact attached to that
+// package as a whole (rather than to one of its objects).
+type PackageFact struct {
+	Path string
+	Fact Fact
 }
 
 // A Diagnostic is one finding at a source position.
@@ -66,11 +73,13 @@ type Pass struct {
 	// Report emits a diagnostic. Analyzers usually call Reportf.
 	Report func(Diagnostic)
 
-	// ImportObjectFactFn and ExportObjectFactFn are installed by the
-	// driver; analyzers use the ImportObjectFact/ExportObjectFact
-	// methods.
-	ImportObjectFactFn func(obj types.Object, ptr Fact) bool
-	ExportObjectFactFn func(obj types.Object, f Fact)
+	// The fact hooks are installed by the driver; analyzers use the
+	// corresponding methods.
+	ImportObjectFactFn  func(obj types.Object, ptr Fact) bool
+	ExportObjectFactFn  func(obj types.Object, f Fact)
+	ImportPackageFactFn func(pkg *types.Package, ptr Fact) bool
+	ExportPackageFactFn func(f Fact)
+	AllPackageFactsFn   func(proto Fact) []PackageFact
 }
 
 // Reportf emits a diagnostic at pos with a formatted message.
@@ -94,6 +103,35 @@ func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
 	if p.ExportObjectFactFn != nil {
 		p.ExportObjectFactFn(obj, f)
 	}
+}
+
+// ImportPackageFact fills ptr with the fact of ptr's type previously
+// exported for pkg as a whole and reports whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	if p.ImportPackageFactFn == nil {
+		return false
+	}
+	return p.ImportPackageFactFn(pkg, ptr)
+}
+
+// ExportPackageFact records a fact about the package under analysis
+// for passes over importing packages.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if p.ExportPackageFactFn != nil {
+		p.ExportPackageFactFn(f)
+	}
+}
+
+// AllPackageFacts returns the facts of proto's dynamic type recorded
+// for every package visible to this pass (the package under analysis
+// and its transitive dependencies). Unlike the upstream API it takes a
+// prototype, because the driver stores facts as untyped gob blobs and
+// needs a concrete type to decode into. The order is unspecified.
+func (p *Pass) AllPackageFacts(proto Fact) []PackageFact {
+	if p.AllPackageFactsFn == nil {
+		return nil
+	}
+	return p.AllPackageFactsFn(proto)
 }
 
 // ObjectFactKey returns the stable cross-process key under which facts

@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkCqlintRepo measures a full-repository cqlint pass — the
+// wall-clock cost a contributor pays per CI run and per pre-commit
+// hook. The binary is built once outside the timed region; each
+// iteration vets the whole module with a cold vet cache (GOFLAGS
+// cannot disable it, so the benchmark points the cache at a fresh
+// directory per run), which is the honest worst case CI hits whenever
+// the analyzer suite itself changes.
+func BenchmarkCqlintRepo(b *testing.B) {
+	root := benchModuleRoot(b)
+	bin := filepath.Join(b.TempDir(), "cqlint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cqlint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		b.Fatalf("building cqlint: %v\n%s", err, out)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache, err := os.MkdirTemp(b.TempDir(), "gocache")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		vet.Dir = root
+		vet.Env = append(os.Environ(), "GOCACHE="+cache)
+		if out, err := vet.CombinedOutput(); err != nil {
+			b.Fatalf("cqlint over the repository failed: %v\n%s", err, out)
+		}
+	}
+}
+
+// benchModuleRoot is moduleRoot for benchmarks (testing.B is not a
+// *testing.T).
+func benchModuleRoot(b *testing.B) string {
+	b.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		b.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := filepath.Dir(string(out[:len(out)-1]))
+	if gomod == "" {
+		b.Fatal("not in a module")
+	}
+	return gomod
+}

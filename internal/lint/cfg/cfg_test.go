@@ -1,0 +1,242 @@
+package cfg_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"extremalcq/internal/lint/cfg"
+)
+
+// build parses src as a file containing one function and returns its
+// graph. Line numbers in dumps are relative to the synthesized file,
+// whose func declaration sits on line 2.
+func build(t *testing.T, body string) (*cfg.Graph, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return cfg.New(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// The golden dumps pin the block structure for the representative
+// shapes: a mismatch means the builder's edges changed, which every
+// flow-sensitive analyzer inherits.
+func TestGoldenDumps(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "if-else",
+			body: "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\nprintln(x)",
+			want: "b0 entry: AssignStmt@3 BinaryExpr@4 -> b1 b2\nb1 if.then: AssignStmt@5 -> b3\nb2 if.else: AssignStmt@7 -> b3\nb3 if.join: ExprStmt@9 -> b4\nb4 exit: ->\n",
+		},
+		{
+			name: "for-break-continue",
+			body: "for i := 0; i < 10; i++ {\nif i == 3 {\ncontinue\n}\nif i == 7 {\nbreak\n}\n}",
+			want: "b0 entry: AssignStmt@3 -> b1\nb1 for.head: BinaryExpr@3 -> b2 b4\nb2 for.body: BinaryExpr@4 -> b5 b6\nb3 for.post: IncDecStmt@3 -> b1\nb4 for.done: -> b9\nb5 if.then: BranchStmt@5 -> b3\nb6 if.join: BinaryExpr@7 -> b7 b8\nb7 if.then: BranchStmt@8 -> b4\nb8 if.join: -> b3\nb9 exit: ->\n",
+		},
+		{
+			name: "select-with-default",
+			body: "ch := make(chan int)\nselect {\ncase v := <-ch:\nprintln(v)\ndefault:\nprintln(0)\n}",
+			want: "b0 entry: AssignStmt@3 -> b2 b3\nb1 select.join: -> b4\nb2 select.case: AssignStmt@5 ExprStmt@6 -> b1\nb3 select.default: ExprStmt@8 -> b1\nb4 exit: ->\n",
+		},
+		{
+			name: "defer-panic-recover",
+			body: "defer func() {\nrecover()\n}()\nif bad() {\npanic(\"boom\")\n}\nprintln(1)",
+			want: "b0 entry: DeferStmt@3 CallExpr@6 -> b1 b2\nb1 if.then: ExprStmt@7 -> b3\nb2 if.join: ExprStmt@9 -> b3\nb3 defers: CallExpr@3 -> b4\nb4 exit: ->\n",
+		},
+		{
+			name: "range-over-slice",
+			body: "s := []int{1}\nfor i, v := range s {\nprintln(i, v)\n}",
+			want: "b0 entry: AssignStmt@3 Ident@4 -> b1\nb1 range.head: Ident@4 Ident@4 -> b2 b3\nb2 range.body: ExprStmt@5 -> b1\nb3 range.done: -> b4\nb4 exit: ->\n",
+		},
+		{
+			name: "switch-fallthrough",
+			body: "switch n() {\ncase 1:\nprintln(1)\nfallthrough\ncase 2:\nprintln(2)\ndefault:\nprintln(3)\n}",
+			want: "b0 entry: CallExpr@3 -> b2 b3 b4\nb1 switch.join: -> b5\nb2 case: BasicLit@4 ExprStmt@5 -> b3\nb3 case: BasicLit@7 ExprStmt@8 -> b1\nb4 case.default: ExprStmt@10 -> b1\nb5 exit: ->\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, fset := build(t, tc.body)
+			got := g.Dump(fset)
+			if got != tc.want {
+				t.Errorf("dump mismatch\ngot:\n%s\nwant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// corpus is the property-test input: function bodies covering every
+// statement shape the builder handles, including the awkward ones
+// (labeled break/continue, goto both directions, empty select,
+// switch without default, panic on one branch, defers under loops).
+var corpus = []string{
+	"",
+	"x := 1\n_ = x",
+	"if a() {\nreturn\n}",
+	"if a() {\nreturn\n} else {\nreturn\n}\nprintln(1)",
+	"for {\nif a() {\nbreak\n}\n}",
+	"for a() {\n}",
+	"for i := 0; i < 10; i++ {\ncontinue\n}",
+	"s := []int{}\nfor range s {\n}",
+	"ch := make(chan int)\nfor v := range ch {\nprintln(v)\n}",
+	"switch a() {\ncase true:\ncase false:\nreturn\n}",
+	"switch x := n(); x {\ncase 1:\nfallthrough\ncase 2:\nprintln(2)\n}",
+	"var i interface{} = 1\nswitch v := i.(type) {\ncase int:\nprintln(v)\ndefault:\n}",
+	"ch := make(chan int)\nselect {\ncase <-ch:\ncase ch <- 1:\ndefault:\n}",
+	"defer println(1)\nif a() {\npanic(\"x\")\n}\ndefer println(2)",
+	"L:\nfor {\nfor {\nif a() {\nbreak L\n}\nif n() > 0 {\ncontinue L\n}\n}\n}",
+	"i := 0\nL:\nif i < 3 {\ni++\ngoto L\n}",
+	"goto Done\nprintln(1)\nDone:\nprintln(2)",
+	"go func() {\nfor {\n}\n}()\nprintln(1)",
+	"x, err := n(), error(nil)\nif err != nil {\nreturn\n}\nprintln(x)",
+	"for i := 0; i < 4; i++ {\ndefer println(i)\nif i == 2 {\nreturn\n}\n}",
+	"outer:\nswitch n() {\ncase 1:\nfor {\nbreak outer\n}\n}",
+}
+
+// helper decls appended so every corpus body typechecks syntactically.
+const corpusDecls = "\nfunc a() bool { return false }\nfunc n() int { return 0 }"
+
+func TestGraphInvariants(t *testing.T) {
+	for i, body := range corpus {
+		t.Run(fmt.Sprintf("case%02d", i), func(t *testing.T) {
+			src := "package p\nfunc f() {\n" + body + "\n}" + corpusDecls
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "f.go", src, 0)
+			if err != nil {
+				t.Fatalf("parse: %v\nsource:\n%s", err, src)
+			}
+			fd := f.Decls[0].(*ast.FuncDecl)
+			g := cfg.New(fd.Body)
+			checkInvariants(t, g, fset)
+		})
+	}
+}
+
+// checkInvariants asserts the structural properties every analyzer
+// relies on: indices match positions, entry/exit are boundary blocks,
+// pred and succ lists mirror each other, and — the property named in
+// the package contract — every block reachable from Entry along succ
+// edges is on a path from Entry (its pred edges walk back to Entry).
+func checkInvariants(t *testing.T, g *cfg.Graph, fset *token.FileSet) {
+	t.Helper()
+	inGraph := make(map[*cfg.Block]bool, len(g.Blocks))
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Errorf("block %d has Index %d", i, b.Index)
+		}
+		inGraph[b] = true
+	}
+	if len(g.Entry.Preds) != 0 {
+		t.Errorf("entry has %d preds", len(g.Entry.Preds))
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Errorf("exit has %d succs", len(g.Exit.Succs))
+	}
+
+	count := func(list []*cfg.Block, b *cfg.Block) int {
+		n := 0
+		for _, x := range list {
+			if x == b {
+				n++
+			}
+		}
+		return n
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !inGraph[s] {
+				t.Fatalf("b%d has successor outside the graph", b.Index)
+			}
+			if count(b.Succs, s) != count(s.Preds, b) {
+				t.Errorf("edge b%d->b%d: succ multiplicity %d != pred multiplicity %d",
+					b.Index, s.Index, count(b.Succs, s), count(s.Preds, b))
+			}
+		}
+		for _, p := range b.Preds {
+			if !inGraph[p] {
+				t.Fatalf("b%d has predecessor outside the graph", b.Index)
+			}
+		}
+	}
+
+	// Forward reachability from Entry.
+	reachable := make(map[*cfg.Block]bool)
+	var fwd func(b *cfg.Block)
+	fwd = func(b *cfg.Block) {
+		if reachable[b] {
+			return
+		}
+		reachable[b] = true
+		for _, s := range b.Succs {
+			fwd(s)
+		}
+	}
+	fwd(g.Entry)
+
+	// Every reachable block must be on a path from Entry: walking pred
+	// edges backward from it, staying inside the reachable region,
+	// must arrive at Entry.
+	for _, b := range g.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		seen := map[*cfg.Block]bool{}
+		var back func(x *cfg.Block) bool
+		back = func(x *cfg.Block) bool {
+			if x == g.Entry {
+				return true
+			}
+			if seen[x] {
+				return false
+			}
+			seen[x] = true
+			for _, p := range x.Preds {
+				if reachable[p] && back(p) {
+					return true
+				}
+			}
+			return false
+		}
+		if !back(b) {
+			t.Errorf("reachable block b%d (%s) has no pred path back to entry\n%s",
+				b.Index, b.Kind, g.Dump(fset))
+		}
+	}
+
+	// No node pointer may appear in two blocks, except the deliberate
+	// dual listing of deferred calls in the defers block.
+	seenNode := make(map[ast.Node]int)
+	for _, b := range g.Blocks {
+		if b == g.Defers {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if prev, dup := seenNode[n]; dup {
+				t.Errorf("node %T appears in both b%d and b%d", n, prev, b.Index)
+			}
+			seenNode[n] = b.Index
+		}
+	}
+
+	// A function that can fall off its end or return must reach Exit.
+	if !reachable[g.Exit] && strings.Contains(g.Dump(fset), "ReturnStmt") {
+		t.Errorf("exit unreachable despite a return:\n%s", g.Dump(fset))
+	}
+}

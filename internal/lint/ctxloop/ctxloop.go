@@ -44,10 +44,10 @@ func run(pass *analysis.Pass) (any, error) {
 	// and export facts so importing packages see them. This runs even
 	// outside the solver packages — an engine helper can be a
 	// checkpoint for a solver loop.
-	fns := collectFuncs(pass)
+	fns := CollectFuncs(pass)
 	checks := make(map[*types.Func]bool)
 	for fn, decl := range fns {
-		if hasCheckpoint(pass, decl.Body, nil) {
+		if HasCheckpoint(pass, decl.Body, nil) {
 			checks[fn] = true
 		}
 	}
@@ -59,7 +59,7 @@ func run(pass *analysis.Pass) (any, error) {
 			if checks[fn] {
 				continue
 			}
-			if hasCheckpoint(pass, decl.Body, func(callee *types.Func) bool {
+			if HasCheckpoint(pass, decl.Body, func(callee *types.Func) bool {
 				return checks[callee] || importedChecks(pass, callee)
 			}) {
 				checks[fn] = true
@@ -89,7 +89,7 @@ func run(pass *analysis.Pass) (any, error) {
 				return true
 			}
 			body := loopBody(n)
-			if hasCheckpoint(pass, body, isChecker) {
+			if HasCheckpoint(pass, body, isChecker) {
 				return true
 			}
 			pass.Reportf(n.Pos(), "%s lacks a cancellation checkpoint: call solve.Check(ctx), check ctx.Err(), or call a helper that does", kind)
@@ -99,9 +99,9 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// collectFuncs maps this package's declared functions and methods to
+// CollectFuncs maps this package's declared functions and methods to
 // their declarations.
-func collectFuncs(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+func CollectFuncs(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
 	fns := make(map[*types.Func]*ast.FuncDecl)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -126,12 +126,12 @@ func importedChecks(pass *analysis.Pass, callee *types.Func) bool {
 	return pass.ImportObjectFact(callee, new(ChecksCancel))
 }
 
-// hasCheckpoint reports whether body contains a cancellation
+// HasCheckpoint reports whether body contains a cancellation
 // checkpoint outside nested function literals: a solve.Check call, a
 // ctx.Err()/ctx.Done() use, or (when isChecker is non-nil) a static
 // call to a function isChecker accepts. Closures are excluded because
 // nothing guarantees the loop iteration invokes them.
-func hasCheckpoint(pass *analysis.Pass, body ast.Node, isChecker func(*types.Func) bool) bool {
+func HasCheckpoint(pass *analysis.Pass, body ast.Node, isChecker func(*types.Func) bool) bool {
 	if body == nil {
 		return false
 	}
@@ -151,7 +151,7 @@ func hasCheckpoint(pass *analysis.Pass, body ast.Node, isChecker func(*types.Fun
 			found = true
 			return false
 		}
-		callee := staticCallee(pass, call)
+		callee := StaticCallee(pass, call)
 		if callee == nil {
 			return true
 		}
@@ -183,9 +183,9 @@ func isContextCheck(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return types.TypeString(tv.Type, nil) == "context.Context"
 }
 
-// staticCallee resolves a call to the function or method it statically
+// StaticCallee resolves a call to the function or method it statically
 // invokes, or nil (interface methods, function values, conversions).
-func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+func StaticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:

@@ -1,0 +1,150 @@
+// Package dataflow is a generic worklist solver for monotone dataflow
+// problems over internal/lint/cfg graphs. Like cfg it is
+// framework-level and analyzer-agnostic: an analyzer supplies the
+// lattice (join, equality, initial facts) and a per-block transfer
+// function, and receives the fixpoint fact at every block boundary.
+//
+// Facts are treated as immutable values: Transfer and Join must return
+// fresh or unaliased values rather than mutating their inputs, because
+// the solver retains and compares facts across iterations. For a
+// may-analysis the Init fact is the lattice bottom (e.g. the empty
+// set) and Join is union; for a must-analysis Init would be top and
+// Join intersection. Termination requires the usual monotonicity: the
+// lattice has finite height and Transfer/Join never move down it.
+package dataflow
+
+import (
+	"extremalcq/internal/lint/cfg"
+)
+
+// Direction orients a problem: Forward propagates facts from Entry
+// along successor edges, Backward from Exit along predecessor edges.
+type Direction int
+
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// A Problem describes one dataflow analysis over a graph.
+type Problem[F any] struct {
+	Dir Direction
+
+	// Boundary produces the fact entering the graph: at Entry for a
+	// Forward problem, at Exit for a Backward one.
+	Boundary func() F
+
+	// Init produces the optimistic initial fact joined into every
+	// other block (typically the lattice bottom).
+	Init func() F
+
+	// Join combines two facts at a control-flow merge. It may reuse
+	// either input as the result but must not mutate them.
+	Join func(a, b F) F
+
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b F) bool
+
+	// Transfer computes the fact leaving block b given the fact
+	// entering it, in analysis direction. It must not mutate in.
+	Transfer func(b *cfg.Block, in F) F
+}
+
+// A Result holds the fixpoint facts. In and Out are in analysis
+// direction: for a Forward problem In[b] is the fact at b's start and
+// Out[b] at its end; for a Backward problem In[b] is the fact at b's
+// end and Out[b] at its start.
+type Result[F any] struct {
+	In, Out map[*cfg.Block]F
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns the facts
+// at every block boundary.
+func Solve[F any](g *cfg.Graph, p Problem[F]) Result[F] {
+	res := Result[F]{
+		In:  make(map[*cfg.Block]F, len(g.Blocks)),
+		Out: make(map[*cfg.Block]F, len(g.Blocks)),
+	}
+
+	start := g.Entry
+	into := func(b *cfg.Block) []*cfg.Block { return b.Preds }
+	outof := func(b *cfg.Block) []*cfg.Block { return b.Succs }
+	if p.Dir == Backward {
+		start = g.Exit
+		into, outof = outof, into
+	}
+
+	// Seed the worklist in an order that approximates reverse
+	// postorder of the analysis direction, so most facts stabilize in
+	// one sweep.
+	order := postorder(g, start, outof)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	// Blocks unreachable in the analysis direction (dead code, or
+	// blocks that cannot reach Exit in a backward problem) still get
+	// their Init facts so clients can look them up.
+	seen := make(map[*cfg.Block]bool, len(order))
+	for _, b := range order {
+		seen[b] = true
+	}
+	for _, b := range g.Blocks {
+		res.In[b] = p.Init()
+		if !seen[b] {
+			res.Out[b] = p.Transfer(b, res.In[b])
+		}
+	}
+
+	queue := append([]*cfg.Block(nil), order...)
+	queued := make(map[*cfg.Block]bool, len(order))
+	for _, b := range order {
+		queued[b] = true
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		in := p.Init()
+		if b == start {
+			in = p.Join(in, p.Boundary())
+		}
+		for _, q := range into(b) {
+			if out, ok := res.Out[q]; ok {
+				in = p.Join(in, out)
+			}
+		}
+		out := p.Transfer(b, in)
+		res.In[b] = in
+		if prev, ok := res.Out[b]; ok && p.Equal(prev, out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, s := range outof(b) {
+			if !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return res
+}
+
+// postorder returns the blocks reachable from start via next, in
+// postorder.
+func postorder(g *cfg.Graph, start *cfg.Block, next func(*cfg.Block) []*cfg.Block) []*cfg.Block {
+	var order []*cfg.Block
+	visited := make(map[*cfg.Block]bool, len(g.Blocks))
+	var visit func(b *cfg.Block)
+	visit = func(b *cfg.Block) {
+		visited[b] = true
+		for _, s := range next(b) {
+			if !visited[s] {
+				visit(s)
+			}
+		}
+		order = append(order, b)
+	}
+	visit(start)
+	return order
+}

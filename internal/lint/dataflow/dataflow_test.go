@@ -1,0 +1,180 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"extremalcq/internal/lint/cfg"
+	"extremalcq/internal/lint/dataflow"
+)
+
+func buildFunc(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\nfunc a() bool { return false }"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// set lattice helpers shared by the tests: union join over string sets.
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func equal(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[string]bool) string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, " ")
+}
+
+// assigned collects the names assigned by the nodes of a block.
+func assigned(b *cfg.Block) []string {
+	var names []string
+	for _, n := range b.Nodes {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				names = append(names, id.Name)
+			}
+		}
+	}
+	return names
+}
+
+// Forward may-analysis: which variables may have been assigned by the
+// time control reaches a block. Branch-dependent definitions must
+// merge with union at the join.
+func TestForwardMayAssign(t *testing.T) {
+	g := buildFunc(t, `x := 1
+if a() {
+y := 2
+_ = y
+} else {
+z := 3
+_ = z
+}
+w := 4
+_ = w
+_ = x`)
+	res := dataflow.Solve(g, dataflow.Problem[map[string]bool]{
+		Dir:      dataflow.Forward,
+		Boundary: func() map[string]bool { return map[string]bool{} },
+		Init:     func() map[string]bool { return map[string]bool{} },
+		Join:     union,
+		Equal:    equal,
+		Transfer: func(b *cfg.Block, in map[string]bool) map[string]bool {
+			out := union(in, nil)
+			for _, name := range assigned(b) {
+				out[name] = true
+			}
+			return out
+		},
+	})
+	got := keys(res.In[g.Exit])
+	if got != "w x y z" {
+		t.Errorf("facts at exit = %q, want %q", got, "w x y z")
+	}
+	// The then-branch fact must not contain the else-branch's variable.
+	for _, b := range g.Blocks {
+		if b.Kind == "if.then" {
+			if res.In[b]["z"] {
+				t.Errorf("then-branch entry fact contains z: %q", keys(res.In[b]))
+			}
+			if !res.In[b]["x"] {
+				t.Errorf("then-branch entry fact lost x: %q", keys(res.In[b]))
+			}
+		}
+	}
+}
+
+// A loop-carried fact requires more than one sweep: the definition in
+// the loop body must flow around the back edge into the loop head.
+func TestForwardLoopFixpoint(t *testing.T) {
+	g := buildFunc(t, `x := 0
+for a() {
+y := 1
+_ = y
+x = x + 1
+}
+_ = x`)
+	res := dataflow.Solve(g, dataflow.Problem[map[string]bool]{
+		Dir:      dataflow.Forward,
+		Boundary: func() map[string]bool { return map[string]bool{} },
+		Init:     func() map[string]bool { return map[string]bool{} },
+		Join:     union,
+		Equal:    equal,
+		Transfer: func(b *cfg.Block, in map[string]bool) map[string]bool {
+			out := union(in, nil)
+			for _, name := range assigned(b) {
+				out[name] = true
+			}
+			return out
+		},
+	})
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			if !res.In[b]["y"] {
+				t.Errorf("loop head entry fact missing loop-carried y: %q", keys(res.In[b]))
+			}
+		}
+	}
+}
+
+// Backward orientation: propagating block kinds from Exit along pred
+// edges must reach Entry with every kind on some path to Exit.
+func TestBackwardKinds(t *testing.T) {
+	g := buildFunc(t, `if a() {
+return
+}
+println(1)`)
+	res := dataflow.Solve(g, dataflow.Problem[map[string]bool]{
+		Dir:      dataflow.Backward,
+		Boundary: func() map[string]bool { return map[string]bool{} },
+		Init:     func() map[string]bool { return map[string]bool{} },
+		Join:     union,
+		Equal:    equal,
+		Transfer: func(b *cfg.Block, in map[string]bool) map[string]bool {
+			out := union(in, nil)
+			out[b.Kind] = true
+			return out
+		},
+	})
+	got := res.Out[g.Entry]
+	for _, want := range []string{"entry", "if.then", "if.join", "exit"} {
+		if !got[want] {
+			t.Errorf("backward fact at entry missing %q: %q", want, keys(got))
+		}
+	}
+}

@@ -70,6 +70,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 	flag.Var(versionFlag{progname}, "V", "print version and exit (-V=full, for the go command)")
 	flagsF := flag.Bool("flags", false, "print flags in JSON (for the go command)")
 	jsonF := flag.Bool("json", false, "emit JSON output")
+	listF := flag.Bool("list", false, "list registered analyzers with their doc one-liners and exit")
 	enabled := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enabled[a.Name] = flag.Bool(a.Name, false, "enable only named analyzers: "+firstLine(a.Doc))
@@ -85,6 +86,12 @@ func Main(analyzers ...*analysis.Analyzer) {
 
 	if *flagsF {
 		printFlags()
+		return
+	}
+	if *listF {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
 		return
 	}
 
@@ -266,8 +273,13 @@ func RunAnalyzers(analyzers []*analysis.Analyzer, fset *token.FileSet, files []*
 				}
 				out = append(out, Diag{Position: fset.Position(d.Pos), Analyzer: a.Name, Message: d.Message})
 			},
-			ImportObjectFactFn: facts.Importer(a),
-			ExportObjectFactFn: facts.Exporter(a),
+			ImportObjectFactFn:  facts.Importer(a),
+			ExportObjectFactFn:  facts.Exporter(a),
+			ImportPackageFactFn: facts.PackageImporter(a),
+			ExportPackageFactFn: facts.PackageExporter(a, pkg.Path()),
+			AllPackageFactsFn: func(proto analysis.Fact) []analysis.PackageFact {
+				return facts.AllPackageFacts(a, proto)
+			},
 		}
 		if _, err := a.Run(pass); err != nil {
 			out = append(out, Diag{Position: fset.Position(token.NoPos), Analyzer: a.Name, Message: "analyzer failed: " + err.Error()})

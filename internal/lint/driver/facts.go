@@ -11,14 +11,15 @@ import (
 	"extremalcq/internal/lint/analysis"
 )
 
-// factRecord is the serialized form of one object fact. A package's
-// vetx file holds the facts exported while analyzing it plus every
-// fact imported from its dependencies, so facts reach transitive
-// importers even when the build system only forwards direct
-// dependencies' vetx files.
+// factRecord is the serialized form of one fact. A package's vetx
+// file holds the facts exported while analyzing it plus every fact
+// imported from its dependencies, so facts reach transitive importers
+// even when the build system only forwards direct dependencies' vetx
+// files. An empty Object key marks a package-level fact (attached to
+// the package as a whole, not to one of its objects).
 type factRecord struct {
 	PkgPath  string
-	Object   string // package-scoped object key (analysis.ObjectFactKey)
+	Object   string // package-scoped object key (analysis.ObjectFactKey), or "" for a package fact
 	Analyzer string
 	Data     []byte // gob of the concrete fact value
 }
@@ -96,13 +97,7 @@ func (s *FactStore) Exporter(a *analysis.Analyzer) func(types.Object, analysis.F
 		if !ok {
 			return
 		}
-		var buf bytes.Buffer
-		// Encode the concrete value (not the interface) so decoding
-		// into a typed pointer needs no gob type registration.
-		if err := gob.NewEncoder(&buf).Encode(reflect.ValueOf(f).Elem().Interface()); err != nil {
-			panic(fmt.Sprintf("lint: encoding %T fact for %s.%s: %v", f, pkgPath, objKey, err))
-		}
-		s.m[factKey{pkgPath, objKey, a.Name}] = buf.Bytes()
+		s.m[factKey{pkgPath, objKey, a.Name}] = encodeFact(f, pkgPath, a.Name)
 	}
 }
 
@@ -113,13 +108,63 @@ func (s *FactStore) Importer(a *analysis.Analyzer) func(types.Object, analysis.F
 		if !ok {
 			return false
 		}
-		data, found := s.m[factKey{pkgPath, objKey, a.Name}]
-		if !found {
-			return false
-		}
-		if err := gob.NewDecoder(bytes.NewReader(data)).DecodeValue(reflect.ValueOf(ptr).Elem()); err != nil {
-			return false
-		}
-		return true
+		return s.decodeInto(factKey{pkgPath, objKey, a.Name}, ptr)
 	}
+}
+
+// PackageExporter returns the ExportPackageFact hook for one
+// analyzer's pass over pkgPath.
+func (s *FactStore) PackageExporter(a *analysis.Analyzer, pkgPath string) func(analysis.Fact) {
+	return func(f analysis.Fact) {
+		s.m[factKey{pkgPath, "", a.Name}] = encodeFact(f, pkgPath, a.Name)
+	}
+}
+
+// PackageImporter returns the ImportPackageFact hook for one
+// analyzer's pass.
+func (s *FactStore) PackageImporter(a *analysis.Analyzer) func(*types.Package, analysis.Fact) bool {
+	return func(pkg *types.Package, ptr analysis.Fact) bool {
+		if pkg == nil {
+			return false
+		}
+		return s.decodeInto(factKey{pkg.Path(), "", a.Name}, ptr)
+	}
+}
+
+// AllPackageFacts returns every package fact of a visible in the
+// store, decoded into fresh values of proto's dynamic type (the blobs
+// are untyped; an analyzer only ever stores one package-fact type, so
+// the prototype disambiguates for it).
+func (s *FactStore) AllPackageFacts(a *analysis.Analyzer, proto analysis.Fact) []analysis.PackageFact {
+	var out []analysis.PackageFact
+	protoType := reflect.TypeOf(proto)
+	for k := range s.m {
+		if k.analyzer != a.Name || k.object != "" {
+			continue
+		}
+		ptr := reflect.New(protoType.Elem())
+		fact := ptr.Interface().(analysis.Fact)
+		if s.decodeInto(k, fact) {
+			out = append(out, analysis.PackageFact{Path: k.pkgPath, Fact: fact})
+		}
+	}
+	return out
+}
+
+func (s *FactStore) decodeInto(k factKey, ptr analysis.Fact) bool {
+	data, found := s.m[k]
+	if !found {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(data)).DecodeValue(reflect.ValueOf(ptr).Elem()) == nil
+}
+
+// encodeFact gobs the concrete value (not the interface) so decoding
+// into a typed pointer needs no gob type registration.
+func encodeFact(f analysis.Fact, pkgPath, analyzer string) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(reflect.ValueOf(f).Elem().Interface()); err != nil {
+		panic(fmt.Sprintf("lint: encoding %T fact for %s [%s]: %v", f, pkgPath, analyzer, err))
+	}
+	return buf.Bytes()
 }

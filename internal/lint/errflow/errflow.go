@@ -1,0 +1,376 @@
+// Package errflow implements the cqlint analyzer enforcing that
+// errors produced on the durability path reach a sink on every
+// control-flow path. The store's segment I/O, the codecs, and the
+// engine's write-behind queue all report failure through their last
+// result; a path that drops that result silently loses data with no
+// operational trace.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"extremalcq/internal/lint/analysis"
+	"extremalcq/internal/lint/cfg"
+	"extremalcq/internal/lint/ctxloop"
+	"extremalcq/internal/lint/dataflow"
+	"extremalcq/internal/lint/scope"
+)
+
+// Analyzer reports monitored errors that can be dropped.
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: `I/O and decode errors must reach a sink on every path
+
+In the engine and store packages, the error result of a monitored
+call — store-API methods, os/io file operations, codec
+Decode/Unmarshal/Marshal, and the engine's enqueue* admission
+helpers — must flow to a return statement, a counted-drop metric, a
+log call, or any other read on every control-flow path. Discarding
+one directly (a bare expression statement or a blank assignment) or
+overwriting it before any read is a diagnostic. Close errors are
+exempt: the codebase's read-path Close calls are best-effort by
+design.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scope.IsErrFlow(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if scope.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			// Function literals get their own graphs, like lockorder:
+			// a closure's paths are analyzed in its own frame.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// defSet is the dataflow fact: the set of pending definitions —
+// variables currently holding a monitored, not-yet-sunk error —
+// keyed by the defining object, carrying the position of the call
+// that produced the value (for reporting).
+type defSet map[types.Object]token.Pos
+
+// checkBody runs the pending-error dataflow over one function body.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	reported := make(map[types.Object]bool)
+	res := dataflow.Solve(g, dataflow.Problem[defSet]{
+		Dir:      dataflow.Forward,
+		Boundary: func() defSet { return defSet{} },
+		Init:     func() defSet { return defSet{} },
+		Join: func(a, b defSet) defSet {
+			out := make(defSet, len(a)+len(b))
+			for k, v := range a {
+				out[k] = v
+			}
+			for k, v := range b {
+				if _, ok := out[k]; !ok {
+					out[k] = v
+				}
+			}
+			return out
+		},
+		Equal: func(a, b defSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in defSet) defSet {
+			out := make(defSet, len(in))
+			for k, v := range in {
+				out[k] = v
+			}
+			for _, n := range b.Nodes {
+				transferNode(pass, n, out, nil)
+			}
+			return out
+		},
+	})
+
+	// Reporting sweep: re-run the transfer per block from the solved
+	// In facts, this time emitting diagnostics (the solve itself runs
+	// blocks to a fixpoint and must stay silent), and collect pending
+	// defs surviving to Exit.
+	for _, b := range g.Blocks {
+		cur := make(defSet, len(res.In[b]))
+		for k, v := range res.In[b] {
+			cur[k] = v
+		}
+		for _, n := range b.Nodes {
+			transferNode(pass, n, cur, &reportSink{pass: pass, reported: reported})
+		}
+	}
+	type leak struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var leaks []leak
+	for obj, pos := range res.In[g.Exit] {
+		if !reported[obj] {
+			reported[obj] = true
+			leaks = append(leaks, leak{obj, pos})
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, l := range leaks {
+		pass.Reportf(l.pos, "monitored error in %s is dropped on some path: it must reach a return, a counted-drop metric, or a log call", l.obj.Name())
+	}
+}
+
+// reportSink receives diagnostics from the reporting sweep; a nil
+// sink (the fixpoint solve) swallows them.
+type reportSink struct {
+	pass     *analysis.Pass
+	reported map[types.Object]bool
+}
+
+func (s *reportSink) discard(pos token.Pos, msg string) {
+	if s != nil {
+		s.pass.Reportf(pos, "%s", msg)
+	}
+}
+
+func (s *reportSink) overwrite(obj types.Object, pos token.Pos) {
+	if s != nil && !s.reported[obj] {
+		s.reported[obj] = true
+		s.pass.Reportf(pos, "monitored error in %s is overwritten before any read: the first failure is lost", obj.Name())
+	}
+}
+
+// transferNode updates the pending set for one CFG node: reads kill
+// pending defs, monitored assignments create them, overwrites of a
+// still-pending def and direct discards report through sink (which
+// is nil during the fixpoint solve).
+func transferNode(pass *analysis.Pass, n ast.Node, cur defSet, sink *reportSink) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		// RHS (and LHS index expressions etc.) are reads first.
+		for _, rhs := range s.Rhs {
+			killReads(pass, rhs, cur)
+		}
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				killReads(pass, lhs, cur)
+			}
+		}
+		// Then the LHS writes take effect.
+		applyAssign(pass, s, cur, sink)
+	case *ast.ExprStmt:
+		if pos, ok := monitoredDiscard(pass, s.X); ok {
+			sink.discard(pos, "monitored error is discarded: assign it and route it to a return, a counted-drop metric, or a log call")
+			return
+		}
+		killReads(pass, s.X, cur)
+	default:
+		killReads(pass, n, cur)
+	}
+}
+
+// applyAssign processes the write side of an assignment: a monitored
+// RHS call binds its error result's LHS as pending; any other write
+// to a pending def while it is still pending is an overwrite report;
+// a write to the blank identifier from a monitored call is a discard.
+func applyAssign(pass *analysis.Pass, s *ast.AssignStmt, cur defSet, sink *reportSink) {
+	monitored := false
+	if len(s.Rhs) == 1 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			monitored = isMonitored(pass, call)
+		}
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		// Only the monitored result position matters: isMonitored
+		// guarantees it is the call's last result, so in both the
+		// single-assign and the multi-assign form it lands on the
+		// last LHS.
+		errPos := monitored && i == len(s.Lhs)-1
+		if id.Name == "_" {
+			if errPos {
+				sink.discard(s.Rhs[0].Pos(), "monitored error is discarded with _: assign it and route it to a return, a counted-drop metric, or a log call")
+			}
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if pos, pending := cur[obj]; pending {
+			sink.overwrite(obj, pos)
+			delete(cur, obj)
+		}
+		if errPos {
+			cur[obj] = s.Rhs[0].Pos()
+		}
+	}
+}
+
+// killReads removes from cur every pending def whose identifier is
+// read anywhere under n. Reads inside nested function literals count:
+// a closure capturing the error is assumed to route it (liberal, to
+// keep the analyzer's false-positive rate at zero on sinks the flow
+// analysis cannot follow).
+func killReads(pass *analysis.Pass, n ast.Node, cur defSet) {
+	if n == nil || len(cur) == 0 {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			delete(cur, obj)
+		}
+		return true
+	})
+}
+
+// monitoredDiscard reports whether expr is a direct call to a
+// monitored function whose error result is therefore discarded.
+func monitoredDiscard(pass *analysis.Pass, expr ast.Expr) (token.Pos, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || !isMonitored(pass, call) {
+		return token.NoPos, false
+	}
+	return call.Pos(), true
+}
+
+// isMonitored classifies calls whose failure result must be sunk:
+//
+//   - methods of the store package (segment and kind-store I/O) with a
+//     trailing error result;
+//   - os and io package functions, and methods on their types, with a
+//     trailing error result — except Close, exempt by design;
+//   - codec-shaped names (Decode*, Unmarshal*, Marshal*) with a
+//     trailing error result;
+//   - same-package enqueue* admission helpers returning a single bool
+//     (the engine's write-behind queue: a false means the write was
+//     dropped and must be counted).
+func isMonitored(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	name := fn.Name()
+
+	if fn.Pkg() != nil && fn.Pkg() == pass.Pkg && strings.HasPrefix(name, "enqueue") {
+		return sig.Results().Len() == 1 && isBoolType(sig.Results().At(0).Type())
+	}
+
+	if !lastResultIsError(sig) {
+		return false
+	}
+	if name == "Close" {
+		return false
+	}
+	if fn.Pkg() != nil {
+		switch scope.Base(fn.Pkg().Path()) {
+		case "store":
+			return true
+		case "os", "io":
+			// hash.Hash documents that Write never returns an error, so
+			// a digest update routed through io.Writer is not a failure
+			// source even though the method resolves to io.Writer.Write.
+			return !writesToHash(pass, call, fn)
+		}
+	}
+	if strings.HasPrefix(name, "Decode") || strings.HasPrefix(name, "Unmarshal") || strings.HasPrefix(name, "Marshal") {
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves the called function, including interface
+// methods (StaticCallee rejects those deliberately; here an interface
+// method of the store package is exactly what we monitor).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	if fn := ctxloop.StaticCallee(pass, call); fn != nil {
+		return fn
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// writesToHash reports whether an os/io call's destination writer is
+// statically a hash-package interface (hash.Hash, hash.Hash32, …): a
+// method call's receiver, or the first argument of a package-level
+// function like io.WriteString.
+func writesToHash(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) bool {
+	var dest ast.Expr
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+		if len(call.Args) == 0 {
+			return false
+		}
+		dest = call.Args[0]
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		dest = sel.X
+	} else {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[dest]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "hash"
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t := res.At(res.Len() - 1).Type()
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func isBoolType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

@@ -5,6 +5,9 @@ import (
 
 	"extremalcq/internal/lint/analysistest"
 	"extremalcq/internal/lint/ctxloop"
+	"extremalcq/internal/lint/errflow"
+	"extremalcq/internal/lint/goroleak"
+	"extremalcq/internal/lint/lockorder"
 	"extremalcq/internal/lint/mutexheld"
 	"extremalcq/internal/lint/noglobals"
 	"extremalcq/internal/lint/spanbalance"
@@ -35,4 +38,24 @@ func TestMutexheldGolden(t *testing.T) {
 func TestSpanbalanceGolden(t *testing.T) {
 	// The obs fixture is the recorder itself, which the analyzer skips.
 	analysistest.Run(t, "testdata", spanbalance.Analyzer, "spanuser", "obs")
+}
+
+func TestLockorderGolden(t *testing.T) {
+	// lockorder/store analyzes clean but exports the Acquires facts
+	// that turn lockorder/engine's cross-package AB/BA pair into a
+	// reported cycle; the engine fixture also carries the same-package
+	// cycle, the re-acquisition positive, and the flow-sensitivity
+	// negatives.
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "lockorder/store", "lockorder/engine")
+}
+
+func TestGoroleakGolden(t *testing.T) {
+	// goroleak/helpers is out of owner scope but exports the
+	// GoroutineFacts (ctx-bounded Pump, evidence-free Spin) the engine
+	// fixture's cross-package launches depend on.
+	analysistest.Run(t, "testdata", goroleak.Analyzer, "goroleak/helpers", "goroleak/engine")
+}
+
+func TestErrflowGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "errflow/store")
 }

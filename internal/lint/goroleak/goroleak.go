@@ -1,0 +1,311 @@
+// Package goroleak implements the cqlint analyzer enforcing that
+// every goroutine launched in the solver and serving packages is
+// provably joined: a leaked goroutine is invisible in tests and fatal
+// under sustained traffic, so the launch site must carry static
+// evidence of its join point.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"extremalcq/internal/lint/analysis"
+	"extremalcq/internal/lint/ctxloop"
+	"extremalcq/internal/lint/names"
+	"extremalcq/internal/lint/scope"
+)
+
+// Analyzer reports go statements with no join evidence.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroleak",
+	Doc: `goroutines must be provably joined
+
+Every go statement in the solver and serving packages needs one of
+three proofs that the goroutine terminates and is awaited: (1) a
+sync.WaitGroup pairing — wg.Add precedes the launch in the launching
+function and the goroutine body defers wg.Done; (2) a done-channel
+fence — the body defer-closes a channel that some other function in
+its package receives from (the engine Close drain pattern); (3) a
+context bound — the body reaches a ctx.Err()/ctx.Done()/solve.Check
+cancellation checkpoint, directly or through its static callees
+(tracked via facts, so helper-launched goroutines are attributed to
+their join point across packages).`,
+	FactTypes: []analysis.Fact{(*GoroutineFact)(nil)},
+	Run:       run,
+}
+
+// GoroutineFact summarizes a function's join evidence for launch sites
+// in other packages: whether its execution is bounded by a
+// cancellation checkpoint, which WaitGroup it defer-Dones, and which
+// done-channel it defer-closes (canonical names per internal/lint/names).
+type GoroutineFact struct {
+	CtxBounded bool
+	DoneOn     string
+	Closes     string
+}
+
+// AFact implements analysis.Fact.
+func (*GoroutineFact) AFact() {}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Phase 1 (every package): summarize each declared function and
+	// export facts, so goroutines launched on cross-package helpers
+	// are attributed. The ctx-bounded property propagates through
+	// same-package static calls to a fixpoint, like ctxloop's
+	// ChecksCancel (recomputed here because facts are namespaced per
+	// analyzer).
+	fns := ctxloop.CollectFuncs(pass)
+	bounded := make(map[*types.Func]bool)
+	imported := func(callee *types.Func) bool {
+		if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.Pkg {
+			return false
+		}
+		var f GoroutineFact
+		return pass.ImportObjectFact(callee, &f) && f.CtxBounded
+	}
+	isBounded := func(callee *types.Func) bool { return bounded[callee] || imported(callee) }
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range fns {
+			if !bounded[fn] && hasCtxCheckpoint(pass, decl.Body, isBounded) {
+				bounded[fn] = true
+				changed = true
+			}
+		}
+	}
+	doneOn := make(map[*types.Func]string)
+	closes := make(map[*types.Func]string)
+	for fn, decl := range fns {
+		doneOn[fn] = deferredDone(pass, decl.Body)
+		closes[fn] = deferredClose(pass, decl.Body)
+	}
+	for fn := range fns {
+		if bounded[fn] || doneOn[fn] != "" || closes[fn] != "" {
+			pass.ExportObjectFact(fn, &GoroutineFact{
+				CtxBounded: bounded[fn],
+				DoneOn:     doneOn[fn],
+				Closes:     closes[fn],
+			})
+		}
+	}
+
+	// Phase 2 (owner packages only): every go statement must carry
+	// join evidence.
+	if !scope.IsGoroutineOwner(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	received := receivedChannels(pass)
+	for _, file := range pass.Files {
+		if scope.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, fd, gs, isBounded, doneOn, closes, received)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkGoStmt validates one launch site against the three join rules.
+func checkGoStmt(pass *analysis.Pass, enclosing *ast.FuncDecl, gs *ast.GoStmt, isBounded func(*types.Func) bool, doneOn, closes map[*types.Func]string, received map[string]bool) {
+	var wg, ch string
+	var ctxBounded bool
+
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		ctxBounded = hasCtxCheckpoint(pass, lit.Body, isBounded)
+		wg = deferredDone(pass, lit.Body)
+		ch = deferredClose(pass, lit.Body)
+	} else if callee := ctxloop.StaticCallee(pass, gs.Call); callee != nil {
+		if d, ok := doneOn[callee]; ok {
+			// Same-package callee: use the phase-1 summaries.
+			wg, ch = d, closes[callee]
+			ctxBounded = isBounded(callee)
+		} else {
+			var f GoroutineFact
+			if pass.ImportObjectFact(callee, &f) {
+				wg, ch, ctxBounded = f.DoneOn, f.Closes, f.CtxBounded
+			}
+		}
+	}
+
+	switch {
+	case wg != "":
+		if addPrecedes(pass, enclosing.Body, wg, gs.Pos()) {
+			return
+		}
+		pass.Reportf(gs.Pos(), "goroutine defers %s.Done but no %s.Add precedes the launch in %s: the join is not provable", wg, wg, enclosing.Name.Name)
+	case ch != "":
+		if received[ch] {
+			return
+		}
+		pass.Reportf(gs.Pos(), "goroutine defer-closes %s but nothing in this package receives from it: the join is not provable", ch)
+	case ctxBounded:
+		return
+	default:
+		pass.Reportf(gs.Pos(), "goroutine is not provably joined: needs a sync.WaitGroup Add/Done pairing, a defer-closed done channel awaited in this package, or a context-bounded body")
+	}
+}
+
+// hasCtxCheckpoint reports whether body reaches a cancellation
+// checkpoint. It extends ctxloop.HasCheckpoint by also scanning
+// immediately-invoked function literals, which execute synchronously
+// as part of the body (the engine's traced-solver wrapper pattern).
+func hasCtxCheckpoint(pass *analysis.Pass, body ast.Node, isBounded func(*types.Func) bool) bool {
+	if ctxloop.HasCheckpoint(pass, body, isBounded) {
+		return true
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			// Non-invoked closures don't bound the body; IIFEs are
+			// entered through their CallExpr below, before this skip.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+			if hasCtxCheckpoint(pass, lit.Body, isBounded) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deferredDone returns the canonical WaitGroup name body defer-Dones,
+// or "".
+func deferredDone(pass *analysis.Pass, body ast.Node) string {
+	return deferredCallOn(pass, body, func(call *ast.CallExpr) (string, bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return "", false
+		}
+		fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", false
+		}
+		return names.Canon(pass.TypesInfo, sel.X)
+	})
+}
+
+// deferredClose returns the canonical channel name body defer-closes,
+// or "".
+func deferredClose(pass *analysis.Pass, body ast.Node) string {
+	return deferredCallOn(pass, body, func(call *ast.CallExpr) (string, bool) {
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "close" || len(call.Args) != 1 {
+			return "", false
+		}
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+			return "", false
+		}
+		return names.Canon(pass.TypesInfo, call.Args[0])
+	})
+}
+
+// deferredCallOn scans body's defer statements (outside nested
+// literals) for one whose call classify accepts.
+func deferredCallOn(pass *analysis.Pass, body ast.Node, classify func(*ast.CallExpr) (string, bool)) string {
+	if body == nil {
+		return ""
+	}
+	name := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if c, ok := classify(ds.Call); ok {
+			name = c
+		}
+		return true
+	})
+	return name
+}
+
+// addPrecedes reports whether an Add call on the canonical WaitGroup
+// wg appears in body before pos — the launching function must grow the
+// group before the goroutine can Done it.
+func addPrecedes(pass *analysis.Pass, body *ast.BlockStmt, wg string, pos token.Pos) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		if name, ok := names.Canon(pass.TypesInfo, sel.X); ok && name == wg {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// receivedChannels collects the canonical names of channels received
+// from anywhere in the package (unary receives, channel ranges —
+// select cases contain one of the two), so a goroutine defer-closing
+// one is known to have a waiter.
+func receivedChannels(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.UnaryExpr:
+				if e.Op == token.ARROW {
+					if name, ok := names.Canon(pass.TypesInfo, e.X); ok {
+						out[name] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[e.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						if name, ok := names.Canon(pass.TypesInfo, e.X); ok {
+							out[name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,12 +1,18 @@
 // Package lint assembles the cqlint analyzer suite: the custom static
 // checks that machine-enforce this repository's concurrency and
 // cancellation invariants (see CONTRIBUTING.md). The driver protocol
-// lives in internal/lint/driver; cmd/cqlint is the executable.
+// lives in internal/lint/driver; cmd/cqlint is the executable. The
+// flow-sensitive analyzers (lockorder, goroleak, errflow) are built on
+// the internal/lint/cfg control-flow graphs and the
+// internal/lint/dataflow worklist solver.
 package lint
 
 import (
 	"extremalcq/internal/lint/analysis"
 	"extremalcq/internal/lint/ctxloop"
+	"extremalcq/internal/lint/errflow"
+	"extremalcq/internal/lint/goroleak"
+	"extremalcq/internal/lint/lockorder"
 	"extremalcq/internal/lint/mutexheld"
 	"extremalcq/internal/lint/noglobals"
 	"extremalcq/internal/lint/spanbalance"
@@ -19,5 +25,8 @@ func Analyzers() []*analysis.Analyzer {
 		noglobals.Analyzer,
 		mutexheld.Analyzer,
 		spanbalance.Analyzer,
+		lockorder.Analyzer,
+		goroleak.Analyzer,
+		errflow.Analyzer,
 	}
 }

@@ -35,6 +35,29 @@ var lockedIOPackages = map[string]bool{
 	"store":  false, // log append under the store mutex is the design; read-path I/O is not
 }
 
+// lockOrderPackages are the packages carrying the named mutexes of
+// the serving stack (the engine's five locks, the store mutex, the
+// memo shards, the decomposition cache, the trace recorder): lockorder
+// tracks acquisition order across all of them, and goroleak treats
+// them — together with the solver packages — as goroutine owners.
+// enum carries no mutex today; it is in scope so one growing a lock
+// is checked from its first commit.
+var lockOrderPackages = map[string]bool{
+	"engine":     true,
+	"store":      true,
+	"enum":       true,
+	"hypergraph": true,
+	"obs":        true,
+}
+
+// errFlowPackages are the packages on the durability path, where a
+// silently dropped error loses data: every monitored error must reach
+// a return, a counted-drop metric, or a logged sink on every path.
+var errFlowPackages = map[string]bool{
+	"engine": true,
+	"store":  true,
+}
+
 // Base returns the last element of a package path.
 func Base(pkgPath string) string {
 	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
@@ -52,6 +75,20 @@ func LockedIO(pkgPath string) (strict, in bool) {
 	strict, in = lockedIOPackages[Base(pkgPath)]
 	return strict, in
 }
+
+// IsLockOrder reports whether pkgPath is in lockorder's scope.
+func IsLockOrder(pkgPath string) bool { return lockOrderPackages[Base(pkgPath)] }
+
+// IsGoroutineOwner reports whether pkgPath is in goroleak's scope: the
+// serving packages plus the solver packages, i.e. everywhere a leaked
+// goroutine would accumulate under sustained traffic.
+func IsGoroutineOwner(pkgPath string) bool {
+	b := Base(pkgPath)
+	return lockOrderPackages[b] || solverPackages[b]
+}
+
+// IsErrFlow reports whether pkgPath is in errflow's scope.
+func IsErrFlow(pkgPath string) bool { return errFlowPackages[Base(pkgPath)] }
 
 // IsTestFile reports whether pos lies in a _test.go file. The
 // concurrency invariants guard production code; tests hold no locks

@@ -1,0 +1,95 @@
+// Fixture for the errflow analyzer: direct and blank discards, a
+// branch that drops the error on one path, an overwrite before any
+// read, and the blessed negatives (checked, counted, closure-routed,
+// Close-exempt, hash-exempt).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+var drops atomic.Int64
+
+// write drops the error of a monitored call outright.
+func write(f *os.File, b []byte) {
+	f.Write(b) // want `monitored error is discarded`
+}
+
+// decodeBlank discards with the blank identifier.
+func decodeBlank(b []byte, v *int) {
+	_ = json.Unmarshal(b, v) // want `monitored error is discarded with _`
+}
+
+// enqueueDropped discards the admission result: a false means the
+// write was dropped and must be counted.
+func enqueueDropped(ok bool) {
+	enqueueWrite(ok) // want `monitored error is discarded`
+}
+
+// halfChecked returns the error on one branch and falls off on the
+// other: the def survives to the exit on the len==0 path, and the
+// diagnostic lands on the definition.
+func halfChecked(f *os.File, b []byte) error {
+	_, err := f.Write(b) // want `monitored error in err is dropped on some path`
+	if len(b) > 0 {
+		return err
+	}
+	return nil
+}
+
+// clobbered overwrites the first failure before reading it.
+func clobbered(f *os.File, b []byte) error {
+	_, err := f.Write(b) // want `monitored error in err is overwritten before any read`
+	_, err = f.Write(b)
+	return err
+}
+
+// checked is the canonical pattern: the read in the condition is the
+// sink.
+func checked(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// counted reads the admission result and counts the drop.
+func counted(ok bool) {
+	if !enqueueWrite(ok) {
+		drops.Add(1)
+	}
+}
+
+// enqueueWrite is the admission-helper shape: same-package enqueue*
+// returning a single bool.
+func enqueueWrite(ok bool) bool {
+	return ok
+}
+
+// bestEffortClose: Close errors are exempt by design.
+func bestEffortClose(f *os.File) {
+	f.Close()
+}
+
+// routed captures the error in a closure: any read, including a
+// capture, counts as reaching a sink the flow analysis cannot follow.
+func routed(f *os.File, b []byte) {
+	_, err := f.Write(b)
+	report := func() bool { return err == nil }
+	_ = report
+}
+
+// digest exercises the hash exemption: hash.Hash documents that Write
+// never returns an error, even through the io.Writer interface.
+func digest(b []byte) [32]byte {
+	h := sha256.New()
+	h.Write(b)
+	io.WriteString(h, "x")
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

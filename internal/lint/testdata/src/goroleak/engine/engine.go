@@ -1,0 +1,111 @@
+// Fixture for the goroleak analyzer: the three join proofs as
+// negatives (WaitGroup pairing, done-channel fence, ctx-bounded body —
+// including the IIFE-wrapped solver pattern and a cross-package
+// helper), and the unjoined positives.
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"goroleak/helpers"
+)
+
+// Engine owns the fixture's goroutines.
+type Engine struct {
+	wg     sync.WaitGroup
+	done   chan struct{}
+	orphan chan struct{}
+	n      int
+}
+
+// worker defer-Dones the engine WaitGroup; launch sites must Add
+// first.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	e.n++
+}
+
+// start is the blessed WaitGroup pairing: Add before the launch, Done
+// deferred in the goroutine (here, in the named callee — the fact
+// attribution the analyzer exists for).
+func (e *Engine) start() {
+	e.wg.Add(1)
+	go e.worker()
+	e.wg.Wait()
+}
+
+// startInline is the same pairing with a literal body.
+func (e *Engine) startInline() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.n++
+	}()
+	e.wg.Wait()
+}
+
+// startUnpaired launches a Done-ing goroutine without growing the
+// group: the Done can fire Wait early or panic the group.
+func (e *Engine) startUnpaired() {
+	go e.worker() // want `goroutine defers engine.Engine.wg.Done but no engine.Engine.wg.Add precedes the launch in startUnpaired`
+}
+
+// writer defer-closes the engine's done channel; Close receives from
+// it, so the pair is a join fence.
+func (e *Engine) writer() {
+	defer close(e.done)
+	e.n++
+}
+
+func (e *Engine) startWriter() {
+	go e.writer()
+}
+
+// Close drains the writer's fence.
+func (e *Engine) Close() {
+	<-e.done
+}
+
+// startOrphan defer-closes a channel nobody receives from: closing is
+// not joining.
+func (e *Engine) startOrphan() {
+	go func() { // want `goroutine defer-closes engine.Engine.orphan but nothing in this package receives from it`
+		defer close(e.orphan)
+		e.n++
+	}()
+}
+
+// solve is the traced-solver shape: the goroutine's work runs inside
+// an immediately-invoked literal, and the cancellation checkpoint
+// lives in that inner body. The IIFE executes synchronously, so its
+// checkpoint bounds the goroutine.
+func (e *Engine) solve(ctx context.Context) {
+	go func() {
+		res := func() int {
+			if ctx.Err() != nil {
+				return 0
+			}
+			return 1
+		}()
+		e.n += res
+	}()
+}
+
+// pump launches a cross-package helper whose ctx-bounded proof arrives
+// as an imported GoroutineFact.
+func (e *Engine) pump(ctx context.Context) {
+	go helpers.Pump(ctx)
+}
+
+// spin launches a cross-package helper with no join evidence at all.
+func (e *Engine) spin() {
+	go helpers.Spin() // want `goroutine is not provably joined`
+}
+
+// leak is the bare unjoined literal.
+func (e *Engine) leak() {
+	go func() { // want `goroutine is not provably joined`
+		e.n++
+	}()
+}

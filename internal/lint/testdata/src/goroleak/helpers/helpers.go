@@ -1,0 +1,25 @@
+// Fixture dependency for the goroleak analyzer: phase 1 runs in every
+// package, so Pump's ctx-bounded summary is exported as a
+// GoroutineFact and attributed to launch sites in goroleak/engine.
+// Spin has no join evidence and exports nothing.
+package helpers
+
+import "context"
+
+// Pump loops until ctx is cancelled.
+func Pump(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// Spin runs unbounded with no cancellation checkpoint.
+func Spin() {
+	n := 0
+	for i := 0; i < 1<<20; i++ {
+		n += i
+	}
+	_ = n
+}

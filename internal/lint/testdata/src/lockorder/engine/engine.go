@@ -1,0 +1,103 @@
+// Fixture for the lockorder analyzer: the AB/BA two-mutex cycle, a
+// cross-package cycle through lockorder/store's Acquires facts, the
+// direct re-acquisition diagnostic, and the flow-sensitive negatives
+// (a released lock orders nothing).
+package engine
+
+import (
+	"sync"
+
+	"lockorder/store"
+)
+
+// Engine carries the fixture's named locks.
+type Engine struct {
+	mu     sync.Mutex
+	flight sync.Mutex
+	rw     sync.Mutex
+	dup    sync.Mutex
+	ordA   sync.Mutex
+	ordB   sync.Mutex
+	n      int
+}
+
+// lockAB and lockBA acquire the same two mutexes in opposite orders —
+// the classic deadlock, each half individually innocent. The cycle is
+// reported at each inner acquisition, with both edges' positions.
+func (e *Engine) lockAB() {
+	e.mu.Lock()
+	e.flight.Lock() // want `lock-order cycle \(potential deadlock\): engine.Engine.mu → engine.Engine.flight → engine.Engine.mu`
+	e.n++
+	e.flight.Unlock()
+	e.mu.Unlock()
+}
+
+func (e *Engine) lockBA() {
+	e.flight.Lock()
+	e.mu.Lock() // want `lock-order cycle \(potential deadlock\): engine.Engine.flight → engine.Engine.mu → engine.Engine.flight`
+	e.n++
+	e.mu.Unlock()
+	e.flight.Unlock()
+}
+
+// flush holds rw across store.Append, which acquires store.Mu: the
+// edge engine.Engine.rw → store.Mu comes from Append's imported
+// Acquires fact, not from any Lock call visible in this package.
+func (e *Engine) flush() {
+	e.rw.Lock()
+	store.Append(1) // want `lock-order cycle \(potential deadlock\): engine.Engine.rw → store.Mu → engine.Engine.rw`
+	e.rw.Unlock()
+}
+
+// drain closes the loop in the other direction with a direct
+// acquisition of the store's lock.
+func (e *Engine) drain() {
+	store.Mu.Lock()
+	e.rw.Lock() // want `lock-order cycle \(potential deadlock\): store.Mu → engine.Engine.rw → store.Mu`
+	e.rw.Unlock()
+	store.Mu.Unlock()
+}
+
+// reenter acquires a lock the path already holds.
+func (e *Engine) reenter() {
+	e.dup.Lock()
+	e.dup.Lock() // want `engine.Engine.dup acquired while already held on this path`
+	e.n++
+	e.dup.Unlock()
+	e.dup.Unlock()
+}
+
+// okOrder is the blessed ordering: ordA before ordB, everywhere.
+func (e *Engine) okOrder() {
+	e.ordA.Lock()
+	e.ordB.Lock()
+	e.n++
+	e.ordB.Unlock()
+	e.ordA.Unlock()
+}
+
+// okRelease touches the locks in the opposite order but never holds
+// them together: flow-sensitivity must see the empty held set at the
+// second acquisition and record no ordB → ordA edge (a flow-blind
+// checker would report a cycle against okOrder here).
+func (e *Engine) okRelease() {
+	e.ordB.Lock()
+	e.n++
+	e.ordB.Unlock()
+	e.ordA.Lock()
+	e.n++
+	e.ordA.Unlock()
+}
+
+// okBranch releases on every path before taking the other lock, so
+// the path-union held set at the ordA acquisition is empty.
+func (e *Engine) okBranch(b bool) {
+	e.ordB.Lock()
+	if b {
+		e.ordB.Unlock()
+		return
+	}
+	e.ordB.Unlock()
+	e.ordA.Lock()
+	e.ordA.Unlock()
+}

@@ -1,0 +1,21 @@
+// Fixture for the lockorder analyzer: a dependency package whose
+// exported Acquires facts the lockorder/engine fixture consumes. The
+// package is itself in lockorder scope (path base "store") and must
+// analyze clean — Append acquires its lock with nothing held.
+package store
+
+import "sync"
+
+// Mu is the package-wide store lock, canonical name "store.Mu".
+var Mu sync.Mutex
+
+var n int
+
+// Append acquires store.Mu. The exported Acquires fact is what lets a
+// caller in another package, holding its own lock across an Append
+// call, record the cross-package ordering edge.
+func Append(v int) {
+	Mu.Lock()
+	defer Mu.Unlock()
+	n += v
+}

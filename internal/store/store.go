@@ -146,11 +146,16 @@ type Stats struct {
 	// budget; Compactions counts live-record rewrites (CompactErrors
 	// the auto-compactions that failed and left the log as-is);
 	// RecoveredTruncations counts segments cut back at Open because of
-	// a torn or corrupt record.
+	// a torn or corrupt record. RemoveErrors counts retired segment or
+	// temp files whose unlink failed: the store's in-memory state moves
+	// on regardless (the file is already sealed and dead), but disk is
+	// no longer shrinking, so a monitor watching this counter is the
+	// difference between a slow leak and a silent one.
 	EvictedSegments      int64 `json:"evicted_segments"`
 	Compactions          int64 `json:"compactions"`
 	CompactErrors        int64 `json:"compact_errors"`
 	RecoveredTruncations int64 `json:"recovered_truncations"`
+	RemoveErrors         int64 `json:"remove_errors"`
 }
 
 // segment is one open log file.
@@ -202,6 +207,17 @@ type Store struct {
 	compactions   atomic.Int64
 	compactErrors atomic.Int64
 	truncations   atomic.Int64
+	removeErrors  atomic.Int64
+}
+
+// removeFile unlinks a retired segment or temp file, counting (not
+// propagating) failure: by the time a file is removed its records are
+// dead and the in-memory state has moved on, so the only correct
+// reaction is to surface the leak through Stats.RemoveErrors.
+func (s *Store) removeFile(path string) {
+	if err := os.Remove(path); err != nil {
+		s.removeErrors.Add(1)
+	}
 }
 
 // Open opens (creating if necessary) the store rooted at dir and
@@ -526,7 +542,7 @@ func (s *Store) enforceBudgetLocked() {
 		s.bytes -= victim.size
 		s.dead -= victim.dead
 		victim.f.Close()
-		os.Remove(filepath.Join(s.dir, segName(victim.num)))
+		s.removeFile(filepath.Join(s.dir, segName(victim.num)))
 		delete(s.segs, victim.num)
 		s.order = s.order[1:]
 		s.evicted.Add(1)
@@ -689,7 +705,7 @@ func (s *Store) finishCompact(p *compactPlan) error {
 	fail := func(tmp *os.File, err error) error {
 		if tmp != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			s.removeFile(tmpPath)
 		}
 		s.mu.Lock()
 		s.compacting = false
@@ -748,7 +764,7 @@ func (s *Store) finishCompact(p *compactPlan) error {
 	for num := range p.files {
 		seg := s.segs[num]
 		seg.f.Close()
-		os.Remove(filepath.Join(s.dir, segName(num)))
+		s.removeFile(filepath.Join(s.dir, segName(num)))
 		s.bytes -= seg.size
 		s.dead -= seg.dead
 		delete(s.segs, num)
@@ -842,6 +858,7 @@ func (s *Store) Stats() Stats {
 		Compactions:          s.compactions.Load(),
 		CompactErrors:        s.compactErrors.Load(),
 		RecoveredTruncations: s.truncations.Load(),
+		RemoveErrors:         s.removeErrors.Load(),
 	}
 }
 

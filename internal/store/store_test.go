@@ -144,6 +144,48 @@ func TestRotationAndEviction(t *testing.T) {
 	wantGet(t, s2, fmt.Sprintf("key-%03d", n-1), val)
 }
 
+func TestEvictionCountsRemoveErrors(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{SegmentBytes: 512, MaxBytes: 2048, NoAutoCompact: true})
+	val := string(bytes.Repeat([]byte("x"), 100))
+
+	// Fill until a segment seals, well under the eviction budget.
+	i := 0
+	for ; s.Stats().Segments < 2; i++ {
+		put(t, s, fmt.Sprintf("key-%03d", i), val)
+	}
+
+	// Sabotage: delete the oldest sealed segment behind the store's
+	// back, the way an operator cleaning "old logs" would.
+	s.mu.Lock()
+	oldest := s.order[0]
+	s.mu.Unlock()
+	if err := os.Remove(filepath.Join(dir, segName(oldest))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep writing until the budget evicts the sabotaged segment: its
+	// unlink fails with ENOENT, which must be counted, not dropped.
+	for ; ; i++ {
+		put(t, s, fmt.Sprintf("key-%03d", i), val)
+		s.mu.Lock()
+		_, alive := s.segs[oldest]
+		s.mu.Unlock()
+		if !alive {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("sabotaged segment was never evicted")
+		}
+	}
+	if got := s.Stats().RemoveErrors; got != 1 {
+		t.Errorf("RemoveErrors = %d, want 1", got)
+	}
+	// The store itself moves on: in-memory state is consistent and the
+	// newest data still serves.
+	wantGet(t, s, fmt.Sprintf("key-%03d", i), val)
+}
+
 func TestCompaction(t *testing.T) {
 	dir := t.TempDir()
 	s := openT(t, dir, Options{SegmentBytes: 1 << 20, NoAutoCompact: true})
