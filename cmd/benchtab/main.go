@@ -69,21 +69,29 @@ type phaseBreakdownRecord struct {
 
 // benchReport is the -json output shape.
 type benchReport struct {
-	Title           string                `json:"title"`
+	Title string `json:"title"`
+	// Seed is the PRNG seed every randomized workload in this record was
+	// generated from (the -seed flag); rerunning with the same seed
+	// reproduces the same instances, so BENCH_*.json deltas compare the
+	// same searches rather than sampling noise.
+	Seed            int64                 `json:"seed"`
 	Rows            []benchRow            `json:"rows"`
 	Streaming       streamingRecord       `json:"streaming"`
 	MemoSpill       memoSpillRecord       `json:"memo_spill"`
 	PhaseBreakdown  *phaseBreakdownRecord `json:"phase_breakdown"`
 	AcyclicDispatch acyclicDispatchRecord `json:"acyclic_dispatch"`
+	ParallelHom     parallelHomRecord     `json:"parallel_hom"`
 }
 
 var report benchReport
 
 func main() {
 	jsonPath := flag.String("json", "", "also write the record as JSON to this path")
+	seed := flag.Int64("seed", 1, "PRNG seed for randomized workloads; recorded in the JSON record")
 	flag.Parse()
 
 	report.Title = "Extremal Fitting Problems for Conjunctive Queries — experiment tables"
+	report.Seed = *seed
 	fmt.Println(report.Title)
 	fmt.Println()
 	table1()
@@ -94,6 +102,7 @@ func main() {
 	memoSpillTable()
 	phaseBreakdownTable()
 	acyclicDispatchTable()
+	parallelHomTable(*seed)
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")

@@ -1,0 +1,72 @@
+package compact
+
+import (
+	"context"
+	"sync"
+)
+
+// scratch is the reusable per-search buffer set: the flat domain word
+// array, the save-epoch array, the undo trail and the per-depth
+// candidate slices. One scratch serves one searcher at a time; the
+// arena recycles them across the memo-missed subproblems of an engine.
+type scratch struct {
+	dom   []uint64
+	saved []uint64
+	trail []trailEntry
+	cands [][]uint32
+}
+
+// Arena pools search scratch across searches. It is safe for
+// concurrent use (the pool hands each worker its own scratch) and is
+// typically owned by an engine and attached to every job's solver
+// context with WithArena. The zero value is NOT usable; construct with
+// NewArena. A nil *Arena is valid and simply allocates fresh scratch
+// per search.
+type Arena struct {
+	pool sync.Pool
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	a := &Arena{}
+	a.pool.New = func() any { return &scratch{} }
+	return a
+}
+
+// get borrows a scratch; nil-safe (a nil arena allocates).
+func (a *Arena) get() *scratch {
+	if a == nil {
+		return &scratch{}
+	}
+	return a.pool.Get().(*scratch)
+}
+
+// put returns a scratch; nil-safe (a nil arena drops it).
+func (a *Arena) put(s *scratch) {
+	if a == nil || s == nil {
+		return
+	}
+	a.pool.Put(s)
+}
+
+// arenaKey is the context key under which an Arena travels, mirroring
+// the hom.WithCache pattern: per-engine, never process-wide.
+type arenaKey struct{}
+
+// WithArena returns a context carrying a; Build consults it for
+// reusable scratch. A nil a returns ctx unchanged.
+func WithArena(ctx context.Context, a *Arena) context.Context {
+	if a == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, arenaKey{}, a)
+}
+
+// arenaFrom extracts the arena carried by ctx, or nil.
+func arenaFrom(ctx context.Context) *Arena {
+	if ctx == nil {
+		return nil
+	}
+	a, _ := ctx.Value(arenaKey{}).(*Arena)
+	return a
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"extremalcq/internal/compact"
 	"extremalcq/internal/fitting"
 	"extremalcq/internal/hom"
 	"extremalcq/internal/hypergraph"
@@ -86,6 +87,17 @@ type Options struct {
 	// Mainly for conformance runs that cross-check the two dispatch
 	// paths, and for apples-to-apples benchmarking.
 	ForceBacktrack bool
+	// SearchWorkers is the per-search parallelism of the compact
+	// backtracking core: hard searches split their top levels across up
+	// to this many goroutines. <= 0 selects GOMAXPROCS; 1 keeps every
+	// search single-threaded. This is parallelism *within* one job,
+	// multiplying with Workers (parallelism across jobs), so hosts
+	// running many concurrent jobs may want 1 here.
+	SearchWorkers int
+	// ForceLegacySearch routes backtracking searches through the
+	// original map-based solver instead of the compact bitset core.
+	// Kept for conformance cross-checks and benchmark baselines.
+	ForceLegacySearch bool
 }
 
 // Engine is a concurrent fitting-job scheduler. Create with New, release
@@ -106,6 +118,11 @@ type Engine struct {
 	// each probe selected. Both are engine-owned, like the memo.
 	decomp   *hypergraph.Cache
 	dispatch hom.DispatchStats
+
+	// arena recycles compact-search scratch (domain bitsets, trails,
+	// candidate buffers) across this engine's memo-missed subproblems;
+	// engine-owned like the memo, never shared across engines.
+	arena *compact.Arena
 
 	// rootCtx is canceled by Close; every job's solver context is linked
 	// to it, so in-flight searches unwind promptly on shutdown.
@@ -246,6 +263,7 @@ func New(opts Options) *Engine {
 		streams:    make(map[string]*streamFlight),
 		tasks:      make(map[string]*taskAgg),
 		decomp:     hypergraph.NewCache(0),
+		arena:      compact.NewArena(),
 		jobDur:     obs.NewHistogram(),
 		queueWait:  obs.NewHistogram(),
 		taskDur:    make(map[string]*obs.Histogram),
@@ -667,8 +685,10 @@ func withEngineCaches(ctx context.Context, m *Memo) context.Context {
 
 // solverContext attaches every piece of engine-owned solver state to a
 // job's context: the memo (when enabled), the hypergraph decomposition
-// cache, and the dispatch-path counters. ForceBacktrack pins the hom
-// dispatch mode so the join-tree fast path never engages.
+// cache, the dispatch-path counters, and the compact-search arena and
+// worker budget. ForceBacktrack pins the hom dispatch mode so the
+// join-tree fast path never engages; ForceLegacySearch pins the
+// map-based backtracking oracle.
 func (e *Engine) solverContext(ctx context.Context) context.Context {
 	if e.memo != nil {
 		ctx = withEngineCaches(ctx, e.memo)
@@ -677,6 +697,11 @@ func (e *Engine) solverContext(ctx context.Context) context.Context {
 	ctx = hom.WithDispatchStats(ctx, &e.dispatch)
 	if e.opts.ForceBacktrack {
 		ctx = hom.WithDispatchMode(ctx, hom.DispatchBacktrack)
+	}
+	ctx = compact.WithArena(ctx, e.arena)
+	ctx = hom.WithSearchWorkers(ctx, e.opts.SearchWorkers)
+	if e.opts.ForceLegacySearch {
+		ctx = hom.WithSearchImpl(ctx, hom.SearchLegacy)
 	}
 	return ctx
 }

@@ -314,9 +314,12 @@ func TestEngineCachingDisabled(t *testing.T) {
 // used in these tests — so only interruptible solvers return promptly.
 func adversarialJob(t *testing.T, timeout time.Duration) Job {
 	t.Helper()
-	pos, neg := genex.PrimeCycleFamily(4)
+	// Size 5: the compact solver core finishes size 4 in a few hundred
+	// milliseconds, which is no longer adversarial against the
+	// deadlines these tests use.
+	pos, neg := genex.PrimeCycleFamily(5)
 	e := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
-	return Job{Label: "prime4", Kind: KindCQ, Task: TaskConstruct, Examples: e, Timeout: timeout}
+	return Job{Label: "prime5", Kind: KindCQ, Task: TaskConstruct, Examples: e, Timeout: timeout}
 }
 
 func waitForSolversToExit(t *testing.T, eng *Engine, within time.Duration) time.Duration {

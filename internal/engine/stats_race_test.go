@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"extremalcq/internal/fitting"
+	"extremalcq/internal/genex"
+)
+
+// TestStatsUnderParallelSearch is the -race stress for the stats
+// surfaces now that search counters are updated from multiple
+// goroutines per job: it hammers Engine.Stats() (which snapshots the
+// memo, dispatch counters, histograms and task aggregates) while jobs
+// run through the compact core with in-search parallelism, and checks
+// the final snapshot is consistent — no torn reads, no double counts.
+func TestStatsUnderParallelSearch(t *testing.T) {
+	eng := New(Options{Workers: 2, SearchWorkers: 4, ForceBacktrack: true})
+	defer eng.Close()
+
+	var batch []Job
+	for _, n := range []int{2, 3} {
+		pos, neg := genex.PrimeCycleFamily(n)
+		ex := fitting.MustExamples(genex.SchemaR(), 0, pos, neg)
+		for _, task := range []Task{TaskExists, TaskConstruct} {
+			batch = append(batch, Job{Label: "stress", Kind: KindCQ, Task: task,
+				Examples: ex, Timeout: 10 * time.Second})
+		}
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.Stats()
+				if st.JobsDone < 0 || st.ActiveSolvers < 0 {
+					t.Error("negative stats snapshot")
+					return
+				}
+				if st.Dispatch.JoinTree < 0 || st.Dispatch.Backtrack < 0 {
+					t.Error("negative dispatch snapshot")
+					return
+				}
+			}
+		}()
+	}
+
+	for i, res := range eng.DoBatch(context.Background(), batch) {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+	}
+	close(stop)
+	readers.Wait()
+
+	st := eng.Stats()
+	if st.JobsDone != int64(len(batch)) {
+		t.Fatalf("JobsDone = %d, want %d", st.JobsDone, len(batch))
+	}
+	if st.Dispatch.Backtrack == 0 {
+		t.Fatal("forced-backtrack jobs recorded no backtrack dispatches")
+	}
+}

@@ -1,0 +1,118 @@
+package hom
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"extremalcq/internal/genex"
+	"extremalcq/internal/instance"
+	"extremalcq/internal/obs"
+)
+
+// compactLegacyAgree cross-checks the compact and legacy backtracking
+// cores on one (from, to) pair: same exists verdict, valid witnesses
+// from both, identical enumerated answer sets, and the parallel
+// compact driver agreeing with the single-worker one. Dispatch is
+// forced to backtrack so the join-tree fast path cannot mask either
+// core.
+func compactLegacyAgree(t *testing.T, from, to instance.Pointed) {
+	t.Helper()
+	base := WithDispatchMode(context.Background(), DispatchBacktrack)
+	compactCtx := WithSearchImpl(base, SearchCompact)
+	legacyCtx := WithSearchImpl(base, SearchLegacy)
+	parallelCtx := WithSearchWorkers(compactCtx, 4)
+
+	hC, okC := FindCtx(compactCtx, from, to)
+	hL, okL := FindCtx(legacyCtx, from, to)
+	hP, okP := FindCtx(parallelCtx, from, to)
+	if okC != okL || okP != okL {
+		t.Fatalf("exists disagreement: compact=%v legacy=%v parallel=%v", okC, okL, okP)
+	}
+	if okL {
+		checkWitness(t, from, to, hC)
+		checkWitness(t, from, to, hL)
+		checkWitness(t, from, to, hP)
+	}
+
+	setL := findAllSet(legacyCtx, from, to)
+	setC := findAllSet(compactCtx, from, to)
+	setP := findAllSet(parallelCtx, from, to)
+	if len(setC) != len(setL) || len(setP) != len(setL) {
+		t.Fatalf("answer-set sizes differ: compact=%d legacy=%d parallel=%d", len(setC), len(setL), len(setP))
+	}
+	for k := range setL {
+		if !setC[k] {
+			t.Fatalf("compact path missed answer %s", k)
+		}
+		if !setP[k] {
+			t.Fatalf("parallel compact path missed answer %s", k)
+		}
+	}
+}
+
+// TestCompactLegacyAgree is the conformance differential for the
+// compact core: randomized instances plus the structured families
+// where the representations are stressed hardest (parity gadgets that
+// defeat GAC, cycles into cycles, cliques). Run under -race in CI so
+// the parallel driver's sharing is exercised, not just its answers.
+func TestCompactLegacyAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	sch := genex.SchemaR()
+	for i := 0; i < 80; i++ {
+		from := genex.RandomPointed(rng, sch, 4, 2+rng.Intn(5), rng.Intn(2))
+		to := genex.RandomPointed(rng, sch, 3, 2+rng.Intn(7), from.Arity())
+		compactLegacyAgree(t, from, to)
+	}
+
+	parity := genex.ParityTarget()
+	for n := 1; n <= 5; n++ {
+		compactLegacyAgree(t, genex.ParityChain(n), parity)
+	}
+	for n := 3; n <= 6; n++ {
+		compactLegacyAgree(t, genex.ParityCycle(n), parity)
+	}
+	for _, n := range []int{3, 4, 6, 12} {
+		for _, m := range []int{2, 3, 4} {
+			compactLegacyAgree(t, genex.DirectedCycle(n), genex.DirectedCycle(m))
+		}
+	}
+	compactLegacyAgree(t, genex.Clique(3), genex.Clique(4))
+	compactLegacyAgree(t, genex.Clique(3), genex.Clique(2))
+}
+
+// TestLegacyBacktrackAllocs pins the restore-on-unwind fix in the
+// legacy search: backtracking must no longer clone the whole domain
+// map per node, so the per-node allocation count on a GAC-resistant
+// unsatisfiable search stays small and flat. Before the fix every node
+// copied the full map at every candidate (hundreds of allocations per
+// node on this family).
+func TestLegacyBacktrackAllocs(t *testing.T) {
+	from, to := genex.ParityCycle(6), genex.ParityTarget()
+
+	// Count search nodes once so the bound is per node, not per search.
+	rec := obs.NewRecorder()
+	ctx := WithSearchImpl(WithDispatchMode(obs.WithRecorder(context.Background(), rec), DispatchBacktrack), SearchLegacy)
+	if _, ok := FindCtx(ctx, from, to); ok {
+		t.Fatal("setup: ParityCycle(6) -> ParityTarget must be unsatisfiable")
+	}
+	nodes := rec.Count(obs.CtrHomNodes)
+	if nodes == 0 {
+		t.Fatal("setup: search expanded no nodes")
+	}
+
+	quiet := WithSearchImpl(WithDispatchMode(context.Background(), DispatchBacktrack), SearchLegacy)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, ok := FindCtx(quiet, from, to); ok {
+			t.Fatal("ParityCycle(6) -> ParityTarget must stay unsatisfiable")
+		}
+	})
+	perNode := allocs / float64(nodes)
+	// The trail-based search allocates a candidate singleton and a few
+	// narrowed slices per node; 16 is generous headroom, while the old
+	// per-node map clones sat two orders of magnitude above it.
+	if perNode > 16 {
+		t.Fatalf("legacy search allocates %.1f objects/node over %d nodes (%.0f total), want <= 16",
+			perNode, nodes, allocs)
+	}
+}

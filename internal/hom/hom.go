@@ -66,7 +66,10 @@ func findUncached(ctx context.Context, from, to instance.Pointed) (Assignment, b
 	if hg, forest, acyclic := s.probeJoinTree(); acyclic {
 		return s.solveJoinTree(hg, forest)
 	}
-	return s.solve()
+	if searchImplFrom(ctx) == SearchLegacy {
+		return s.solve()
+	}
+	return s.solveCompact()
 }
 
 // FindAll enumerates homomorphisms from 'from' to 'to', invoking yield
@@ -93,7 +96,11 @@ func FindAllCtx(ctx context.Context, from, to instance.Pointed, yield func(Assig
 		s.enumerateJoinTree(hg, forest, yield)
 		return
 	}
-	s.enumerate(yield)
+	if searchImplFrom(ctx) == SearchLegacy {
+		s.enumerate(yield)
+		return
+	}
+	s.enumerateCompact(yield)
 }
 
 // Equivalent reports homomorphic equivalence: from → to and to → from.
@@ -159,6 +166,40 @@ type search struct {
 	domains  map[instance.Value][]instance.Value // candidate targets
 	pinned   Assignment                          // distinguished elements inside adom(from)
 	fixed    Assignment                          // distinguished elements outside adom(from)
+	facts    []instance.Fact                     // from's facts, computed once per search
+	// trail is the restore-on-unwind log of domain narrowings: every
+	// map entry replaced by propagate/backtrack is recorded here, and
+	// unwinding a search node restores exactly the entries it touched.
+	// This replaces the per-node whole-map clones that made deep legacy
+	// searches allocate O(vars × domain) per node (and OOM when used as
+	// the differential oracle against the compact engine).
+	trail []domTrail
+}
+
+// domTrail is one saved domain binding. Domain slices are never
+// mutated in place — propagate and backtrack only ever replace them —
+// so restoring the old slice header is a full undo.
+type domTrail struct {
+	v   instance.Value
+	old []instance.Value
+}
+
+// mark returns the current trail position for a later undo.
+func (s *search) mark() int { return len(s.trail) }
+
+// setDomain replaces v's candidate slice, logging the old one.
+func (s *search) setDomain(v instance.Value, ws []instance.Value) {
+	s.trail = append(s.trail, domTrail{v: v, old: s.domains[v]})
+	s.domains[v] = ws
+}
+
+// undo restores every domain binding replaced since mark.
+func (s *search) undo(m int) {
+	for i := len(s.trail) - 1; i >= m; i-- {
+		e := s.trail[i]
+		s.domains[e.v] = e.old
+	}
+	s.trail = s.trail[:m]
 }
 
 // newSearch validates schemas/arities/equality types and seeds domains
@@ -206,15 +247,15 @@ func newSearch(ctx context.Context, from, to instance.Pointed) (*search, bool) {
 		}
 	}
 	s.vars = from.I.Dom()
+	s.facts = from.I.Facts()
 	return s, true
 }
 
 func (s *search) solve() (Assignment, bool) {
-	dom, ok := s.propagate(s.from.I, s.to.I, s.domains)
-	if !ok {
+	if !s.propagate() {
 		return nil, false
 	}
-	res := s.backtrack(dom)
+	res := s.backtrack()
 	if res == nil {
 		return nil, false
 	}
@@ -226,16 +267,17 @@ func (s *search) solve() (Assignment, bool) {
 
 // backtrack runs GAC-based search and returns a full assignment or nil.
 // Every node checks the solver context, so a deadline stops the search
-// within one propagation round.
-func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
+// within one propagation round. Narrowings are undone through the trail
+// on unwind instead of cloning the domain map per node.
+func (s *search) backtrack() Assignment {
 	solve.Check(s.ctx)
 	s.rec.Add(obs.CtrHomNodes, 1)
-	v, ok := pickVar(s.vars, dom)
+	v, ok := pickVar(s.vars, s.domains)
 	if !ok {
 		// All singleton: extract and verify.
-		a := make(Assignment, len(dom))
+		a := make(Assignment, len(s.domains))
 		for _, u := range s.vars {
-			a[u] = dom[u][0]
+			a[u] = s.domains[u][0]
 		}
 		if validHom(s.from.I, s.to.I, a) {
 			return a
@@ -243,16 +285,18 @@ func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
 		s.rec.Add(obs.CtrHomBacktracks, 1)
 		return nil
 	}
-	for _, w := range dom[v] {
-		trial := copyDomains(dom)
-		trial[v] = []instance.Value{w}
-		next, ok := s.propagate(s.from.I, s.to.I, trial)
-		if !ok {
-			continue
+	// The range expression captures v's current slice once; setDomain
+	// only ever replaces map entries, so the captured slice stays valid
+	// while the map entry is narrowed and restored underneath it.
+	for _, w := range s.domains[v] {
+		m := s.mark()
+		s.setDomain(v, []instance.Value{w})
+		if s.propagate() {
+			if res := s.backtrack(); res != nil {
+				return res
+			}
 		}
-		if res := s.backtrack(next); res != nil {
-			return res
-		}
+		s.undo(m)
 	}
 	// Every candidate for v failed: this subtree is a dead end.
 	s.rec.Add(obs.CtrHomBacktracks, 1)
@@ -261,22 +305,21 @@ func (s *search) backtrack(dom map[instance.Value][]instance.Value) Assignment {
 
 // enumerate yields every homomorphism.
 func (s *search) enumerate(yield func(Assignment) bool) {
-	dom, ok := s.propagate(s.from.I, s.to.I, s.domains)
-	if !ok {
+	if !s.propagate() {
 		return
 	}
-	s.enumRec(dom, yield)
+	s.enumRec(yield)
 }
 
 // enumRec returns false if enumeration should stop.
-func (s *search) enumRec(dom map[instance.Value][]instance.Value, yield func(Assignment) bool) bool {
+func (s *search) enumRec(yield func(Assignment) bool) bool {
 	solve.Check(s.ctx)
 	s.rec.Add(obs.CtrHomNodes, 1)
-	v, ok := pickVar(s.vars, dom)
+	v, ok := pickVar(s.vars, s.domains)
 	if !ok {
-		a := make(Assignment, len(dom))
+		a := make(Assignment, len(s.domains))
 		for _, u := range s.vars {
-			a[u] = dom[u][0]
+			a[u] = s.domains[u][0]
 		}
 		if !validHom(s.from.I, s.to.I, a) {
 			return true
@@ -286,14 +329,15 @@ func (s *search) enumRec(dom map[instance.Value][]instance.Value, yield func(Ass
 		}
 		return yield(a)
 	}
-	for _, w := range dom[v] {
-		trial := copyDomains(dom)
-		trial[v] = []instance.Value{w}
-		next, ok := s.propagate(s.from.I, s.to.I, trial)
-		if !ok {
-			continue
+	for _, w := range s.domains[v] {
+		m := s.mark()
+		s.setDomain(v, []instance.Value{w})
+		more := true
+		if s.propagate() {
+			more = s.enumRec(yield)
 		}
-		if !s.enumRec(next, yield) {
+		s.undo(m)
+		if !more {
 			return false
 		}
 	}
@@ -312,14 +356,6 @@ func pickVar(vars []instance.Value, dom map[instance.Value][]instance.Value) (in
 	return best, bestLen != -1
 }
 
-func copyDomains(dom map[instance.Value][]instance.Value) map[instance.Value][]instance.Value {
-	out := make(map[instance.Value][]instance.Value, len(dom))
-	for v, ws := range dom {
-		out[v] = append([]instance.Value(nil), ws...)
-	}
-	return out
-}
-
 // validHom checks that assignment a maps every fact of from into to.
 func validHom(from, to *instance.Instance, a Assignment) bool {
 	for _, f := range from.Facts() {
@@ -331,37 +367,50 @@ func validHom(from, to *instance.Instance, a Assignment) bool {
 }
 
 // propagate enforces generalized arc consistency fact-by-fact until a
-// fixpoint. Returns the narrowed domains, or ok=false if some domain
-// became empty. The fixpoint loop checks the solver context so large
-// instances cannot delay cancellation by a whole propagation pass.
-func (s *search) propagate(from, to *instance.Instance, dom map[instance.Value][]instance.Value) (map[instance.Value][]instance.Value, bool) {
-	dom = copyDomains(dom)
-	facts := from.Facts()
+// fixpoint, narrowing s.domains in place (each narrowing is logged on
+// the trail, so the caller's undo restores it). Returns false if some
+// domain became empty. The fixpoint loop checks the solver context so
+// large instances cannot delay cancellation by a whole propagation
+// pass.
+func (s *search) propagate() bool {
+	to := s.to.I
 	changed := true
 	for changed {
 		solve.Check(s.ctx)
 		changed = false
-		for _, f := range facts {
+		for _, f := range s.facts {
 			for i, v := range f.Args {
-				kept := dom[v][:0:0]
-				for _, w := range dom[v] {
-					if supported(to, f, i, w, dom) {
+				cur := s.domains[v]
+				// Find the first unsupported candidate before building a
+				// narrowed slice, so the (common) no-change case allocates
+				// nothing.
+				drop := -1
+				for x, w := range cur {
+					if !supported(to, f, i, w, s.domains) {
+						drop = x
+						break
+					}
+				}
+				if drop == -1 {
+					continue
+				}
+				kept := make([]instance.Value, 0, len(cur)-1)
+				kept = append(kept, cur[:drop]...)
+				for _, w := range cur[drop+1:] {
+					if supported(to, f, i, w, s.domains) {
 						kept = append(kept, w)
 					}
 				}
+				s.rec.Add(obs.CtrHomPrunings, int64(len(cur)-len(kept)))
 				if len(kept) == 0 {
-					s.rec.Add(obs.CtrHomPrunings, int64(len(dom[v])))
-					return nil, false
+					return false
 				}
-				if len(kept) != len(dom[v]) {
-					s.rec.Add(obs.CtrHomPrunings, int64(len(dom[v])-len(kept)))
-					dom[v] = kept
-					changed = true
-				}
+				s.setDomain(v, kept)
+				changed = true
 			}
 		}
 	}
-	return dom, true
+	return true
 }
 
 // supported reports whether there is a fact g = R(w̄) in 'to' with
@@ -377,20 +426,27 @@ func supported(to *instance.Instance, f instance.Fact, i int, w instance.Value, 
 }
 
 func factSupports(f, g instance.Fact, dom map[instance.Value][]instance.Value) bool {
-	// Repeated-variable consistency within the fact.
-	img := make(map[instance.Value]instance.Value, len(f.Args))
 	for j, v := range f.Args {
 		tw := g.Args[j]
-		if prev, ok := img[v]; ok {
-			if prev != tw {
-				return false
+		// Repeated-variable consistency within the fact: a later
+		// occurrence must match the image at the first occurrence.
+		// Facts are short, so the linear scan beats a per-call map.
+		repeated := false
+		for k := 0; k < j; k++ {
+			if f.Args[k] == v {
+				if g.Args[k] != tw {
+					return false
+				}
+				repeated = true
+				break
 			}
+		}
+		if repeated {
 			continue
 		}
 		if !contains(dom[v], tw) {
 			return false
 		}
-		img[v] = tw
 	}
 	return true
 }
@@ -416,8 +472,7 @@ func ArcConsistent(from, to instance.Pointed) bool {
 	if !ok {
 		return false
 	}
-	_, ok = s.propagate(s.from.I, s.to.I, s.domains)
-	return ok
+	return s.propagate()
 }
 
 // SortValues sorts a value slice in place and returns it (test helper).

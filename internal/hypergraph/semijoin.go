@@ -2,6 +2,7 @@ package hypergraph
 
 import (
 	"context"
+	"math/bits"
 	"strings"
 
 	"extremalcq/internal/instance"
@@ -39,6 +40,12 @@ type eval struct {
 	pinned map[instance.Value]instance.Value
 
 	rels [][]tuple
+	// alive[e] is the survivor bitset over rels[e]: semi-join passes
+	// clear bits instead of rebuilding tuple slices, so a reduction
+	// costs one word write per 64 candidates and the relation arrays
+	// stay immutable after build. aliveCount[e] caches the popcount.
+	alive      [][]uint64
+	aliveCount []int
 	// shared[e] lists the positions (into e's tuples) of the vars e
 	// shares with its parent, in sorted var order; parentPos[e] lists
 	// the matching positions into the parent's tuples.
@@ -106,6 +113,8 @@ func run(ctx context.Context, hg *Hypergraph, fo *Forest, to *instance.Instance,
 func (ev *eval) buildRelations() bool {
 	n := len(ev.hg.Facts)
 	ev.rels = make([][]tuple, n)
+	ev.alive = make([][]uint64, n)
+	ev.aliveCount = make([]int, n)
 	for e := 0; e < n; e++ {
 		solve.Check(ev.ctx)
 		f := ev.hg.Facts[e]
@@ -143,6 +152,32 @@ func (ev *eval) buildRelations() bool {
 			return false
 		}
 		ev.rels[e] = rel
+		// Seed the survivor bitset full (tail bits of the last word off).
+		words := make([]uint64, (len(rel)+63)/64)
+		for i := range words {
+			words[i] = ^uint64(0)
+		}
+		if tail := len(rel) % 64; tail != 0 {
+			words[len(words)-1] = (uint64(1) << tail) - 1
+		}
+		ev.alive[e] = words
+		ev.aliveCount[e] = len(rel)
+	}
+	return true
+}
+
+// eachAlive calls f for every surviving tuple of edge e; f returning
+// false stops the walk (and eachAlive returns false).
+func (ev *eval) eachAlive(e int, f func(t tuple) bool) bool {
+	rel := ev.rels[e]
+	for i, w := range ev.alive[e] {
+		//cqlint:ignore ctxloop -- clears one bit per iteration; at most 64 per word
+		for ; w != 0; w &= w - 1 {
+			row := i*64 + bits.TrailingZeros64(w)
+			if !f(rel[row]) {
+				return false
+			}
+		}
 	}
 	return true
 }
@@ -180,10 +215,11 @@ func (ev *eval) reduce() bool {
 			continue
 		}
 		solve.Check(ev.ctx)
-		keys := make(map[string]bool, len(ev.rels[e]))
-		for _, t := range ev.rels[e] {
+		keys := make(map[string]bool, ev.aliveCount[e])
+		ev.eachAlive(e, func(t tuple) bool {
 			keys[joinKey(t, ev.shared[e])] = true
-		}
+			return true
+		})
 		if !ev.semijoin(p, ev.parentPos[e], keys) {
 			return false
 		}
@@ -197,10 +233,11 @@ func (ev *eval) reduce() bool {
 			continue
 		}
 		solve.Check(ev.ctx)
-		keys := make(map[string]bool, len(ev.rels[p]))
-		for _, t := range ev.rels[p] {
+		keys := make(map[string]bool, ev.aliveCount[p])
+		ev.eachAlive(p, func(t tuple) bool {
 			keys[joinKey(t, ev.parentPos[e])] = true
-		}
+			return true
+		})
 		if !ev.semijoin(e, ev.shared[e], keys) {
 			return false
 		}
@@ -208,18 +245,28 @@ func (ev *eval) reduce() bool {
 	return true
 }
 
-// semijoin keeps only edge e's tuples whose projection onto pos is in
-// keys, recording removals; ok=false when the relation empties.
+// semijoin clears the alive bit of every edge-e tuple whose projection
+// onto pos is not in keys, recording removals; ok=false when the
+// relation empties.
 func (ev *eval) semijoin(e int, pos []int, keys map[string]bool) bool {
-	kept := ev.rels[e][:0:0]
-	for _, t := range ev.rels[e] {
-		if keys[joinKey(t, pos)] {
-			kept = append(kept, t)
+	rel := ev.rels[e]
+	words := ev.alive[e]
+	removed := 0
+	for i := range words {
+		kept := words[i]
+		//cqlint:ignore ctxloop -- clears one bit per iteration; at most 64 per word
+		for bw := kept; bw != 0; bw &= bw - 1 {
+			b := bits.TrailingZeros64(bw)
+			if !keys[joinKey(rel[i*64+b], pos)] {
+				kept &^= uint64(1) << b
+				removed++
+			}
 		}
+		words[i] = kept
 	}
-	ev.rec.Add(obs.CtrSemijoinReductions, int64(len(ev.rels[e])-len(kept)))
-	ev.rels[e] = kept
-	return len(kept) > 0
+	ev.aliveCount[e] -= removed
+	ev.rec.Add(obs.CtrSemijoinReductions, int64(removed))
+	return ev.aliveCount[e] > 0
 }
 
 // index builds, per non-root edge, the reduced relation's bucket map
@@ -231,11 +278,12 @@ func (ev *eval) index() {
 		if ev.fo.Parent[e] < 0 {
 			continue
 		}
-		b := make(map[string][]tuple, len(ev.rels[e]))
-		for _, t := range ev.rels[e] {
+		b := make(map[string][]tuple, ev.aliveCount[e])
+		ev.eachAlive(e, func(t tuple) bool {
 			k := joinKey(t, ev.shared[e])
 			b[k] = append(b[k], t)
-		}
+			return true
+		})
 		ev.buckets[e] = b
 	}
 }
@@ -255,28 +303,31 @@ func (ev *eval) enumSeq(list []int, j int, k func() bool) bool {
 // parent's shared vars suffices), binds the edge's new vars, and
 // recurses through its children before invoking k.
 func (ev *eval) enumEdge(e int, k func() bool) bool {
-	var cands []tuple
-	if p := ev.fo.Parent[e]; p < 0 {
-		cands = ev.rels[e]
-	} else {
-		cands = ev.buckets[e][ev.asgKey(e)]
-	}
 	vars := ev.fo.Sets[e]
-	stop := false
-	for _, t := range cands {
+	try := func(t tuple) bool {
 		solve.Check(ev.ctx)
 		for _, i := range ev.newPos[e] {
 			ev.asg[vars[i]] = t[i]
 		}
-		if !ev.enumSeq(ev.fo.Children[e], 0, k) {
-			stop = true
-			break
+		return ev.enumSeq(ev.fo.Children[e], 0, k)
+	}
+	var more bool
+	if ev.fo.Parent[e] < 0 {
+		// Roots walk the survivor bitset directly.
+		more = ev.eachAlive(e, try)
+	} else {
+		more = true
+		for _, t := range ev.buckets[e][ev.asgKey(e)] {
+			if !try(t) {
+				more = false
+				break
+			}
 		}
 	}
 	for _, i := range ev.newPos[e] {
 		delete(ev.asg, vars[i])
 	}
-	return !stop
+	return more
 }
 
 // asgKey projects the current assignment onto edge e's shared-with-

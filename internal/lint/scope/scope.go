@@ -24,6 +24,7 @@ var solverPackages = map[string]bool{
 	"instance":   true,
 	"genex":      true,
 	"hypergraph": true,
+	"compact":    true, // bitset search core: worker loops must checkpoint, workers must join
 }
 
 // lockedIOPackages are the packages where holding a mutex across
